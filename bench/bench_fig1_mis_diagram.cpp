@@ -1,0 +1,34 @@
+// F1 -- Figure 1: the edge diagram of the MIS problem.
+// Paper: "O is stronger than P, and there is no relation between labels M
+// and P, and between M and O."
+#include "bench_util.hpp"
+#include "re/diagram.hpp"
+#include "re/problem.hpp"
+
+int main() {
+  using namespace relb;
+  bench::banner("Figure 1: edge diagram of the MIS encoding");
+
+  for (re::Count delta : {3, 4, 16, 1 << 20}) {
+    const auto mis = re::misProblem(delta);
+    const auto rel = re::computeStrength(mis.edge, mis.alphabet.size());
+    std::cout << "Delta = " << delta << ":\n"
+              << rel.renderDiagram(mis.alphabet);
+    const auto m = mis.alphabet.at("M");
+    const auto p = mis.alphabet.at("P");
+    const auto o = mis.alphabet.at("O");
+    const bool pass = rel.strictlyStronger(o, p) &&
+                      !rel.atLeastAsStrong(m, p) &&
+                      !rel.atLeastAsStrong(p, m) &&
+                      !rel.atLeastAsStrong(m, o) &&
+                      !rel.atLeastAsStrong(o, m) &&
+                      rel.diagramEdges().size() == 1;
+    bench::verdict(pass, "matches Figure 1 (single edge P -> O)");
+    std::cout << "\n";
+  }
+
+  std::cout << "DOT output (Delta = 3):\n"
+            << re::computeStrength(re::misProblem(3).edge, 3)
+                   .toDot(re::misProblem(3).alphabet, "fig1_mis");
+  return 0;
+}

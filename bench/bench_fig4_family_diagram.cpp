@@ -1,0 +1,34 @@
+// F4 -- Figure 4: the edge diagram of Pi_Delta(a, x):
+// the strength chain P -> A -> O -> X with M -> X on the side.
+#include "bench_util.hpp"
+#include "core/lemma6.hpp"
+#include "re/diagram.hpp"
+
+int main() {
+  using namespace relb;
+  bench::banner("Figure 4: edge diagram of Pi_Delta(a,x)");
+
+  const auto pi = core::familyProblem(8, 5, 1);
+  const auto rel = re::computeStrength(pi.edge, pi.alphabet.size());
+  std::cout << "computed diagram (Delta=8, a=5, x=1):\n"
+            << rel.renderDiagram(pi.alphabet) << "\n";
+  std::cout << "DOT:\n" << rel.toDot(pi.alphabet, "fig4_family") << "\n";
+
+  bench::Table t({"Delta", "a", "x", "matches Figure 4"});
+  bool allPass = true;
+  for (const auto& [delta, a, x] : std::vector<std::array<re::Count, 3>>{
+           {3, 2, 0},
+           {4, 3, 1},
+           {8, 5, 1},
+           {16, 9, 3},
+           {1 << 12, 1 << 10, 17},
+           {re::Count{1} << 30, re::Count{1} << 15, 1000}}) {
+    const bool ok = core::verifyFigure4(delta, a, x);
+    allPass &= ok;
+    t.row(delta, a, x, ok);
+  }
+  t.print();
+  bench::verdict(allPass,
+                 "diagram is P -> A -> O -> X, M -> X at all parameters");
+  return 0;
+}

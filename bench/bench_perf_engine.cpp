@@ -1,0 +1,122 @@
+// P1-P3 -- engine microbenchmarks (google-benchmark): the cost of the
+// R operator, the proof-script checks, flow membership, and the exact
+// speedup, across Delta.
+#include <benchmark/benchmark.h>
+
+#include "core/lemma6.hpp"
+#include "core/lemma8.hpp"
+#include "core/sequence.hpp"
+#include "re/re_step.hpp"
+#include "re/cycle_verifier.hpp"
+#include "re/tree_verifier.hpp"
+#include "re/zero_round.hpp"
+
+namespace {
+
+using namespace relb;
+
+void BM_ApplyR_Family(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto pi = core::familyProblem(delta, delta / 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::applyR(pi));
+  }
+}
+BENCHMARK(BM_ApplyR_Family)->Arg(8)->Arg(1 << 10)->Arg(1 << 20)->Arg(1 << 30);
+
+void BM_VerifyLemma6(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::verifyLemma6(delta, delta / 2, 1));
+  }
+}
+BENCHMARK(BM_VerifyLemma6)->Arg(8)->Arg(1 << 10)->Arg(1 << 20)->Arg(1 << 30);
+
+void BM_VerifyLemma8Symbolic(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::verifyLemma8Symbolic(delta, delta / 2, 1));
+  }
+}
+BENCHMARK(BM_VerifyLemma8Symbolic)
+    ->Arg(8)
+    ->Arg(1 << 10)
+    ->Arg(1 << 20)
+    ->Arg(1 << 30);
+
+void BM_VerifyLemma8Exact(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::verifyLemma8Exact(delta, delta, 0));
+  }
+}
+BENCHMARK(BM_VerifyLemma8Exact)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_FlowMembership(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto pi = core::familyProblem(delta, delta / 2, 7);
+  re::Word w(5, 0);
+  w[core::kM] = delta - 7;
+  w[core::kX] = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pi.node.containsWord(w));
+  }
+}
+BENCHMARK(BM_FlowMembership)->Arg(8)->Arg(1 << 20)->Arg(re::Count{1} << 40);
+
+void BM_ExactChain(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exactChain(delta, 1));
+  }
+}
+BENCHMARK(BM_ExactChain)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_CertifyChain(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto chain = core::exactChain(delta, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::certifyChain(chain));
+  }
+}
+BENCHMARK(BM_CertifyChain)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_SpeedupStepMis(benchmark::State& state) {
+  const auto mis = re::misProblem(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::speedupStep(mis));
+  }
+}
+BENCHMARK(BM_SpeedupStepMis)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ZeroRoundCheck(benchmark::State& state) {
+  const auto pi = core::familyProblem(state.range(0), state.range(0) / 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::zeroRoundSolvableSymmetricPorts(pi));
+  }
+}
+BENCHMARK(BM_ZeroRoundCheck)->Arg(8)->Arg(1 << 20);
+
+void BM_CycleSolvable(benchmark::State& state) {
+  const auto pi = re::misProblem(2);
+  const int radius = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::cycleSolvable(pi, radius));
+  }
+}
+BENCHMARK(BM_CycleSolvable)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TreeSolvable3(benchmark::State& state) {
+  const auto pi = re::misProblem(3);
+  const int radius = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::treeSolvable3(pi, radius));
+  }
+}
+BENCHMARK(BM_TreeSolvable3)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// T6 -- Theorem 1 / Corollary 2: the LOCAL-model lower-bound landscape.
+// Prints min{log Delta, log_Delta n} (deterministic) and
+// min{log Delta, log_Delta log n} (randomized) over a (log2 n, Delta) grid,
+// locating the crossover Delta ~ 2^sqrt(log n), and evaluates the realized
+// (certified) chain lengths in place of the asymptotic log Delta.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/bounds.hpp"
+#include "core/sequence.hpp"
+
+int main() {
+  using namespace relb;
+  bench::banner("Theorem 1: deterministic bound min{log D, log_D n}");
+
+  const std::vector<int> deltaExps{2, 4, 8, 12, 16, 20};
+  {
+    bench::Table t({"log2(n) \\ Delta", "2^2", "2^4", "2^8", "2^12", "2^16",
+                    "2^20"});
+    for (double log2n : {16.0, 64.0, 144.0, 256.0, 400.0}) {
+      std::vector<std::string> row{std::to_string(static_cast<int>(log2n))};
+      for (int e : deltaExps) {
+        row.push_back(std::to_string(
+            core::theorem1Deterministic(log2n, std::exp2(e))));
+      }
+      t.row(row[0], row[1], row[2], row[3], row[4], row[5], row[6]);
+    }
+    t.print();
+  }
+
+  bench::banner("Corollary 2: the crossover Delta* = 2^sqrt(log n)");
+  {
+    bench::Table t({"log2(n)", "log2(Delta*)", "det bound at Delta*",
+                    "= sqrt(log2 n)", "rand: log2(Delta*)",
+                    "rand bound at Delta*"});
+    bool allPass = true;
+    for (double log2n : {16.0, 64.0, 256.0, 1024.0, 65536.0}) {
+      const double detLog = core::bestLog2DeltaDeterministic(log2n);
+      const double detBound =
+          core::theorem1Deterministic(log2n, std::exp2(detLog));
+      const double randLog = core::bestLog2DeltaRandomized(log2n);
+      const double randBound =
+          core::theorem1Randomized(log2n, std::exp2(randLog));
+      allPass &= std::abs(detBound - std::sqrt(log2n)) < 1e-6;
+      t.row(log2n, detLog, detBound, std::sqrt(log2n), randLog, randBound);
+    }
+    t.print();
+    bench::verdict(allPass,
+                   "deterministic bound at the crossover equals sqrt(log n)");
+  }
+
+  bench::banner("Realized (certified) chains in place of log Delta");
+  {
+    bench::Table t({"Delta", "certified t", "det bound, log2 n = 256",
+                    "rand bound, log2 n = 2^16"});
+    for (int e : deltaExps) {
+      const re::Count delta = re::Count{1} << e;
+      const double t0 =
+          static_cast<double>(core::pnLowerBoundRounds(delta, 1));
+      t.row(delta, static_cast<long long>(t0),
+            core::liftDeterministic(t0, 256.0, static_cast<double>(delta)),
+            core::liftRandomized(t0, 65536.0, static_cast<double>(delta)));
+    }
+    t.print();
+  }
+  std::cout << "\npaper shape: bounds rise with Delta until the n-dependent "
+               "branch takes over, peaking at sqrt(log n) /\n"
+               "sqrt(log log n) -- visible in both the asymptotic and the "
+               "realized columns.\n";
+  return 0;
+}

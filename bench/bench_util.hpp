@@ -1,0 +1,95 @@
+// Shared helpers for the reproduction benches: aligned table printing and a
+// tiny stopwatch.  Every bench prints the paper's artifact next to the
+// recomputed one and a PASS/FAIL verdict where the artifact is checkable.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace relb::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(toCell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      width[i] = header_[i].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << "  " << std::left << std::setw(static_cast<int>(width[i]))
+           << cells[i];
+      }
+      os << "\n";
+    };
+    line(header_);
+    std::string sep;
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      sep += "  " + std::string(width[i], '-');
+    }
+    os << sep << "\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  static std::string toCell(const std::string& s) { return s; }
+  static std::string toCell(const char* s) { return s; }
+  static std::string toCell(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string toCell(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream oss;
+      oss << std::fixed << std::setprecision(3) << v;
+      return oss.str();
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n\n";
+}
+
+inline void verdict(bool pass, const std::string& what) {
+  std::cout << (pass ? "[PASS] " : "[FAIL] ") << what << "\n";
+}
+
+}  // namespace relb::bench

@@ -1,0 +1,84 @@
+// Runs the paper's full lower-bound proof, machine-checked, for a chosen
+// degree Delta and outdegree parameter k:
+//
+//   1. Lemma 6   -- compute R(Pi_Delta(a,x)) and match the claimed form;
+//   2. Lemma 8   -- verify the speedup Rbar(R(Pi)) => Pi+ (proof script);
+//   3. Lemma 12  -- certify non-0-round-solvability along the chain;
+//   4. Lemma 13  -- build and certify the chain, report its length t;
+//   5. Theorem 1 -- lift t to the LOCAL model bounds.
+//
+//   ./lower_bound_proof [delta] [k]
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/lemma8.hpp"
+#include "core/sequence.hpp"
+#include "core/transcript.hpp"
+
+int main(int argc, char** argv) {
+  using namespace relb;
+  const re::Count delta = argc > 1 ? std::atoll(argv[1]) : (1 << 16);
+  const re::Count k = argc > 2 ? std::atoll(argv[2]) : 1;
+
+  std::cout << "Machine-checked lower bound for " << k
+            << "-outdegree dominating sets on " << delta
+            << "-regular trees\n\n";
+
+  // The chain (Lemma 13 with the exact recurrence).
+  const core::Chain chain = core::exactChain(delta, k);
+  const std::string cert = core::certifyChain(chain);
+  if (!cert.empty()) {
+    std::cerr << "chain certification FAILED: " << cert << "\n";
+    return 1;
+  }
+  std::cout << "chain certified: " << chain.steps.size() << " problems, "
+            << chain.length() << " speedup steps\n";
+
+  // Per-step machine checks of the two speedup lemmas (the chain certifier
+  // already checked parameters and 0-round hardness).
+  int checked = 0;
+  for (std::size_t i = 0; i + 1 < chain.steps.size(); ++i) {
+    const auto& s = chain.steps[i];
+    const auto l6 = core::verifyLemma6(delta, s.a, s.x);
+    if (!l6.ok) {
+      std::cerr << "Lemma 6 FAILED at step " << i << ": " << l6.detail << "\n";
+      return 1;
+    }
+    const auto l8 = core::verifyLemma8Symbolic(delta, s.a, s.x);
+    if (!l8.ok) {
+      std::cerr << "Lemma 8 FAILED at step " << i << ": " << l8.detail << "\n";
+      return 1;
+    }
+    ++checked;
+  }
+  std::cout << "Lemmas 6 and 8 verified at every step (" << checked
+            << " steps)\n";
+
+  const re::Count t = core::pnLowerBoundRounds(delta, k);
+  std::cout << "\n=> PN-model lower bound (with Delta-edge coloring): " << t
+            << " rounds\n";
+  std::cout << "   (paper: Omega(log Delta); log2(Delta) = "
+            << std::log2(static_cast<double>(delta)) << ")\n";
+
+  // Theorem 1 lift for a few n regimes.
+  std::cout << "\nTheorem 1 (LOCAL model), per log2(n):\n";
+  std::cout << "  log2(n)   det bound   rand bound\n";
+  for (double log2n : {16.0, 64.0, 256.0, 1024.0, 65536.0}) {
+    std::cout << "  " << log2n << "\t    "
+              << core::liftDeterministic(static_cast<double>(t), log2n,
+                                         static_cast<double>(delta))
+              << "\t"
+              << core::liftRandomized(static_cast<double>(t), log2n,
+                                      static_cast<double>(delta))
+              << "\n";
+  }
+
+  // Emit the audited proof transcript.
+  const std::string path = "lower_bound_transcript.txt";
+  std::ofstream(path) << core::writeTranscript(delta, k);
+  std::cout << "\nfull transcript written to " << path << "\n";
+  return 0;
+}

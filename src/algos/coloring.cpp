@@ -1,0 +1,176 @@
+#include "algos/coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "local/network.hpp"
+#include "re/types.hpp"
+
+namespace relb::algos {
+
+namespace {
+
+using local::Graph;
+using local::NodeId;
+
+// Evaluates the polynomial whose base-q digits are `color` at point x, over
+// F_q.
+long long evalPoly(long long color, long long q, long long x) {
+  long long value = 0;
+  long long power = 1;
+  while (color > 0) {
+    value = (value + (color % q) * power) % q;
+    power = (power * x) % q;
+    color /= q;
+  }
+  return value;
+}
+
+// Degree of the base-q encoding of colors < m (number of digits - 1).
+int polyDegree(long long m, long long q) {
+  int digits = 1;
+  long long cap = q;
+  while (cap < m) {
+    cap *= q;
+    ++digits;
+  }
+  return digits - 1;
+}
+
+}  // namespace
+
+long long nextPrime(long long v) {
+  if (v <= 2) return 2;
+  for (long long c = v % 2 == 0 ? v + 1 : v;; c += 2) {
+    bool prime = true;
+    for (long long d = 3; d * d <= c; d += 2) {
+      if (c % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) return c;
+  }
+}
+
+bool isProperColoring(const Graph& g, const std::vector<int>& color,
+                      int numColors) {
+  if (static_cast<NodeId>(color.size()) != g.numNodes()) return false;
+  for (int c : color) {
+    if (c < 0 || c >= numColors) return false;
+  }
+  for (local::EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (color[static_cast<std::size_t>(u)] ==
+        color[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ColoringResult linialStep(const Graph& g, const std::vector<int>& color,
+                          int m) {
+  const long long delta = std::max(1, g.maxDegree());
+  // Smallest prime q such that colors < m fit into degree-d polynomials with
+  // q > delta * d (then some evaluation point separates a node from all
+  // neighbors).
+  long long q = 2;
+  while (true) {
+    q = nextPrime(q);
+    const int d = polyDegree(m, q);
+    if (q > delta * d) break;
+    ++q;
+  }
+  const int d = polyDegree(m, q);
+  (void)d;
+
+  // One communication round: exchange colors, then pick a separating point.
+  local::SyncNetwork<int> net(g);
+  net.step([&](NodeId v, std::span<const int>, std::span<int> out) {
+    for (auto& msg : out) msg = color[static_cast<std::size_t>(v)];
+  });
+  ColoringResult result;
+  result.color.resize(static_cast<std::size_t>(g.numNodes()));
+  net.step([&](NodeId v, std::span<const int> in, std::span<int> out) {
+    const long long mine = color[static_cast<std::size_t>(v)];
+    long long chosenX = -1;
+    for (long long x = 0; x < q && chosenX < 0; ++x) {
+      bool separates = true;
+      for (int neighborColor : in) {
+        if (neighborColor != mine &&
+            evalPoly(neighborColor, q, x) == evalPoly(mine, q, x)) {
+          separates = false;
+          break;
+        }
+        if (neighborColor == mine) {
+          // Input not proper; no point can separate equal colors.
+          separates = false;
+          break;
+        }
+      }
+      if (separates) chosenX = x;
+    }
+    if (chosenX < 0) {
+      throw re::Error("linialStep: no separating point (improper input?)");
+    }
+    result.color[static_cast<std::size_t>(v)] =
+        static_cast<int>(chosenX * q + evalPoly(mine, q, chosenX));
+    for (auto& msg : out) msg = 0;
+  });
+  result.numColors = static_cast<int>(q * q);
+  result.rounds = 1;
+  return result;
+}
+
+ColoringResult linialColorReduction(const Graph& g) {
+  ColoringResult current;
+  current.color.resize(static_cast<std::size_t>(g.numNodes()));
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    current.color[static_cast<std::size_t>(v)] = static_cast<int>(v);
+  }
+  current.numColors = static_cast<int>(g.numNodes());
+  current.rounds = 0;
+  while (true) {
+    const ColoringResult next = linialStep(g, current.color, current.numColors);
+    const int rounds = current.rounds + next.rounds;
+    if (next.numColors >= current.numColors) break;  // fixed point reached
+    current = next;
+    current.rounds = rounds;
+  }
+  return current;
+}
+
+ColoringResult reduceToDeltaPlusOne(const Graph& g,
+                                    const ColoringResult& start) {
+  const int target = g.maxDegree() + 1;
+  ColoringResult current = start;
+  while (current.numColors > target) {
+    const int top = current.numColors - 1;
+    // One round: top-class nodes learn neighbor colors and recolor greedily.
+    // (Top-class nodes form an independent set, so simultaneous recoloring
+    // is safe.)
+    std::vector<int> next = current.color;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (current.color[static_cast<std::size_t>(v)] != top) continue;
+      std::vector<bool> used(static_cast<std::size_t>(target), false);
+      for (const auto& he : g.neighbors(v)) {
+        const int c = current.color[static_cast<std::size_t>(he.neighbor)];
+        if (c < target) used[static_cast<std::size_t>(c)] = true;
+      }
+      int c = 0;
+      while (used[static_cast<std::size_t>(c)]) ++c;
+      next[static_cast<std::size_t>(v)] = c;
+    }
+    current.color = std::move(next);
+    --current.numColors;
+    ++current.rounds;
+  }
+  return current;
+}
+
+ColoringResult properColoring(const Graph& g) {
+  return reduceToDeltaPlusOne(g, linialColorReduction(g));
+}
+
+}  // namespace relb::algos

@@ -1,0 +1,53 @@
+// Distributed vertex colorings: Linial-style color reduction and the
+// classic reduction to Delta+1 colors.
+//
+// linialColorReduction starts from the unique node identifiers (an n-proper
+// coloring) and iterates the polynomial set-system step: colors are encoded
+// as degree-d polynomials over F_q; a node picks an evaluation point where
+// it differs from every neighbor, and (x, p(x)) is its new color.  Each
+// iteration takes one communication round and squares-roots-ish the color
+// count, reaching O(Delta^2) colors after O(log* n) rounds (Linial '92).
+//
+// reduceToDeltaPlusOne then removes one color class per round (each node of
+// the highest class picks a free color in {0..Delta}), costing O(Delta^2)
+// additional rounds from an O(Delta^2)-coloring.
+#pragma once
+
+#include <vector>
+
+#include "local/graph.hpp"
+
+namespace relb::algos {
+
+struct ColoringResult {
+  std::vector<int> color;
+  int numColors = 0;
+  int rounds = 0;
+};
+
+/// True iff `color` is a proper vertex coloring with values in
+/// [0, numColors).
+[[nodiscard]] bool isProperColoring(const local::Graph& g,
+                                    const std::vector<int>& color,
+                                    int numColors);
+
+/// One round of Linial reduction from an m-coloring; returns the new
+/// coloring with q^2 colors (q as described above).  Exposed for tests.
+[[nodiscard]] ColoringResult linialStep(const local::Graph& g,
+                                        const std::vector<int>& color, int m);
+
+/// Full Linial reduction from unique ids to O(Delta^2) colors.
+[[nodiscard]] ColoringResult linialColorReduction(const local::Graph& g);
+
+/// Color-class elimination down to Delta+1 colors; one round per removed
+/// class.  `start` must be proper.
+[[nodiscard]] ColoringResult reduceToDeltaPlusOne(const local::Graph& g,
+                                                  const ColoringResult& start);
+
+/// Convenience pipeline: ids -> O(Delta^2) -> Delta+1 colors.
+[[nodiscard]] ColoringResult properColoring(const local::Graph& g);
+
+/// The smallest prime >= v (v <= ~10^9; trial division).
+[[nodiscard]] long long nextPrime(long long v);
+
+}  // namespace relb::algos

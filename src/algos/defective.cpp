@@ -1,0 +1,141 @@
+#include "algos/defective.hpp"
+
+#include <algorithm>
+
+#include "re/types.hpp"
+
+namespace relb::algos {
+
+namespace {
+
+using local::EdgeId;
+using local::Graph;
+using local::NodeId;
+
+long long evalLinear(long long color, long long q, long long x) {
+  // color = a + b*q encodes the polynomial a + b*X over F_q.
+  const long long a = color % q;
+  const long long b = color / q;
+  return (a + b * x) % q;
+}
+
+}  // namespace
+
+int defectOf(const Graph& g, const std::vector<int>& color) {
+  int worst = 0;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    int same = 0;
+    for (const auto& he : g.neighbors(v)) {
+      if (color[static_cast<std::size_t>(he.neighbor)] ==
+          color[static_cast<std::size_t>(v)]) {
+        ++same;
+      }
+    }
+    worst = std::max(worst, same);
+  }
+  return worst;
+}
+
+int arbdefectOf(const Graph& g, const std::vector<int>& color,
+                const local::EdgeOrientation& orientation) {
+  std::vector<int> outdeg(static_cast<std::size_t>(g.numNodes()), 0);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (color[static_cast<std::size_t>(u)] !=
+        color[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    const int o = orientation[static_cast<std::size_t>(e)];
+    if (o == 1) {
+      ++outdeg[static_cast<std::size_t>(u)];
+    } else if (o == -1) {
+      ++outdeg[static_cast<std::size_t>(v)];
+    } else {
+      return -1;
+    }
+  }
+  return g.numNodes() == 0
+             ? 0
+             : *std::max_element(outdeg.begin(), outdeg.end());
+}
+
+DefectiveColoringResult kDefectiveColoring(const Graph& g,
+                                           const ColoringResult& proper,
+                                           int k) {
+  if (k < 0) throw re::Error("kDefectiveColoring: k must be >= 0");
+  const long long delta = std::max(1, g.maxDegree());
+  // q prime with q >= Delta/(k+1)+1 (defect bound Delta/q <= k ... use
+  // k+1 in the denominator so the floor lands at <= k) and q^2 >= numColors
+  // (so linear polynomials encode every input color).
+  long long q = std::max<long long>(2, delta / (k + 1) + 1);
+  while (q * q < proper.numColors) ++q;
+  q = nextPrime(q);
+
+  DefectiveColoringResult result;
+  result.color.resize(static_cast<std::size_t>(g.numNodes()));
+  // One round: every node knows its neighbors' proper colors and picks the
+  // evaluation point with the fewest polynomial agreements.
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const long long mine = proper.color[static_cast<std::size_t>(v)];
+    long long bestX = 0;
+    int bestAgreements = g.numNodes();
+    for (long long x = 0; x < q; ++x) {
+      int agreements = 0;
+      for (const auto& he : g.neighbors(v)) {
+        const long long theirs =
+            proper.color[static_cast<std::size_t>(he.neighbor)];
+        if (evalLinear(theirs, q, x) == evalLinear(mine, q, x)) ++agreements;
+      }
+      if (agreements < bestAgreements) {
+        bestAgreements = agreements;
+        bestX = x;
+      }
+    }
+    result.color[static_cast<std::size_t>(v)] =
+        static_cast<int>(bestX * q + evalLinear(mine, q, bestX));
+  }
+  result.numColors = static_cast<int>(q * q);
+  result.rounds = 1;
+  return result;
+}
+
+ArbdefectiveColoringResult kArbdefectiveColoring(const Graph& g,
+                                                 const ColoringResult& proper,
+                                                 int k) {
+  if (k < 0) throw re::Error("kArbdefectiveColoring: k must be >= 0");
+  const int delta = std::max(1, g.maxDegree());
+  const int bins = (delta + 1 + k) / (k + 1);  // ceil((Delta+1)/(k+1))
+
+  ArbdefectiveColoringResult result;
+  result.color.assign(static_cast<std::size_t>(g.numNodes()), -1);
+  result.orientation.assign(static_cast<std::size_t>(g.numEdges()), 0);
+  result.numColors = bins;
+  // One round per proper color class: members (an independent set) pick the
+  // bin least used among already-processed neighbors and orient intra-bin
+  // edges towards those neighbors.
+  for (int c = 0; c < proper.numColors; ++c) {
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (proper.color[static_cast<std::size_t>(v)] != c) continue;
+      std::vector<int> load(static_cast<std::size_t>(bins), 0);
+      for (const auto& he : g.neighbors(v)) {
+        const int b = result.color[static_cast<std::size_t>(he.neighbor)];
+        if (b >= 0) ++load[static_cast<std::size_t>(b)];
+      }
+      const int bin = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      result.color[static_cast<std::size_t>(v)] = bin;
+      for (const auto& he : g.neighbors(v)) {
+        if (result.color[static_cast<std::size_t>(he.neighbor)] == bin) {
+          // Orient v -> neighbor.
+          const auto [e0, e1] = g.endpoints(he.edge);
+          result.orientation[static_cast<std::size_t>(he.edge)] =
+              (e0 == v) ? +1 : -1;
+        }
+      }
+    }
+    ++result.rounds;
+  }
+  return result;
+}
+
+}  // namespace relb::algos

@@ -1,0 +1,59 @@
+// Defective and arbdefective colorings (Section 1.1 of the paper).
+//
+// A k-defective c-coloring partitions the nodes into c classes such that
+// every class induces maximum degree <= k.  A k-arbdefective c-coloring
+// additionally orients the intra-class edges so every node has outdegree
+// <= k within its class.
+//
+// kDefectiveColoring is the one-round polynomial construction (Kuhn '09
+// flavor): from a proper (Delta+1)-coloring, a node re-encodes its color as
+// a linear polynomial over F_q (q ~ Delta/k prime) and keeps the evaluation
+// point minimizing agreements with its neighbors; classes are the pairs
+// (x, p(x)), giving O((Delta/k)^2) classes with defect <= Delta/q <= k.
+//
+// kArbdefectiveColoring is the sequential-bin construction: processing
+// proper color classes in order, each node picks the bin (of
+// ceil((Delta+1)/(k+1)) bins) least used by its already-processed
+// neighbors and orients its intra-bin edges towards them; pigeonhole gives
+// outdegree <= k.  One round per proper color class.
+#pragma once
+
+#include <vector>
+
+#include "algos/coloring.hpp"
+#include "local/graph.hpp"
+#include "local/verify.hpp"
+
+namespace relb::algos {
+
+struct DefectiveColoringResult {
+  std::vector<int> color;
+  int numColors = 0;
+  int rounds = 0;  // rounds spent in this stage (excludes the input coloring)
+};
+
+struct ArbdefectiveColoringResult {
+  std::vector<int> color;
+  /// Orientation of intra-class edges (+1: endpoint0 -> endpoint1).
+  local::EdgeOrientation orientation;
+  int numColors = 0;
+  int rounds = 0;
+};
+
+/// Maximum degree induced inside any single color class.
+[[nodiscard]] int defectOf(const local::Graph& g,
+                           const std::vector<int>& color);
+
+/// Maximum outdegree inside any single color class under `orientation`;
+/// -1 if an intra-class edge is unoriented.
+[[nodiscard]] int arbdefectOf(const local::Graph& g,
+                              const std::vector<int>& color,
+                              const local::EdgeOrientation& orientation);
+
+[[nodiscard]] DefectiveColoringResult kDefectiveColoring(
+    const local::Graph& g, const ColoringResult& proper, int k);
+
+[[nodiscard]] ArbdefectiveColoringResult kArbdefectiveColoring(
+    const local::Graph& g, const ColoringResult& proper, int k);
+
+}  // namespace relb::algos

@@ -1,0 +1,128 @@
+#include "algos/domset.hpp"
+
+#include <algorithm>
+
+#include "re/types.hpp"
+
+namespace relb::algos {
+
+namespace {
+
+using local::EdgeId;
+using local::Graph;
+using local::NodeId;
+
+// Sweeps color classes: class-c nodes with no dominated neighbor join S.
+// Returns the rounds used (= number of classes).
+int sweepClasses(const Graph& g, const std::vector<int>& color, int numColors,
+                 std::vector<bool>& inSet) {
+  inSet.assign(static_cast<std::size_t>(g.numNodes()), false);
+  for (int c = 0; c < numColors; ++c) {
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (color[static_cast<std::size_t>(v)] != c) continue;
+      bool dominated = false;
+      for (const auto& he : g.neighbors(v)) {
+        if (inSet[static_cast<std::size_t>(he.neighbor)]) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) inSet[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  return numColors;
+}
+
+}  // namespace
+
+DomSetResult misFromColoring(const Graph& g) {
+  const ColoringResult proper = properColoring(g);
+  DomSetResult result;
+  result.roundsColoring = proper.rounds;
+  result.roundsSweep =
+      sweepClasses(g, proper.color, proper.numColors, result.inSet);
+  result.orientation.assign(static_cast<std::size_t>(g.numEdges()), 0);
+  return result;
+}
+
+DomSetResult kOutdegreeDominatingSet(const Graph& g, int k) {
+  if (k < 0) throw re::Error("kOutdegreeDominatingSet: k must be >= 0");
+  if (k == 0) return misFromColoring(g);
+  const ColoringResult proper = properColoring(g);
+  const ArbdefectiveColoringResult arb = kArbdefectiveColoring(g, proper, k);
+  DomSetResult result;
+  result.roundsColoring = proper.rounds;
+  result.roundsDefective = arb.rounds;
+  result.roundsSweep = sweepClasses(g, arb.color, arb.numColors, result.inSet);
+  // The arbdefective orientation restricted to G[S] witnesses outdegree <= k:
+  // intra-S edges always join same-class nodes (a later class member never
+  // joins next to an existing S node).
+  result.orientation = arb.orientation;
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const bool inside = result.inSet[static_cast<std::size_t>(u)] &&
+                        result.inSet[static_cast<std::size_t>(v)];
+    if (!inside) result.orientation[static_cast<std::size_t>(e)] = 0;
+  }
+  return result;
+}
+
+DomSetResult kDegreeDominatingSet(const Graph& g, int k) {
+  if (k < 0) throw re::Error("kDegreeDominatingSet: k must be >= 0");
+  if (k == 0) return misFromColoring(g);
+  const ColoringResult proper = properColoring(g);
+  const DefectiveColoringResult def = kDefectiveColoring(g, proper, k);
+  DomSetResult result;
+  result.roundsColoring = proper.rounds;
+  result.roundsDefective = def.rounds;
+  result.roundsSweep = sweepClasses(g, def.color, def.numColors, result.inSet);
+  result.orientation.assign(static_cast<std::size_t>(g.numEdges()), 0);
+  return result;
+}
+
+std::vector<bool> greedyMis(const Graph& g) {
+  std::vector<bool> inSet(static_cast<std::size_t>(g.numNodes()), false);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    bool blocked = false;
+    for (const auto& he : g.neighbors(v)) {
+      if (inSet[static_cast<std::size_t>(he.neighbor)]) blocked = true;
+    }
+    if (!blocked) inSet[static_cast<std::size_t>(v)] = true;
+  }
+  return inSet;
+}
+
+std::vector<bool> greedyDominatingSet(const Graph& g) {
+  // Classic greedy: repeatedly take the node covering the most uncovered
+  // nodes.
+  std::vector<bool> inSet(static_cast<std::size_t>(g.numNodes()), false);
+  std::vector<bool> covered(static_cast<std::size_t>(g.numNodes()), false);
+  auto gain = [&](NodeId v) {
+    int t = covered[static_cast<std::size_t>(v)] ? 0 : 1;
+    for (const auto& he : g.neighbors(v)) {
+      if (!covered[static_cast<std::size_t>(he.neighbor)]) ++t;
+    }
+    return t;
+  };
+  while (true) {
+    NodeId best = -1;
+    int bestGain = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (inSet[static_cast<std::size_t>(v)]) continue;
+      const int t = gain(v);
+      if (t > bestGain) {
+        bestGain = t;
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    inSet[static_cast<std::size_t>(best)] = true;
+    covered[static_cast<std::size_t>(best)] = true;
+    for (const auto& he : g.neighbors(best)) {
+      covered[static_cast<std::size_t>(he.neighbor)] = true;
+    }
+  }
+  return inSet;
+}
+
+}  // namespace relb::algos

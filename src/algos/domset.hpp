@@ -1,0 +1,44 @@
+// Bounded (out-)degree dominating sets from colorings (Section 1.1):
+// iterate over the color classes of a k-(arb)defective coloring; when a
+// class is processed, every node of that class with no dominating neighbor
+// yet joins the set.  Edges inside the final set connect nodes that joined
+// in the same round, hence of the same class, so the class's (out)degree
+// bound caries over to G[S].
+//
+// Round accounting separates the stages so the Delta- and k-dependence of
+// each stage can be reported against the paper's cited complexities.
+#pragma once
+
+#include "algos/defective.hpp"
+
+namespace relb::algos {
+
+struct DomSetResult {
+  std::vector<bool> inSet;
+  local::EdgeOrientation orientation;  // meaningful for the outdegree variant
+  int roundsColoring = 0;   // proper coloring stage (O(Delta^2 + log* n))
+  int roundsDefective = 0;  // defective / arbdefective stage
+  int roundsSweep = 0;      // class-sweep stage
+  [[nodiscard]] int totalRounds() const {
+    return roundsColoring + roundsDefective + roundsSweep;
+  }
+};
+
+/// Maximal independent set by sweeping the classes of a proper coloring
+/// (k = 0 case; O(Delta^2 + log* n) rounds overall).
+[[nodiscard]] DomSetResult misFromColoring(const local::Graph& g);
+
+/// k-outdegree dominating set via the arbdefective-coloring route.
+[[nodiscard]] DomSetResult kOutdegreeDominatingSet(const local::Graph& g,
+                                                   int k);
+
+/// k-degree dominating set via the defective-coloring route
+/// (O((Delta/k)^2) sweep rounds).
+[[nodiscard]] DomSetResult kDegreeDominatingSet(const local::Graph& g, int k);
+
+/// Sequential greedy baselines (not distributed; used for validation and
+/// set-size comparisons).
+[[nodiscard]] std::vector<bool> greedyMis(const local::Graph& g);
+[[nodiscard]] std::vector<bool> greedyDominatingSet(const local::Graph& g);
+
+}  // namespace relb::algos

@@ -1,0 +1,23 @@
+// Luby's randomized MIS algorithm (Luby '86 / Alon-Babai-Itai '86), run on
+// the synchronous message-passing simulator.  Each phase: every undecided
+// node draws a random value, local maxima join the MIS, and joined nodes'
+// neighbors retire.  O(log n) phases w.h.p.; each phase costs two
+// communication rounds.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "local/graph.hpp"
+
+namespace relb::algos {
+
+struct MisResult {
+  std::vector<bool> inSet;
+  int rounds = 0;   // communication rounds executed
+  int phases = 0;   // Luby phases
+};
+
+[[nodiscard]] MisResult lubyMis(const local::Graph& g, std::mt19937& rng);
+
+}  // namespace relb::algos

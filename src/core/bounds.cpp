@@ -1,0 +1,56 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "re/types.hpp"
+
+namespace relb::core {
+
+namespace {
+
+double log2Safe(double v) { return v > 1.0 ? std::log2(v) : 0.0; }
+
+}  // namespace
+
+double liftDeterministic(double t, double log2n, double delta) {
+  if (delta <= 1.0) return 0.0;
+  return std::min(t, std::max(0.0, log2n) / std::log2(delta));
+}
+
+double liftRandomized(double t, double log2n, double delta) {
+  if (delta <= 1.0) return 0.0;
+  return std::min(t, log2Safe(log2n) / std::log2(delta));
+}
+
+double theorem1Deterministic(double log2n, double delta) {
+  return liftDeterministic(log2Safe(delta), log2n, delta);
+}
+
+double theorem1Randomized(double log2n, double delta) {
+  return liftRandomized(log2Safe(delta), log2n, delta);
+}
+
+double corollary2Deterministic(double log2n, double delta) {
+  return std::min(log2Safe(delta), std::sqrt(std::max(0.0, log2n)));
+}
+
+double corollary2Randomized(double log2n, double delta) {
+  return std::min(log2Safe(delta), std::sqrt(log2Safe(log2n)));
+}
+
+double bestLog2DeltaDeterministic(double log2n) {
+  return std::sqrt(std::max(0.0, log2n));
+}
+
+double bestLog2DeltaRandomized(double log2n) {
+  return std::sqrt(log2Safe(log2n));
+}
+
+re::Count maxAdmissibleK(re::Count delta, double epsilon) {
+  if (delta < 2 || epsilon <= 0.0) return 0;
+  const double k = std::pow(static_cast<double>(delta), epsilon);
+  return static_cast<re::Count>(std::floor(k));
+}
+
+}  // namespace relb::core

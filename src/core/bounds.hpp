@@ -1,0 +1,48 @@
+// Theorem 1 and Corollary 2: the LOCAL-model lower-bound landscape.
+//
+// Theorem 14 lifts a PN-model lower-bound chain of length t to
+//   Omega(min{t, log_Delta n})        deterministic LOCAL rounds and
+//   Omega(min{t, log_Delta log n})    randomized LOCAL rounds.
+// With t = Theta(log Delta) from Lemma 13 this gives Theorem 1; choosing
+// Delta ~ 2^sqrt(log n) (deterministic) or 2^sqrt(log log n) (randomized)
+// gives Corollary 2.  These helpers evaluate the bound formulas (with unit
+// constants) and the realized chain lengths so benches can print the whole
+// landscape.
+//
+// The interesting regimes have n as large as 2^(2^k), far beyond double's
+// range, so every function takes log2(n) rather than n.
+#pragma once
+
+#include "re/types.hpp"
+
+namespace relb::core {
+
+/// min{t, log_Delta n}: the deterministic LOCAL bound from a PN chain of
+/// length t (Theorem 14).
+[[nodiscard]] double liftDeterministic(double t, double log2n, double delta);
+
+/// min{t, log_Delta log n}: the randomized LOCAL bound (Theorem 14).
+[[nodiscard]] double liftRandomized(double t, double log2n, double delta);
+
+/// Theorem 1 with unit constants: min{log2 Delta, log_Delta n}.
+[[nodiscard]] double theorem1Deterministic(double log2n, double delta);
+
+/// Theorem 1 with unit constants: min{log2 Delta, log_Delta log2 n}.
+[[nodiscard]] double theorem1Randomized(double log2n, double delta);
+
+/// Corollary 2 with unit constants: min{log2 Delta, sqrt(log2 n)}.
+[[nodiscard]] double corollary2Deterministic(double log2n, double delta);
+
+/// Corollary 2 with unit constants: min{log2 Delta, sqrt(log2 log2 n)}.
+[[nodiscard]] double corollary2Randomized(double log2n, double delta);
+
+/// log2 of the Delta maximizing the deterministic bound: sqrt(log2 n).
+[[nodiscard]] double bestLog2DeltaDeterministic(double log2n);
+
+/// log2 of the Delta maximizing the randomized bound: sqrt(log2 log2 n).
+[[nodiscard]] double bestLog2DeltaRandomized(double log2n);
+
+/// Largest admissible k for the Theorem 1 regime, k <= Delta^epsilon.
+[[nodiscard]] re::Count maxAdmissibleK(re::Count delta, double epsilon);
+
+}  // namespace relb::core

@@ -1,0 +1,237 @@
+#include "core/conversions.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+namespace relb::core {
+
+namespace {
+
+using local::Graph;
+using local::HalfEdgeLabeling;
+using local::NodeId;
+using local::Port;
+using re::Count;
+using re::Error;
+using re::Label;
+
+// Flips labels equal to `from` into `to` until at most `keep` labels `from`
+// remain at node v (scanning ports in increasing order).
+void reduceLabelCount(HalfEdgeLabeling& labeling, const Graph& g, NodeId v,
+                      Label from, Label to, Count keep) {
+  Count seen = 0;
+  for (Port p = 0; p < g.degree(v); ++p) {
+    if (labeling.at(v, p) != from) continue;
+    ++seen;
+    if (seen > keep) labeling.set(v, p, to);
+  }
+}
+
+Count countLabel(const HalfEdgeLabeling& labeling, const Graph& g, NodeId v,
+                 Label l) {
+  Count c = 0;
+  for (Port p = 0; p < g.degree(v); ++p) {
+    if (labeling.at(v, p) == l) ++c;
+  }
+  return c;
+}
+
+bool hasLabel(const HalfEdgeLabeling& labeling, const Graph& g, NodeId v,
+              Label l) {
+  return countLabel(labeling, g, v, l) > 0;
+}
+
+}  // namespace
+
+local::HalfEdgeLabeling lemma5Labeling(const Graph& g,
+                                       const std::vector<bool>& inSet,
+                                       const local::EdgeOrientation& orientation,
+                                       Count delta, Count k) {
+  if (!local::isKOutdegreeDominatingSet(g, inSet, orientation,
+                                        static_cast<int>(k))) {
+    throw Error("lemma5Labeling: input is not a k-outdegree dominating set");
+  }
+  // The one communication round of the lemma, executed on the simulator:
+  // every node announces its set membership; the per-port inbox then drives
+  // a purely local labeling decision.
+  local::SyncNetwork<std::uint8_t> net(g);
+  net.step([&](NodeId v, std::span<const std::uint8_t>,
+               std::span<std::uint8_t> outbox) {
+    for (auto& m : outbox) {
+      m = inSet[static_cast<std::size_t>(v)] ? 1 : 0;
+    }
+  });
+
+  HalfEdgeLabeling out(g);
+  net.step([&](NodeId v, std::span<const std::uint8_t> inbox,
+               std::span<std::uint8_t> outbox) {
+    for (auto& m : outbox) m = 0;
+    if (inSet[static_cast<std::size_t>(v)]) {
+      // Dominating-set node: X on edges oriented away from v inside G[S],
+      // M elsewhere; then pad with X to reach exactly k labels X.
+      Count xCount = 0;
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const auto he = g.halfEdge(v, p);
+        const bool inside = inbox[static_cast<std::size_t>(p)] == 1;
+        const int o = orientation[static_cast<std::size_t>(he.edge)];
+        const auto [e0, e1] = g.endpoints(he.edge);
+        const bool outgoing =
+            inside && ((o == 1 && e0 == v) || (o == -1 && e1 == v));
+        out.set(v, p, outgoing ? kX : kM);
+        if (outgoing) ++xCount;
+      }
+      for (Port p = 0; p < g.degree(v) && xCount < k; ++p) {
+        if (out.at(v, p) == kM) {
+          out.set(v, p, kX);
+          ++xCount;
+        }
+      }
+    } else {
+      // Point P at the first dominating neighbor, O elsewhere.
+      bool pointed = false;
+      for (Port p = 0; p < g.degree(v); ++p) {
+        if (!pointed && inbox[static_cast<std::size_t>(p)] == 1) {
+          out.set(v, p, kP);
+          pointed = true;
+        } else {
+          out.set(v, p, kO);
+        }
+      }
+      if (!pointed) {
+        throw Error("lemma5Labeling: node not dominated");  // unreachable
+      }
+    }
+  });
+  (void)delta;
+  return out;
+}
+
+local::HalfEdgeLabeling lemma9Convert(const Graph& g,
+                                      const HalfEdgeLabeling& plusLabeling,
+                                      Count delta, Count a, Count x) {
+  if (2 * x + 1 > a) throw Error("lemma9Convert: need 2x + 1 <= a");
+  if (!g.hasEdgeColoring()) throw Error("lemma9Convert: edge coloring required");
+  const Count lowColors = (a - 1) / 2;  // paper's colors {1 .. floor((a-1)/2)}
+  const Count aNew = (a - 2 * x - 1) / 2;
+
+  HalfEdgeLabeling out(g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const bool isCNode = hasLabel(plusLabeling, g, v, kC);
+    const bool isANode = !isCNode && hasLabel(plusLabeling, g, v, kA);
+    if (isCNode) {
+      // Write A on low-colored edges currently labeled C, X on all others;
+      // then trim to exactly aNew labels A.
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const auto he = g.halfEdge(v, p);
+        const bool low = g.edgeColor(he.edge) < lowColors;
+        out.set(v, p, (low && plusLabeling.at(v, p) == kC) ? kA : kX);
+      }
+      reduceLabelCount(out, g, v, kA, kX, aNew);
+    } else if (isANode) {
+      // Drop A from low-colored edges, then trim to exactly aNew labels A.
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const auto he = g.halfEdge(v, p);
+        const bool low = g.edgeColor(he.edge) < lowColors;
+        const Label l = plusLabeling.at(v, p);
+        out.set(v, p, (low && l == kA) ? kX : l);
+      }
+      reduceLabelCount(out, g, v, kA, kX, aNew);
+    } else {
+      // M-nodes and P-nodes keep their output unchanged.
+      for (Port p = 0; p < g.degree(v); ++p) {
+        out.set(v, p, plusLabeling.at(v, p));
+      }
+    }
+  }
+  (void)delta;
+  return out;
+}
+
+local::HalfEdgeLabeling lemma11Relax(const Graph& g,
+                                     const HalfEdgeLabeling& labeling,
+                                     Count delta, Count aFrom, Count xFrom,
+                                     Count aTo, Count xTo) {
+  if (aTo > aFrom || xTo < xFrom) {
+    throw Error("lemma11Relax: need aTo <= aFrom and xTo >= xFrom");
+  }
+  HalfEdgeLabeling out(g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      out.set(v, p, labeling.at(v, p));
+    }
+    if (hasLabel(labeling, g, v, kM)) {
+      // M^{deg - xFrom} X^{xFrom} -> M^{deg - xTo} X^{xTo}.
+      reduceLabelCount(out, g, v, kM, kX,
+                       std::max<Count>(0, g.degree(v) - xTo));
+    } else if (hasLabel(labeling, g, v, kA)) {
+      reduceLabelCount(out, g, v, kA, kX, aTo);
+    }
+  }
+  (void)delta;
+  (void)aFrom;
+  return out;
+}
+
+local::HalfEdgeLabeling syntheticPlusLabelingAlternating(const Graph& g,
+                                                         Count delta, Count a,
+                                                         Count x) {
+  if (!g.isTree()) {
+    throw Error("syntheticPlusLabelingAlternating: tree required");
+  }
+  if (a < x + 1) throw Error("syntheticPlusLabelingAlternating: need a >= x+1");
+  // BFS depths from node 0.
+  std::vector<int> depth(static_cast<std::size_t>(g.numNodes()), -1);
+  std::vector<NodeId> queue{0};
+  depth[0] = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const NodeId v = queue[i];
+    for (const auto& he : g.neighbors(v)) {
+      if (depth[static_cast<std::size_t>(he.neighbor)] < 0) {
+        depth[static_cast<std::size_t>(he.neighbor)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(he.neighbor);
+      }
+    }
+  }
+  HalfEdgeLabeling out(g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const bool even = depth[static_cast<std::size_t>(v)] % 2 == 0;
+    if (even) {
+      // C^{deg - x} X^x.
+      for (Port p = 0; p < g.degree(v); ++p) out.set(v, p, kC);
+      reduceLabelCount(out, g, v, kC, kX,
+                       std::max<Count>(0, g.degree(v) - x));
+    } else {
+      // A^{a-x-1} X^{rest}.
+      for (Port p = 0; p < g.degree(v); ++p) {
+        out.set(v, p, p < a - x - 1 ? kA : kX);
+      }
+    }
+  }
+  (void)delta;
+  return out;
+}
+
+local::HalfEdgeLabeling plusFromFamilyLabeling(const Graph& g,
+                                               const HalfEdgeLabeling& labeling,
+                                               Count delta, Count a, Count x) {
+  HalfEdgeLabeling out(g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      out.set(v, p, labeling.at(v, p));
+    }
+    if (hasLabel(labeling, g, v, kM)) {
+      // M^{deg-x} X^x -> M^{deg-x-1} X^{x+1}.
+      reduceLabelCount(out, g, v, kM, kX,
+                       std::max<Count>(0, g.degree(v) - x - 1));
+    } else if (hasLabel(labeling, g, v, kA)) {
+      // A^a X^{deg-a} -> A^{a-x-1} X^{deg-a+x+1}.
+      reduceLabelCount(out, g, v, kA, kX, a - x - 1);
+    }
+  }
+  (void)delta;
+  return out;
+}
+
+}  // namespace relb::core

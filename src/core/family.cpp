@@ -1,0 +1,80 @@
+#include "core/family.hpp"
+
+namespace relb::core {
+
+namespace {
+
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Error;
+using re::Group;
+using re::LabelSet;
+using re::Problem;
+
+// Adds one edge configuration "l paired with any of `others`".
+void addEdgeConfig(Constraint& edge, re::Label l, LabelSet others) {
+  edge.add(Configuration({{LabelSet{l}, 1}, {others, 1}}));
+}
+
+}  // namespace
+
+re::Problem familyProblem(Count delta, Count a, Count x) {
+  if (delta < 1 || a < 0 || a > delta || x < 0 || x > delta) {
+    throw Error("familyProblem: need 0 <= a, x <= delta");
+  }
+  Problem p;
+  p.alphabet = re::Alphabet({"M", "P", "O", "A", "X"});
+
+  Constraint node(delta, {});
+  node.add(Configuration({{LabelSet{kM}, delta - x}, {LabelSet{kX}, x}}));
+  node.add(Configuration({{LabelSet{kA}, a}, {LabelSet{kX}, delta - a}}));
+  node.add(Configuration({{LabelSet{kP}, 1}, {LabelSet{kO}, delta - 1}}));
+  p.node = std::move(node);
+
+  Constraint edge(2, {});
+  addEdgeConfig(edge, kM, LabelSet{kP, kA, kO, kX});
+  addEdgeConfig(edge, kO, LabelSet{kM, kA, kO, kX});
+  addEdgeConfig(edge, kP, LabelSet{kM, kX});
+  addEdgeConfig(edge, kA, LabelSet{kM, kO, kX});
+  addEdgeConfig(edge, kX, LabelSet{kM, kP, kA, kO, kX});
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+re::Problem familyPlusProblem(Count delta, Count a, Count x) {
+  if (delta < 1 || x + 1 > delta || a < x + 1 || a > delta) {
+    throw Error("familyPlusProblem: need x+1 <= a <= delta and x+1 <= delta");
+  }
+  Problem p;
+  p.alphabet = re::Alphabet({"M", "P", "O", "A", "X", "C"});
+
+  Constraint node(delta, {});
+  node.add(
+      Configuration({{LabelSet{kM}, delta - x - 1}, {LabelSet{kX}, x + 1}}));
+  node.add(Configuration(
+      {{LabelSet{kA}, a - x - 1}, {LabelSet{kX}, delta - a + x + 1}}));
+  node.add(Configuration({{LabelSet{kP}, 1}, {LabelSet{kO}, delta - 1}}));
+  node.add(Configuration({{LabelSet{kC}, delta - x}, {LabelSet{kX}, x}}));
+  p.node = std::move(node);
+
+  Constraint edge(2, {});
+  addEdgeConfig(edge, kM, LabelSet{kP, kA, kO, kX, kC});
+  addEdgeConfig(edge, kO, LabelSet{kM, kA, kO, kX, kC});
+  addEdgeConfig(edge, kP, LabelSet{kM, kX});
+  addEdgeConfig(edge, kA, LabelSet{kM, kO, kX, kC});
+  addEdgeConfig(edge, kX, LabelSet{kM, kP, kA, kO, kX, kC});
+  addEdgeConfig(edge, kC, LabelSet{kM, kO, kA, kX});
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+FamilyParams speedupParams(const FamilyParams& p) {
+  return {p.delta, (p.a - 2 * p.x - 1) / 2, p.x + 1};
+}
+
+}  // namespace relb::core

@@ -1,0 +1,45 @@
+// The parameterized problem family of Section 3.1.
+//
+// Pi_Delta(a, x) over labels {M, P, O, A, X}:
+//   node:  M^{Delta-x} X^x   |   A^a X^{Delta-a}   |   P O^{Delta-1}
+//   edge:  M[PAOX]  O[MAOX]  P[MX]  A[MOX]  X[MPAOX]
+//
+// Pi+_Delta(a, x) (Section 3.3) additionally has the label C; it is the
+// renamed form of Pi_rel, the relaxation target of Rbar(R(Pi_Delta(a,x))):
+//   node:  M^{Delta-x-1} X^{x+1} | A^{a-x-1} X^{Delta-a+x+1} | P O^{Delta-1}
+//          | C^{Delta-x} X^x
+//   edge:  as Pi plus C[MOAX] compatibilities (C behaves like a second A).
+#pragma once
+
+#include "re/problem.hpp"
+
+namespace relb::core {
+
+// Fixed label indices of Pi_Delta(a, x).
+inline constexpr re::Label kM = 0;
+inline constexpr re::Label kP = 1;
+inline constexpr re::Label kO = 2;
+inline constexpr re::Label kA = 3;
+inline constexpr re::Label kX = 4;
+// Additional label of Pi+_Delta(a, x).
+inline constexpr re::Label kC = 5;
+
+struct FamilyParams {
+  re::Count delta = 0;
+  re::Count a = 0;
+  re::Count x = 0;
+};
+
+/// Pi_Delta(a, x).  Requires 0 <= a, x <= Delta and Delta >= 1.
+[[nodiscard]] re::Problem familyProblem(re::Count delta, re::Count a,
+                                        re::Count x);
+
+/// Pi+_Delta(a, x).  Requires x + 1 <= a <= Delta and x + 1 <= Delta.
+[[nodiscard]] re::Problem familyPlusProblem(re::Count delta, re::Count a,
+                                            re::Count x);
+
+/// Parameters of the next problem in the speedup chain (Corollary 10):
+/// Pi_Delta(a, x) is one round harder than Pi_Delta(floor((a-2x-1)/2), x+1).
+[[nodiscard]] FamilyParams speedupParams(const FamilyParams& p);
+
+}  // namespace relb::core

@@ -1,0 +1,122 @@
+#include "core/lemma6.hpp"
+
+#include <algorithm>
+
+#include "re/diagram.hpp"
+
+namespace relb::core {
+
+namespace {
+
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Group;
+using re::LabelSet;
+using re::Problem;
+
+// Compares two constraints as unordered sets of normalized configurations.
+bool sameConfigurationSet(const Constraint& a, const Constraint& b) {
+  auto ca = a.configurations();
+  auto cb = b.configurations();
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  return ca == cb;
+}
+
+}  // namespace
+
+std::vector<re::LabelSet> rFamilyMeanings() {
+  return {
+      LabelSet{kX},                  // X
+      LabelSet{kM, kX},              // M
+      LabelSet{kO, kX},              // O
+      LabelSet{kM, kO, kX},          // U
+      LabelSet{kA, kO, kX},          // A
+      LabelSet{kM, kA, kO, kX},      // B
+      LabelSet{kP, kA, kO, kX},      // P
+      LabelSet{kM, kP, kA, kO, kX},  // Q
+  };
+}
+
+re::Problem claimedRFamily(Count delta, Count a, Count x) {
+  if (x + 2 > a || a > delta) {
+    throw re::Error("claimedRFamily: need x + 2 <= a <= delta");
+  }
+  Problem p;
+  p.alphabet = re::Alphabet({"X", "M", "O", "U", "A", "B", "P", "Q"});
+
+  const LabelSet mubq{kRM, kRU, kRB, kRQ};
+  const LabelSet all = LabelSet::full(8);
+  const LabelSet pq{kRP, kRQ};
+  const LabelSet ouabpq{kRO, kRU, kRA, kRB, kRP, kRQ};
+  const LabelSet abpq{kRA, kRB, kRP, kRQ};
+
+  Constraint node(delta, {});
+  node.add(Configuration({{mubq, delta - x}, {all, x}}));
+  node.add(Configuration({{pq, 1}, {ouabpq, delta - 1}}));
+  node.add(Configuration({{abpq, a}, {all, delta - a}}));
+  p.node = std::move(node);
+
+  Constraint edge(2, {});
+  edge.add(Configuration({{LabelSet{kRX}, 1}, {LabelSet{kRQ}, 1}}));
+  edge.add(Configuration({{LabelSet{kRO}, 1}, {LabelSet{kRB}, 1}}));
+  edge.add(Configuration({{LabelSet{kRA}, 1}, {LabelSet{kRU}, 1}}));
+  edge.add(Configuration({{LabelSet{kRP}, 1}, {LabelSet{kRM}, 1}}));
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+Lemma6Result verifyLemma6(Count delta, Count a, Count x) {
+  Lemma6Result result;
+  if (x + 2 > a || a > delta) {
+    result.detail = "parameters outside x + 2 <= a <= delta";
+    return result;
+  }
+  const Problem pi = familyProblem(delta, a, x);
+  result.computed = re::applyR(pi);
+
+  // 1. The renamed labels must denote exactly the eight right-closed sets of
+  //    Figure 4, in the claimed order.
+  if (result.computed.meaning != rFamilyMeanings()) {
+    result.detail = "alphabet of R(Pi) does not match the eight claimed sets";
+    return result;
+  }
+
+  // 2. The constraints must match the claimed problem exactly.
+  const Problem claimed = claimedRFamily(delta, a, x);
+  if (!sameConfigurationSet(result.computed.problem.edge, claimed.edge)) {
+    result.detail = "edge constraint differs from { XQ, OB, AU, PM }";
+    return result;
+  }
+  if (!sameConfigurationSet(result.computed.problem.node, claimed.node)) {
+    result.detail = "node constraint differs from the claimed configurations";
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+bool verifyFigure4(Count delta, Count a, Count x) {
+  const Problem pi = familyProblem(delta, a, x);
+  const auto rel = re::computeStrength(pi.edge, pi.alphabet.size());
+  rel.checkPreorder();
+  // Claimed strict chain P < A < O < X and M < X, no other relations.
+  re::StrengthRelation claimed(5);
+  const auto addGeq = [&](re::Label strong, re::Label weak) {
+    claimed.set(strong, weak, true);
+  };
+  addGeq(kA, kP);
+  addGeq(kO, kP);
+  addGeq(kX, kP);
+  addGeq(kO, kA);
+  addGeq(kX, kA);
+  addGeq(kX, kO);
+  addGeq(kX, kM);
+  return rel == claimed;
+}
+
+}  // namespace relb::core

@@ -1,0 +1,57 @@
+// Lemma 6: the exact form of R(Pi_Delta(a, x)).
+//
+// After renaming (X, M, O, U, A, B, P, Q), the node constraint of
+// R(Pi_Delta(a,x)) is
+//     [MUBQ]^{Delta-x} [XMOUABPQ]^x
+//     [PQ] [OUABPQ]^{Delta-1}
+//     [ABPQ]^a [XMOUABPQ]^{Delta-a}
+// and the edge constraint is  XQ | OB | AU | PM.
+//
+// This module builds the claimed problem, computes R with the engine (exact
+// for every Delta) and verifies the two coincide, including the meaning of
+// every renamed label (the right-closed sets of Figure 4's diagram).
+#pragma once
+
+#include <string>
+
+#include "core/family.hpp"
+#include "re/re_step.hpp"
+
+namespace relb::core {
+
+// Fixed label indices of the renamed R(Pi_Delta(a,x)); the order is the
+// engine's canonical order (meaning-set bitmask ascending).
+inline constexpr re::Label kRX = 0;  // {X}
+inline constexpr re::Label kRM = 1;  // {M, X}
+inline constexpr re::Label kRO = 2;  // {O, X}
+inline constexpr re::Label kRU = 3;  // {M, O, X}
+inline constexpr re::Label kRA = 4;  // {A, O, X}
+inline constexpr re::Label kRB = 5;  // {M, A, O, X}
+inline constexpr re::Label kRP = 6;  // {P, A, O, X}
+inline constexpr re::Label kRQ = 7;  // {M, P, A, O, X}
+
+/// The eight meaning sets, indexed by the renamed label.
+[[nodiscard]] std::vector<re::LabelSet> rFamilyMeanings();
+
+/// The claimed problem R(Pi_Delta(a,x)) of Lemma 6 (alphabet X,M,O,U,A,B,P,Q).
+[[nodiscard]] re::Problem claimedRFamily(re::Count delta, re::Count a,
+                                         re::Count x);
+
+struct Lemma6Result {
+  bool ok = false;
+  std::string detail;           // human-readable failure description
+  re::StepResult computed;      // engine's R(Pi_Delta(a,x))
+};
+
+/// Machine-checks Lemma 6 for concrete parameters (any Delta; the check is
+/// Delta-independent in cost).  Requires x + 2 <= a <= Delta as in the
+/// lemma statement.
+[[nodiscard]] Lemma6Result verifyLemma6(re::Count delta, re::Count a,
+                                        re::Count x);
+
+/// The claimed edge diagram of Pi_Delta(a,x) (Figure 4):
+/// P -> A -> O -> X and M -> X.  Returns true iff the computed strength
+/// relation matches exactly.
+[[nodiscard]] bool verifyFigure4(re::Count delta, re::Count a, re::Count x);
+
+}  // namespace relb::core

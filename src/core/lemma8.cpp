@@ -1,0 +1,245 @@
+#include "core/lemma8.hpp"
+
+#include <algorithm>
+
+#include "re/diagram.hpp"
+
+namespace relb::core {
+
+namespace {
+
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Group;
+using re::LabelSet;
+using re::Problem;
+
+bool sameConfigurationSet(const Constraint& a, const Constraint& b) {
+  auto ca = a.configurations();
+  auto cb = b.configurations();
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  return ca == cb;
+}
+
+// Replacement method over the six Pi_rel sets: rewrites a constraint over
+// the R(Pi) alphabet into one over the 6-label Pi+ alphabet.
+Constraint replaceWithRelSets(const Constraint& constraint) {
+  const auto sets = relSets();
+  Constraint out(constraint.degree(), {});
+  for (const auto& c : constraint.configurations()) {
+    out.add(c.mapSets([&](LabelSet oldSet) {
+      LabelSet fresh;
+      for (std::size_t j = 0; j < sets.size(); ++j) {
+        if (sets[j].intersects(oldSet)) {
+          fresh.insert(static_cast<re::Label>(j));
+        }
+      }
+      return fresh;
+    }));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<re::LabelSet> relSets() {
+  // Indexed by the Pi+ label the set renames to (kM, kP, kO, kA, kX, kC).
+  return {
+      LabelSet{kRM, kRU, kRB, kRQ},                // M  <- MUBQ
+      LabelSet{kRP, kRQ},                          // P  <- PQ
+      LabelSet{kRO, kRU, kRA, kRB, kRP, kRQ},      // O  <- OUABPQ
+      LabelSet{kRA, kRB, kRP, kRQ},                // A  <- ABPQ
+      LabelSet::full(8),                           // X  <- XMOUABPQ
+      LabelSet{kRU, kRB, kRP, kRQ},                // C  <- UBPQ
+  };
+}
+
+std::vector<re::Configuration> relNodeSlotConfigs(Count delta, Count a,
+                                                  Count x) {
+  if (x + 2 > a || a > delta) {
+    throw re::Error("relNodeSlotConfigs: need x + 2 <= a <= delta");
+  }
+  const auto sets = relSets();
+  return {
+      Configuration({{sets[kM], delta - x - 1}, {sets[kX], x + 1}}),
+      Configuration({{sets[kA], a - x - 1}, {sets[kX], delta - a + x + 1}}),
+      Configuration({{sets[kP], 1}, {sets[kO], delta - 1}}),
+      Configuration({{sets[kC], delta - x}, {sets[kX], x}}),
+  };
+}
+
+re::Problem relProblemRenamed(Count delta, Count a, Count x) {
+  Problem p;
+  p.alphabet = re::Alphabet({"M", "P", "O", "A", "X", "C"});
+  Constraint node(delta, {});
+  node.add(
+      Configuration({{LabelSet{kM}, delta - x - 1}, {LabelSet{kX}, x + 1}}));
+  node.add(Configuration(
+      {{LabelSet{kA}, a - x - 1}, {LabelSet{kX}, delta - a + x + 1}}));
+  node.add(Configuration({{LabelSet{kP}, 1}, {LabelSet{kO}, delta - 1}}));
+  node.add(Configuration({{LabelSet{kC}, delta - x}, {LabelSet{kX}, x}}));
+  p.node = std::move(node);
+  p.edge = replaceWithRelSets(claimedRFamily(delta, a, x).edge);
+  p.validate();
+  return p;
+}
+
+Lemma8Result verifyLemma8Exact(Count delta, Count a, Count x,
+                               const re::StepOptions& options) {
+  Lemma8Result result;
+  const auto lemma6 = verifyLemma6(delta, a, x);
+  if (!lemma6.ok) {
+    result.detail = "lemma 6 failed: " + lemma6.detail;
+    return result;
+  }
+  const Problem rProblem = claimedRFamily(delta, a, x);
+  const auto rbar = re::applyRbar(rProblem, options);
+
+  // Every node configuration of Rbar(R(Pi)) must relax (Definition 7) to a
+  // Pi_rel configuration.  Rbar node configurations have singleton groups of
+  // fresh labels; re-express them through the meanings as slot sets over the
+  // R(Pi) alphabet.
+  const auto targets = relNodeSlotConfigs(delta, a, x);
+  for (const auto& config : rbar.problem.node.configurations()) {
+    std::vector<Group> slots;
+    for (const auto& g : config.groups()) {
+      slots.push_back({rbar.meaning[g.set.min()], g.count});
+    }
+    const Configuration asSlots{std::move(slots)};
+    const bool relaxes =
+        std::any_of(targets.begin(), targets.end(),
+                    [&](const Configuration& t) {
+                      return asSlots.relaxesTo(t);
+                    });
+    if (!relaxes) {
+      result.detail = "Rbar node configuration does not relax to Pi_rel: " +
+                      config.render(rbar.problem.alphabet);
+      return result;
+    }
+  }
+
+  // Pi_rel must be Pi+ up to the fixed renaming: node constraints coincide
+  // by construction of relNodeSlotConfigs; the edge constraint (replacement
+  // method over the six sets) must have the same language as Pi+'s.
+  const Problem relRenamed = relProblemRenamed(delta, a, x);
+  const Problem plus = familyPlusProblem(delta, a, x);
+  if (!re::sameLanguage(relRenamed.edge, plus.edge, 6)) {
+    result.detail = "Pi_rel edge constraint does not match Pi+";
+    return result;
+  }
+  if (!sameConfigurationSet(relRenamed.node, plus.node)) {
+    result.detail = "Pi_rel node constraint does not match Pi+";
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+Lemma8Result verifyLemma8Symbolic(Count delta, Count a, Count x) {
+  Lemma8Result result;
+  const auto fail = [&](std::string why) {
+    result.detail = std::move(why);
+    return result;
+  };
+  if (x + 2 > a || a > delta) {
+    return fail("parameters outside x + 2 <= a <= delta");
+  }
+
+  // p0: Lemma 6 (exact for any Delta).
+  const auto lemma6 = verifyLemma6(delta, a, x);
+  if (!lemma6.ok) return fail("lemma 6 failed: " + lemma6.detail);
+  const Problem rProblem = claimedRFamily(delta, a, x);
+
+  // p1: the strength relation of the node constraint of R(Pi); the scalable
+  // computation is exact when it succeeds (Delta-independent cost).
+  re::StrengthRelation rel(8);
+  try {
+    rel = re::computeStrengthScalable(rProblem.node, 8);
+  } catch (const re::Error&) {
+    return fail("node strength relation undecided at this Delta");
+  }
+  rel.checkPreorder();
+
+  // p2: the right-closed sets w.r.t. the Figure 5 diagram.
+  const auto rc = rel.allRightClosedSets(LabelSet::full(8));
+
+  // p3 (step A): a right-closed set without P is contained in MUBQ, so
+  // fewer than x+2 P-slots forces a relaxation to configuration 1.
+  const LabelSet mubq{kRM, kRU, kRB, kRQ};
+  for (const LabelSet s : rc) {
+    if (!s.contains(kRP) && !s.subsetOf(mubq)) {
+      return fail("right-closed set without P not inside MUBQ");
+    }
+  }
+  // p4 (step B): a right-closed set without U is contained in ABPQ.
+  const LabelSet abpq{kRA, kRB, kRP, kRQ};
+  for (const LabelSet s : rc) {
+    if (!s.contains(kRU) && !s.subsetOf(abpq)) {
+      return fail("right-closed set without U not inside ABPQ");
+    }
+  }
+  // p5 (step C / fact f1): no word of N_{R(Pi)} holds >= 1 M, >= x+1 P and
+  // >= Delta-a U simultaneously.  The counting glue needs a-x-2 >= 0 filler
+  // slots, which the lemma's precondition guarantees.
+  if (a - x - 2 < 0) return fail("counting glue violated (a - x - 2 < 0)");
+  {
+    const Configuration probe({{LabelSet{kRM}, 1},
+                               {LabelSet{kRP}, x + 1},
+                               {LabelSet{kRU}, delta - a},
+                               {LabelSet::full(8), a - x - 2}});
+    if (rProblem.node.intersectsConfiguration(probe)) {
+      return fail("forbidden configuration f1 present in N_{R(Pi)}");
+    }
+  }
+  // p6 (step D): right-closed sets without M avoid X as well (M >= X), so
+  // they live inside OUABPQ.
+  const LabelSet ouabpq{kRO, kRU, kRA, kRB, kRP, kRQ};
+  for (const LabelSet s : rc) {
+    if (!s.contains(kRM) && !s.subsetOf(ouabpq)) {
+      return fail("right-closed set without M not inside OUABPQ");
+    }
+  }
+  // p7 (step E): within OUABPQ, a right-closed set without B is inside PQ.
+  const LabelSet pq{kRP, kRQ};
+  for (const LabelSet s : rc) {
+    if (s.subsetOf(ouabpq) && !s.contains(kRB) && !s.subsetOf(pq)) {
+      return fail("right-closed set without B not inside PQ");
+    }
+  }
+  // p8 (step F): within OUABPQ, a right-closed set without A is inside UBPQ.
+  const LabelSet ubpq{kRU, kRB, kRP, kRQ};
+  for (const LabelSet s : rc) {
+    if (s.subsetOf(ouabpq) && !s.contains(kRA) && !s.subsetOf(ubpq)) {
+      return fail("right-closed set without A not inside UBPQ");
+    }
+  }
+  // p9 (step G / fact f2): the word A^{x+1} U^{Delta-a+1} B^{a-x-2} is not
+  // in N_{R(Pi)}.
+  {
+    re::Word w(8, 0);
+    w[kRA] = x + 1;
+    w[kRU] = delta - a + 1;
+    w[kRB] = a - x - 2;
+    if (rProblem.node.containsWord(w)) {
+      return fail("forbidden word f2 present in N_{R(Pi)}");
+    }
+  }
+
+  // p10: Pi_rel is Pi+ up to the fixed renaming.
+  const Problem relRenamed = relProblemRenamed(delta, a, x);
+  const Problem plus = familyPlusProblem(delta, a, x);
+  if (!re::sameLanguage(relRenamed.edge, plus.edge, 6)) {
+    return fail("Pi_rel edge constraint does not match Pi+");
+  }
+  if (!sameConfigurationSet(relRenamed.node, plus.node)) {
+    return fail("Pi_rel node constraint does not match Pi+");
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace relb::core

@@ -1,0 +1,57 @@
+// Lemma 8: if Pi_Delta(a, x) has complexity T, then Pi+_Delta(a, x) has
+// complexity max{T-1, 0}, for all x + 2 <= a <= Delta.
+//
+// The proof shows that every node configuration of Rbar(R(Pi_Delta(a,x)))
+// can be relaxed (Definition 7) to a node configuration of the intermediate
+// problem Pi_rel, and that Pi_rel is Pi+_Delta(a,x) up to renaming via
+//     MUBQ -> M,  XMOUABPQ -> X,  PQ -> P,  OUABPQ -> O,
+//     ABPQ -> A,  UBPQ -> C.
+//
+// Two machine checks are provided:
+//   * verifyLemma8Exact   — computes Rbar(R(Pi)) in full (small Delta) and
+//     checks the relaxation property, the relabeling reduction to Pi+, and
+//     the Pi_rel ~ Pi+ renaming directly;
+//   * verifyLemma8Symbolic — transcribes the paper's proof for arbitrary
+//     Delta, verifying every finitely checkable premise (the right-closed
+//     set structure of the Figure 5 diagram, the two forbidden-configuration
+//     facts, the counting glue, and the Pi_rel ~ Pi+ renaming) with
+//     Delta-independent cost.
+#pragma once
+
+#include <string>
+
+#include "core/lemma6.hpp"
+#include "re/re_step.hpp"
+
+namespace relb::core {
+
+/// The six label sets of Pi_rel over the renamed alphabet of R(Pi), indexed
+/// by the corresponding Pi+ label (kM, kP, kO, kA, kX, kC).
+[[nodiscard]] std::vector<re::LabelSet> relSets();
+
+/// Pi_rel's node configurations in slot-set encoding: each group's LabelSet
+/// is a set over the R(Pi) alphabet denoting one of the relSets().
+[[nodiscard]] std::vector<re::Configuration> relNodeSlotConfigs(re::Count delta,
+                                                                re::Count a,
+                                                                re::Count x);
+
+/// Pi_rel rendered as a 6-label problem (it should coincide with
+/// familyPlusProblem up to the fixed renaming; verified by the checks).
+[[nodiscard]] re::Problem relProblemRenamed(re::Count delta, re::Count a,
+                                            re::Count x);
+
+struct Lemma8Result {
+  bool ok = false;
+  std::string detail;
+};
+
+/// Full computation check; requires delta <= options.maxRbarDelta.
+[[nodiscard]] Lemma8Result verifyLemma8Exact(re::Count delta, re::Count a,
+                                             re::Count x,
+                                             const re::StepOptions& options = {});
+
+/// Proof-script check for arbitrary Delta (cost independent of Delta).
+[[nodiscard]] Lemma8Result verifyLemma8Symbolic(re::Count delta, re::Count a,
+                                                re::Count x);
+
+}  // namespace relb::core

@@ -1,0 +1,96 @@
+#include "core/sequence.hpp"
+
+#include "re/zero_round.hpp"
+
+namespace relb::core {
+
+namespace {
+
+using re::Count;
+
+bool corollary10Applies(Count a, Count x, Count delta) {
+  return 2 * x + 1 <= a && x + 2 <= a && a <= delta;
+}
+
+}  // namespace
+
+Chain paperChain(Count delta, Count x0) {
+  Chain chain;
+  chain.delta = delta;
+  Count shift = 0;  // 2^{3i}
+  for (Count i = 0;; ++i) {
+    const Count a = delta >> shift;
+    const Count x = x0 + i;
+    // Problems with a < 1 or x > delta - 1 are 0-round solvable (Lemma 12
+    // needs a >= 1 and x <= delta - 1); never include them.
+    if (a < 1 || x > delta - 1) break;
+    chain.steps.push_back({a, x});
+    // Conditions from the Lemma 13 proof: xBar < aBar / 8 and aBar >= 4
+    // guarantee that Corollary 10 plus the Lemma 11 rounding reach the next
+    // scheduled problem.
+    if (!(8 * x < a) || a < 4) break;
+    shift += 3;
+  }
+  return chain;
+}
+
+Chain exactChain(Count delta, Count x0) {
+  Chain chain;
+  chain.delta = delta;
+  Count a = delta;
+  Count x = x0;
+  chain.steps.push_back({a, x});
+  while (corollary10Applies(a, x, delta)) {
+    const FamilyParams next = speedupParams({delta, a, x});
+    if (next.a < 1 || next.x > delta - 1) break;  // would be 0-round solvable
+    a = next.a;
+    x = next.x;
+    chain.steps.push_back({a, x});
+  }
+  return chain;
+}
+
+bool familyZeroRoundSolvable(Count delta, Count a, Count x) {
+  return re::zeroRoundSolvableSymmetricPorts(familyProblem(delta, a, x));
+}
+
+std::string certifyChain(const Chain& chain) {
+  if (chain.steps.empty()) return "empty chain";
+  for (std::size_t i = 0; i + 1 < chain.steps.size(); ++i) {
+    const auto& cur = chain.steps[i];
+    const auto& next = chain.steps[i + 1];
+    if (!corollary10Applies(cur.a, cur.x, chain.delta)) {
+      return "step " + std::to_string(i) +
+             ": Corollary 10 preconditions violated";
+    }
+    const FamilyParams sped = speedupParams({chain.delta, cur.a, cur.x});
+    // The next problem must be reachable: exactly the speedup result, or a
+    // Lemma 11 relaxation of it (smaller a, larger-or-equal x).
+    if (!(next.a <= sped.a && next.x >= sped.x)) {
+      return "step " + std::to_string(i) +
+             ": next problem not reachable by Corollary 10 + Lemma 11";
+    }
+    // Every problem except possibly the final one must be non-0-round
+    // solvable, otherwise the speedup chain proves nothing (Lemma 12).
+    if (familyZeroRoundSolvable(chain.delta, cur.a, cur.x)) {
+      return "step " + std::to_string(i) + ": problem is 0-round solvable";
+    }
+  }
+  const auto& last = chain.steps.back();
+  if (familyZeroRoundSolvable(chain.delta, last.a, last.x)) {
+    return "final problem is 0-round solvable";
+  }
+  return "";
+}
+
+Count pnLowerBoundRounds(Count delta, Count k) {
+  // Lemma 5: solving Pi_Delta(a, k) takes one round given a k-outdegree
+  // dominating set, so LB(k-outdegree DS) >= chain length - 1 ... in fact
+  // the chain length t means Pi_0 needs >= t rounds, hence the dominating
+  // set needs >= t - 1 rounds; report max(t - 1, 0).
+  const Chain chain = exactChain(delta, k);
+  const Count t = chain.length();
+  return t > 0 ? t - 1 : 0;
+}
+
+}  // namespace relb::core

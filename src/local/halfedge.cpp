@@ -1,0 +1,71 @@
+#include "local/halfedge.hpp"
+
+namespace relb::local {
+
+HalfEdgeLabeling::HalfEdgeLabeling(const Graph& g)
+    : labels_(static_cast<std::size_t>(g.numNodes())) {
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    labels_[static_cast<std::size_t>(v)].assign(
+        static_cast<std::size_t>(g.degree(v)), re::Label{0});
+  }
+}
+
+CheckResult checkLabeling(const Graph& g, const re::Problem& problem,
+                          const HalfEdgeLabeling& labeling,
+                          const CheckOptions& options) {
+  CheckResult result;
+  const int n = problem.alphabet.size();
+  const auto record = [&](std::string msg, bool nodeSide) {
+    if (nodeSide) {
+      ++result.nodeViolations;
+    } else {
+      ++result.edgeViolations;
+    }
+    if (static_cast<int>(result.messages.size()) < options.maxViolations) {
+      result.messages.push_back(std::move(msg));
+    }
+  };
+
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (options.fullDegreeNodesOnly &&
+        static_cast<re::Count>(g.degree(v)) != problem.delta()) {
+      continue;
+    }
+    re::Word w(static_cast<std::size_t>(n), 0);
+    bool badLabel = false;
+    for (const re::Label l : labeling.node(v)) {
+      if (l >= n) {
+        badLabel = true;
+        break;
+      }
+      ++w[l];
+    }
+    if (badLabel || !problem.node.containsWord(w)) {
+      record("node " + std::to_string(v) + ": configuration not allowed",
+             /*nodeSide=*/true);
+    }
+  }
+
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const re::Label lu = labeling.atEdge(g, u, e);
+    const re::Label lv = labeling.atEdge(g, v, e);
+    if (lu >= n || lv >= n) {
+      record("edge " + std::to_string(e) + ": label out of range",
+             /*nodeSide=*/false);
+      continue;
+    }
+    re::Word w(static_cast<std::size_t>(n), 0);
+    ++w[lu];
+    ++w[lv];
+    if (!problem.edge.containsWord(w)) {
+      record("edge " + std::to_string(e) + " (" + std::to_string(u) + "," +
+                 std::to_string(v) + "): " + problem.alphabet.name(lu) +
+                 problem.alphabet.name(lv) + " not allowed",
+             /*nodeSide=*/false);
+    }
+  }
+  return result;
+}
+
+}  // namespace relb::local

@@ -1,0 +1,67 @@
+// Half-edge labelings and the generic locally-checkable-labeling checker.
+//
+// A solution of a problem in the round-elimination formalism assigns a label
+// to every (node, incident edge) pair; we store one label per (node, port).
+// The checker verifies the node constraint at every node of full degree and
+// the edge constraint at every edge, reporting all violations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "local/graph.hpp"
+#include "re/problem.hpp"
+
+namespace relb::local {
+
+/// Labels on half-edges, indexed by (node, port).
+class HalfEdgeLabeling {
+ public:
+  explicit HalfEdgeLabeling(const Graph& g);
+
+  [[nodiscard]] re::Label at(NodeId v, Port p) const {
+    return labels_[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
+  }
+  void set(NodeId v, Port p, re::Label l) {
+    labels_[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)] = l;
+  }
+
+  /// Label this node put on the half-edge towards edge `e`.
+  [[nodiscard]] re::Label atEdge(const Graph& g, NodeId v, EdgeId e) const {
+    return at(v, g.portOf(v, e));
+  }
+
+  [[nodiscard]] const std::vector<re::Label>& node(NodeId v) const {
+    return labels_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  std::vector<std::vector<re::Label>> labels_;
+};
+
+struct CheckOptions {
+  /// Check the node constraint only at nodes whose degree equals the
+  /// problem's Delta (finite trees have boundary nodes of smaller degree; the
+  /// round-elimination guarantees only concern full-degree nodes).
+  bool fullDegreeNodesOnly = true;
+  /// Stop after this many recorded violations.
+  int maxViolations = 16;
+};
+
+struct CheckResult {
+  int nodeViolations = 0;
+  int edgeViolations = 0;
+  std::vector<std::string> messages;
+
+  [[nodiscard]] bool ok() const {
+    return nodeViolations == 0 && edgeViolations == 0;
+  }
+};
+
+/// Verifies `labeling` against `problem` on `g`.
+[[nodiscard]] CheckResult checkLabeling(const Graph& g,
+                                        const re::Problem& problem,
+                                        const HalfEdgeLabeling& labeling,
+                                        const CheckOptions& options = {});
+
+}  // namespace relb::local

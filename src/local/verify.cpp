@@ -1,0 +1,114 @@
+#include "local/verify.hpp"
+
+#include <algorithm>
+
+#include "re/types.hpp"
+
+namespace relb::local {
+
+namespace {
+
+void requireSize(const Graph& g, const std::vector<bool>& inSet) {
+  if (static_cast<NodeId>(inSet.size()) != g.numNodes()) {
+    throw re::Error("verify: set size does not match node count");
+  }
+}
+
+}  // namespace
+
+bool isIndependentSet(const Graph& g, const std::vector<bool>& inSet) {
+  requireSize(g, inSet);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (inSet[static_cast<std::size_t>(u)] &&
+        inSet[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool isDominatingSet(const Graph& g, const std::vector<bool>& inSet) {
+  requireSize(g, inSet);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (inSet[static_cast<std::size_t>(v)]) continue;
+    bool dominated = false;
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (inSet[static_cast<std::size_t>(he.neighbor)]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool isMaximalIndependentSet(const Graph& g, const std::vector<bool>& inSet) {
+  return isIndependentSet(g, inSet) && isDominatingSet(g, inSet);
+}
+
+int inducedMaxDegree(const Graph& g, const std::vector<bool>& inSet) {
+  requireSize(g, inSet);
+  int best = 0;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (!inSet[static_cast<std::size_t>(v)]) continue;
+    int d = 0;
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (inSet[static_cast<std::size_t>(he.neighbor)]) ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+bool isKDegreeDominatingSet(const Graph& g, const std::vector<bool>& inSet,
+                            int k) {
+  return isDominatingSet(g, inSet) && inducedMaxDegree(g, inSet) <= k;
+}
+
+int inducedMaxOutdegree(const Graph& g, const std::vector<bool>& inSet,
+                        const EdgeOrientation& orientation) {
+  requireSize(g, inSet);
+  if (static_cast<EdgeId>(orientation.size()) != g.numEdges()) {
+    throw re::Error("verify: orientation size does not match edge count");
+  }
+  std::vector<int> outdeg(static_cast<std::size_t>(g.numNodes()), 0);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const bool inside = inSet[static_cast<std::size_t>(u)] &&
+                        inSet[static_cast<std::size_t>(v)];
+    if (!inside) continue;
+    const int o = orientation[static_cast<std::size_t>(e)];
+    if (o == 1) {
+      ++outdeg[static_cast<std::size_t>(u)];
+    } else if (o == -1) {
+      ++outdeg[static_cast<std::size_t>(v)];
+    } else {
+      return -1;  // unoriented G[S] edge
+    }
+  }
+  return *std::max_element(outdeg.begin(), outdeg.end());
+}
+
+bool isKOutdegreeDominatingSet(const Graph& g, const std::vector<bool>& inSet,
+                               const EdgeOrientation& orientation, int k) {
+  if (!isDominatingSet(g, inSet)) return false;
+  const int out = inducedMaxOutdegree(g, inSet, orientation);
+  return out >= 0 && out <= k;
+}
+
+EdgeOrientation orientInduced(const Graph& g, const std::vector<bool>& inSet) {
+  requireSize(g, inSet);
+  EdgeOrientation orientation(static_cast<std::size_t>(g.numEdges()), 0);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (inSet[static_cast<std::size_t>(u)] &&
+        inSet[static_cast<std::size_t>(v)]) {
+      orientation[static_cast<std::size_t>(e)] = u < v ? +1 : -1;
+    }
+  }
+  return orientation;
+}
+
+}  // namespace relb::local

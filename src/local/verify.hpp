@@ -1,0 +1,57 @@
+// Direct verifiers for the concrete graph problems of the paper:
+// independent sets, dominating sets, MIS, and k-(out)degree dominating sets
+// (Section 1: a k-outdegree dominating set is a dominating set S together
+// with an orientation of G[S] in which every node of S has outdegree at most
+// k; for k = 0 both notions coincide with MIS).
+#pragma once
+
+#include <vector>
+
+#include "local/graph.hpp"
+
+namespace relb::local {
+
+/// Orientation of the edges inside G[S]: for each edge id, +1 if oriented
+/// from endpoint 0 to endpoint 1, -1 for the reverse, 0 if the edge is not
+/// inside G[S] (ignored).
+using EdgeOrientation = std::vector<int>;
+
+[[nodiscard]] bool isIndependentSet(const Graph& g,
+                                    const std::vector<bool>& inSet);
+
+[[nodiscard]] bool isDominatingSet(const Graph& g,
+                                   const std::vector<bool>& inSet);
+
+/// Maximal independent set == independent + dominating.
+[[nodiscard]] bool isMaximalIndependentSet(const Graph& g,
+                                           const std::vector<bool>& inSet);
+
+/// Maximum degree of the induced subgraph G[S].
+[[nodiscard]] int inducedMaxDegree(const Graph& g,
+                                   const std::vector<bool>& inSet);
+
+/// k-degree dominating set: dominating and G[S] has max degree <= k.
+[[nodiscard]] bool isKDegreeDominatingSet(const Graph& g,
+                                          const std::vector<bool>& inSet,
+                                          int k);
+
+/// k-outdegree dominating set: dominating, every edge of G[S] oriented, and
+/// every node of S has outdegree <= k.
+[[nodiscard]] bool isKOutdegreeDominatingSet(const Graph& g,
+                                             const std::vector<bool>& inSet,
+                                             const EdgeOrientation& orientation,
+                                             int k);
+
+/// Maximum outdegree within G[S] under the given orientation; -1 if some
+/// G[S] edge is unoriented.
+[[nodiscard]] int inducedMaxOutdegree(const Graph& g,
+                                      const std::vector<bool>& inSet,
+                                      const EdgeOrientation& orientation);
+
+/// Orients every G[S] edge (from the smaller to the larger node id; the
+/// paper's remark after Corollary 2: a k-degree dominating set becomes a
+/// k-outdegree dominating set under *any* orientation).
+[[nodiscard]] EdgeOrientation orientInduced(const Graph& g,
+                                            const std::vector<bool>& inSet);
+
+}  // namespace relb::local

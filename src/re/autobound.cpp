@@ -1,0 +1,146 @@
+#include "re/autobound.hpp"
+
+#include "re/rename.hpp"
+#include "re/simplify.hpp"
+#include "re/zero_round.hpp"
+
+namespace relb::re {
+
+namespace {
+
+IterationStep describeProblem(const Problem& p) {
+  return {p.alphabet.size(), p.node.size(), p.edge.size()};
+}
+
+}  // namespace
+
+std::string IterationTrace::describe() const {
+  std::string out = "speedup iteration: ";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += std::to_string(steps[i].labels) + " labels";
+  }
+  switch (reason) {
+    case StopReason::kFixedPoint:
+      out += "; fixed point at step " + std::to_string(*fixedPointAt) +
+             " => Omega(log n) det / Omega(log log n) rand on high-girth "
+             "graphs";
+      break;
+    case StopReason::kZeroRoundSolvable:
+      out += "; 0-round solvable after " + std::to_string(*zeroRoundAfter) +
+             " steps => upper bound " + std::to_string(*zeroRoundAfter) +
+             " rounds on high-girth graphs";
+      break;
+    case StopReason::kLabelBudget:
+      out += "; stopped: label budget exceeded (doubly exponential growth)";
+      break;
+    case StopReason::kStepLimit:
+      out += "; stopped: step limit";
+      break;
+    case StopReason::kEngineLimit:
+      out += "; stopped: exact engine guard (problem too large)";
+      break;
+  }
+  return out;
+}
+
+IterationTrace iterateSpeedup(const Problem& start,
+                              const IterateOptions& options) {
+  IterationTrace trace;
+  trace.last = start;
+  trace.steps.push_back(describeProblem(start));
+
+  if (zeroRoundSolvableAdversarialPorts(start)) {
+    trace.reason = StopReason::kZeroRoundSolvable;
+    trace.zeroRoundAfter = 0;
+    return trace;
+  }
+
+  for (int step = 1; step <= options.maxSteps; ++step) {
+    Problem next;
+    try {
+      next = speedupStep(trace.last, options.stepOptions);
+    } catch (const Error&) {
+      trace.reason = StopReason::kEngineLimit;
+      return trace;
+    }
+    trace.steps.push_back(describeProblem(next));
+
+    if (zeroRoundSolvableAdversarialPorts(next)) {
+      trace.last = std::move(next);
+      trace.reason = StopReason::kZeroRoundSolvable;
+      trace.zeroRoundAfter = step;
+      return trace;
+    }
+    if (options.detectFixedPoint && next.alphabet.size() <= 10 &&
+        trace.last.alphabet.size() == next.alphabet.size()) {
+      bool same = false;
+      try {
+        same = equivalentUpToRenaming(trace.last, next);
+      } catch (const Error&) {
+        same = false;  // isomorphism search refused; keep iterating
+      }
+      if (same) {
+        trace.last = std::move(next);
+        trace.reason = StopReason::kFixedPoint;
+        trace.fixedPointAt = step - 1;
+        return trace;
+      }
+    }
+    trace.last = std::move(next);
+    if (trace.last.alphabet.size() > options.maxLabels) {
+      trace.reason = StopReason::kLabelBudget;
+      return trace;
+    }
+  }
+  trace.reason = StopReason::kStepLimit;
+  return trace;
+}
+
+AutoLowerBound autoLowerBound(const Problem& start,
+                              const AutoLowerBoundOptions& options) {
+  AutoLowerBound result;
+  Problem current = start;
+  result.labelsPerStep.push_back(current.alphabet.size());
+
+  for (int step = 0; step < options.maxSteps; ++step) {
+    if (zeroRoundSolvableWithEdgeInputs(current)) {
+      result.reason = StopReason::kZeroRoundSolvable;
+      return result;
+    }
+    // current is hard: T(start) >= speedups-so-far + 1.
+    result.rounds = step + 1;
+    Problem next;
+    try {
+      next = speedupStep(current, options.stepOptions);
+    } catch (const Error&) {
+      result.reason = StopReason::kEngineLimit;
+      return result;
+    }
+    // Merge labels greedily while too many, requiring every merge to keep
+    // the problem hard (otherwise the chain would end uselessly early).
+    while (next.alphabet.size() > options.maxLabels) {
+      bool merged = false;
+      const int n = next.alphabet.size();
+      for (Label a = 0; a < n && !merged; ++a) {
+        for (Label b = a + 1; b < n && !merged; ++b) {
+          const Problem candidate = mergeTwoLabels(next, a, b);
+          if (!zeroRoundSolvableWithEdgeInputs(candidate)) {
+            next = candidate;
+            merged = true;
+          }
+        }
+      }
+      if (!merged) {
+        result.reason = StopReason::kLabelBudget;
+        return result;
+      }
+    }
+    current = std::move(next);
+    result.labelsPerStep.push_back(current.alphabet.size());
+  }
+  result.reason = StopReason::kStepLimit;
+  return result;
+}
+
+}  // namespace relb::re

@@ -1,0 +1,73 @@
+// Constraint: a finite union of condensed configurations of a fixed degree.
+//
+// Node constraints have degree Delta; edge constraints have degree 2.  The
+// language L(constraint) is the union of the languages of its configurations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "re/configuration.hpp"
+
+namespace relb::re {
+
+class Constraint {
+ public:
+  Constraint() = default;
+  Constraint(Count degree, std::vector<Configuration> configurations);
+
+  [[nodiscard]] Count degree() const { return degree_; }
+  [[nodiscard]] const std::vector<Configuration>& configurations() const {
+    return configurations_;
+  }
+  [[nodiscard]] bool empty() const { return configurations_.empty(); }
+  [[nodiscard]] std::size_t size() const { return configurations_.size(); }
+
+  /// Adds a configuration (must have matching degree); drops exact
+  /// duplicates.
+  void add(Configuration c);
+
+  /// Union of the supports of all configurations.
+  [[nodiscard]] LabelSet support() const;
+
+  /// True iff the word is in the language of some configuration.
+  [[nodiscard]] bool containsWord(const Word& w) const;
+
+  /// True iff some configuration shares a word with `c`.
+  [[nodiscard]] bool intersectsConfiguration(const Configuration& c) const;
+
+  /// True iff every word of `c` is in the language of this constraint.
+  /// Tries the cheap single-configuration criterion first, then falls back to
+  /// exact enumeration of L(c) (throws Error if L(c) exceeds `limit`).
+  [[nodiscard]] bool containsAllWordsOf(
+      const Configuration& c, int alphabetSize,
+      std::size_t limit = 5'000'000) const;
+
+  /// Enumerates all distinct words of the constraint's language.  Throws
+  /// Error if more than `limit` words exist.
+  [[nodiscard]] std::vector<Word> enumerateWords(
+      int alphabetSize, std::size_t limit = 5'000'000) const;
+
+  /// Drops configurations whose language is contained in another remaining
+  /// configuration's language (syntactic cleanup; language unchanged).
+  void removeDominatedConfigurations();
+
+  [[nodiscard]] std::string render(const Alphabet& alphabet,
+                                   const std::string& sep = "\n") const;
+
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+
+ private:
+  Count degree_ = 0;
+  std::vector<Configuration> configurations_;
+};
+
+/// True iff the two constraints denote the same language.  Decided by mutual
+/// containment of every configuration's language; exact, may enumerate (and
+/// therefore throws Error on astronomically large languages whose
+/// containment cannot be certified groupwise).
+[[nodiscard]] bool sameLanguage(const Constraint& a, const Constraint& b,
+                                int alphabetSize);
+
+}  // namespace relb::re

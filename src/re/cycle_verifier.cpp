@@ -1,0 +1,242 @@
+#include "re/cycle_verifier.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace relb::re {
+
+namespace {
+
+// A pure output: the labels a node writes on port 0 (canonical + direction)
+// and port 1 (canonical -).
+struct OutputPair {
+  Label plus;
+  Label minus;
+  friend bool operator==(const OutputPair&, const OutputPair&) = default;
+};
+
+// One binary constraint: component `comp1` of view `view1`'s output must be
+// edge-compatible with component `comp2` of view `view2`'s output.
+struct EdgePairing {
+  int view1;
+  int comp1;  // 0 = plus component, 1 = minus component
+  int view2;
+  int comp2;
+  friend auto operator<=>(const EdgePairing&, const EdgePairing&) = default;
+};
+
+class WindowModel {
+ public:
+  WindowModel(int radius) : t_(radius) {}
+
+  [[nodiscard]] int viewBits() const { return 4 * t_ + 2; }
+  [[nodiscard]] int viewCount() const { return 1 << viewBits(); }
+
+  // Extracts the canonical view id of the node at global position `p` of a
+  // window.  `c[i]` = 1 iff node i's port 0 faces +1; `o[k]` = 1 iff node
+  // k-1 (the lower endpoint of edge k, which joins nodes k-1 and k) is the
+  // edge's side 0.
+  [[nodiscard]] int viewOf(const std::vector<int>& c, const std::vector<int>& o,
+                           int p) const {
+    const int d = c[static_cast<std::size_t>(p)] == 1 ? +1 : -1;
+    int id = 0;
+    int bit = 0;
+    const auto push = [&](int value) {
+      id |= value << bit;
+      ++bit;
+    };
+    // Surrounding nodes' port orientations, canonical positions
+    // -t..-1, 1..t.
+    for (int m = -t_; m <= t_; ++m) {
+      if (m == 0) continue;
+      const int g = p + d * m;
+      const int faces = c[static_cast<std::size_t>(g)];
+      push(faces == (d == +1 ? 1 : 0) ? 1 : 0);
+    }
+    // Edge orientations, canonical edge positions -(t+1)..t; canonical edge
+    // j joins canonical nodes j and j+1.
+    for (int j = -(t_ + 1); j <= t_; ++j) {
+      const int k = d == +1 ? p + j + 1 : p - j;
+      const int stored = o[static_cast<std::size_t>(k)];
+      push(d == +1 ? stored : 1 - stored);
+    }
+    return id;
+  }
+
+  // Enumerates all windows around one edge and collects the distinct
+  // pairings the edge constraint must satisfy.
+  [[nodiscard]] std::vector<EdgePairing> collectPairings() const {
+    const int numNodes = 2 * t_ + 2;   // global positions 0 .. 2t+1
+    const int numEdges = 2 * t_ + 3;   // edge k joins nodes k-1 and k
+    const int left = t_;               // the two centers
+    const int right = t_ + 1;
+    std::set<EdgePairing> pairings;
+    std::vector<int> c(static_cast<std::size_t>(numNodes));
+    std::vector<int> o(static_cast<std::size_t>(numEdges));
+    const long long total =
+        1LL << (numNodes + numEdges);
+    for (long long mask = 0; mask < total; ++mask) {
+      long long bits = mask;
+      for (int i = 0; i < numNodes; ++i) {
+        c[static_cast<std::size_t>(i)] = static_cast<int>(bits & 1);
+        bits >>= 1;
+      }
+      for (int k = 0; k < numEdges; ++k) {
+        o[static_cast<std::size_t>(k)] = static_cast<int>(bits & 1);
+        bits >>= 1;
+      }
+      const int viewL = viewOf(c, o, left);
+      const int viewR = viewOf(c, o, right);
+      // The shared edge joins nodes `left` and `right`.  The label the left
+      // center sends toward +1 is its plus component iff its port 0 faces
+      // +1; the right center's label toward -1 is its plus component iff its
+      // port 0 faces -1.
+      const int compL = c[static_cast<std::size_t>(left)] == 1 ? 0 : 1;
+      const int compR = c[static_cast<std::size_t>(right)] == 0 ? 0 : 1;
+      EdgePairing pairing{viewL, compL, viewR, compR};
+      // Canonical order for deduplication (the constraint is symmetric).
+      EdgePairing swapped{viewR, compR, viewL, compL};
+      pairings.insert(std::min(pairing, swapped));
+    }
+    return {pairings.begin(), pairings.end()};
+  }
+
+ private:
+  int t_;
+};
+
+// Backtracking CSP solver with AC-3 style propagation.
+class CspSolver {
+ public:
+  CspSolver(int numViews, std::vector<OutputPair> initialDomain,
+            const std::vector<EdgePairing>& pairings,
+            const std::vector<LabelSet>& compat)
+      : domains_(static_cast<std::size_t>(numViews), std::move(initialDomain)),
+        compat_(compat) {
+    constraintsOf_.resize(static_cast<std::size_t>(numViews));
+    for (const auto& pairing : pairings) {
+      constraintsOf_[static_cast<std::size_t>(pairing.view1)].push_back(
+          pairing);
+      if (pairing.view1 != pairing.view2) {
+        constraintsOf_[static_cast<std::size_t>(pairing.view2)].push_back(
+            {pairing.view2, pairing.comp2, pairing.view1, pairing.comp1});
+      } else {
+        // Same view on both sides: the value must be self-consistent.
+        constraintsOf_[static_cast<std::size_t>(pairing.view1)].push_back(
+            {pairing.view2, pairing.comp2, pairing.view1, pairing.comp1});
+      }
+    }
+  }
+
+  [[nodiscard]] bool solve() {
+    if (!propagateAll()) return false;
+    return search(0);
+  }
+
+ private:
+  [[nodiscard]] static Label component(const OutputPair& value, int comp) {
+    return comp == 0 ? value.plus : value.minus;
+  }
+
+  [[nodiscard]] bool compatible(Label a, Label b) const {
+    return compat_[a].contains(b);
+  }
+
+  // Removes unsupported values until a fixpoint; false if a domain empties.
+  [[nodiscard]] bool propagateAll() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t v = 0; v < domains_.size(); ++v) {
+        for (const auto& con : constraintsOf_[v]) {
+          auto& dom = domains_[v];
+          const auto& other =
+              domains_[static_cast<std::size_t>(con.view2)];
+          const auto unsupported = [&](const OutputPair& value) {
+            // Self-constraint: the same value serves both sides.
+            if (con.view2 == con.view1) {
+              return !compatible(component(value, con.comp1),
+                                 component(value, con.comp2));
+            }
+            return std::none_of(other.begin(), other.end(),
+                                [&](const OutputPair& b) {
+                                  return compatible(
+                                      component(value, con.comp1),
+                                      component(b, con.comp2));
+                                });
+          };
+          const auto before = dom.size();
+          dom.erase(std::remove_if(dom.begin(), dom.end(), unsupported),
+                    dom.end());
+          if (dom.empty()) return false;
+          if (dom.size() != before) changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool search(std::size_t v) {
+    if (v == domains_.size()) return true;
+    if (domains_[v].size() == 1) return search(v + 1);
+    const auto saved = domains_;
+    for (const OutputPair& value : saved[v]) {
+      domains_ = saved;
+      domains_[v] = {value};
+      if (propagateAll() && search(v + 1)) return true;
+    }
+    domains_ = saved;
+    return false;
+  }
+
+  std::vector<std::vector<OutputPair>> domains_;
+  std::vector<std::vector<EdgePairing>> constraintsOf_;
+  std::vector<LabelSet> compat_;
+};
+
+}  // namespace
+
+int cycleViewCount(int radius) {
+  if (radius < 0 || radius > 3) throw Error("cycleViewCount: radius in [0,3]");
+  return 1 << (4 * radius + 2);
+}
+
+bool cycleSolvable(const Problem& p, int radius) {
+  p.validate();
+  if (p.delta() != 2) throw Error("cycleSolvable: requires Delta = 2");
+  if (radius < 0 || radius > 3) {
+    throw Error("cycleSolvable: radius in [0,3]");
+  }
+  const int n = p.alphabet.size();
+
+  // Initial domain: label pairs forming an allowed node configuration.
+  std::vector<OutputPair> domain;
+  for (Label a = 0; a < n; ++a) {
+    for (Label b = 0; b < n; ++b) {
+      Word w(static_cast<std::size_t>(n), 0);
+      ++w[a];
+      ++w[b];
+      if (p.node.containsWord(w)) domain.push_back({a, b});
+    }
+  }
+  if (domain.empty()) return false;
+
+  // Edge compatibility matrix.
+  std::vector<LabelSet> compat(static_cast<std::size_t>(n));
+  for (Label a = 0; a < n; ++a) {
+    for (Label b = 0; b < n; ++b) {
+      Word w(static_cast<std::size_t>(n), 0);
+      ++w[a];
+      ++w[b];
+      if (p.edge.containsWord(w)) compat[a].insert(b);
+    }
+  }
+
+  const WindowModel model(radius);
+  CspSolver solver(model.viewCount(), std::move(domain),
+                   model.collectPairings(), compat);
+  return solver.solve();
+}
+
+}  // namespace relb::re

@@ -1,0 +1,37 @@
+// Exact T-round solvability on cycles (Delta = 2) in the port-numbering
+// model with edge ports -- an independent, brute-force ground truth for the
+// speedup theorem (Theorem 3) that the whole lower-bound machinery rests on.
+//
+// Model.  Nodes of a long cycle carry two ports (0, 1); every edge carries
+// an orientation (which endpoint is its side 0).  These are exactly the
+// inputs of the paper's PN model (Section 2.1).  A deterministic T-round
+// algorithm is a function from the radius-T view of a node to the pair of
+// labels it outputs on its two ports.  On a cycle, a radius-T view consists
+// of: the port orientation of each of the 2T surrounding nodes and the edge
+// orientation of each of the 2T+2 edges within reach, all expressed in the
+// node's own canonical frame (the direction of its port 0).  Every bit
+// combination occurs on long cycles, so a problem is T-round solvable on the
+// class of all (girth > 2T+2) cycles iff there is an assignment of outputs
+// to views such that every locally realizable window satisfies the node and
+// edge constraints -- a finite CSP, decided exactly by backtracking.
+//
+// Purpose.  `cycleSolvable(p, T)` and the engine's speedup operator can be
+// played against each other:  Theorem 3 says
+//     cycleSolvable(Pi, T)  ==  cycleSolvable(speedupStep(Pi), T-1),
+// which the tests verify for catalog problems and for random problems --
+// machine-checking (an instance of) the theorem this paper builds on.
+#pragma once
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+/// Exact T-round solvability of a Delta = 2 problem on long cycles in the
+/// PN model with edge ports.  T in [0, 3] (the view space doubles four times
+/// per round).  Throws Error if p.delta() != 2.
+[[nodiscard]] bool cycleSolvable(const Problem& p, int radius);
+
+/// Number of distinct radius-T views (exposed for tests): 2^(4T+2).
+[[nodiscard]] int cycleViewCount(int radius);
+
+}  // namespace relb::re

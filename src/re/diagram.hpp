@@ -1,0 +1,95 @@
+// Strength relations between labels (Section 2.3 of the paper) and the
+// node/edge diagrams built from them.
+//
+// Label A is *at least as strong as* label B w.r.t. a constraint C if for
+// every word in L(C) containing B, replacing one occurrence of B by A yields
+// a word that is again in L(C).  The diagram is the transitive reduction of
+// the strict part of this preorder, with edges pointing from weaker to
+// stronger labels; "successors" of a label are the strictly stronger labels,
+// which drives the right-closed-set machinery (Observation 4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "re/constraint.hpp"
+
+namespace relb::re {
+
+/// The full "at least as strong" preorder on the labels 0..n-1.
+class StrengthRelation {
+ public:
+  explicit StrengthRelation(int numLabels);
+
+  [[nodiscard]] int numLabels() const { return numLabels_; }
+
+  void set(Label strong, Label weak, bool value);
+  /// True iff `strong` is at least as strong as `weak`.
+  [[nodiscard]] bool atLeastAsStrong(Label strong, Label weak) const;
+  /// True iff strictly stronger (>= holds one way only).
+  [[nodiscard]] bool strictlyStronger(Label strong, Label weak) const;
+
+  /// All labels that are at least as strong as `l` (including `l`).
+  [[nodiscard]] LabelSet upwardClosureOf(Label l) const;
+
+  /// Smallest superset of `s` closed under "add everything at least as
+  /// strong".
+  [[nodiscard]] LabelSet rightClosure(LabelSet s) const;
+  [[nodiscard]] bool isRightClosed(LabelSet s) const;
+
+  /// All non-empty right-closed subsets of `universe`.  Enumerates the
+  /// powerset; requires |universe| <= 20.
+  [[nodiscard]] std::vector<LabelSet> allRightClosedSets(
+      LabelSet universe) const;
+
+  /// Sanity: the relation must be reflexive and transitive.  Throws Error if
+  /// not (indicates a bug in the producing computation).
+  void checkPreorder() const;
+
+  /// Diagram edges (weak -> strong) after transitive reduction of the strict
+  /// part.  Pairs (weak, strong).
+  [[nodiscard]] std::vector<std::pair<Label, Label>> diagramEdges() const;
+
+  [[nodiscard]] std::string renderDiagram(const Alphabet& alphabet) const;
+  [[nodiscard]] std::string toDot(const Alphabet& alphabet,
+                                  const std::string& graphName) const;
+
+  friend bool operator==(const StrengthRelation&,
+                         const StrengthRelation&) = default;
+
+ private:
+  int numLabels_;
+  std::vector<bool> geq_;  // geq_[strong * n + weak]
+};
+
+/// Computes the exact strength relation by enumerating the constraint's
+/// words.  Throws Error if the language exceeds `limit` words (use the
+/// scalable variant below in that case).  Edge constraints (degree 2) are
+/// always enumerable.
+[[nodiscard]] StrengthRelation computeStrength(const Constraint& constraint,
+                                               int alphabetSize,
+                                               std::size_t limit = 2'000'000);
+
+/// Scalable three-valued test of "A at least as strong as B" that works for
+/// condensed constraints with astronomically large exponents.
+///
+/// Method: every word of L(C) containing B arises from assigning B to some
+/// group g of some configuration C; the set of all replaced words is then
+/// exactly the language of C'_g := C with g's exponent decremented and a
+/// fresh singleton group {A} added.  Hence A >= B iff L(C'_g) subset of L(N)
+/// for all such (C, g).  Inclusion is certified positively by groupwise
+/// embedding or bounded enumeration, and negatively by bounded enumeration or
+/// an extremal-word counterexample search; if neither side can be certified,
+/// returns nullopt.
+[[nodiscard]] std::optional<bool> atLeastAsStrongScalable(
+    const Constraint& constraint, int alphabetSize, Label strong, Label weak,
+    std::size_t enumerationLimit = 200'000);
+
+/// Computes the full relation with the scalable test; throws Error if any
+/// pair is undecidable within the enumeration limit.
+[[nodiscard]] StrengthRelation computeStrengthScalable(
+    const Constraint& constraint, int alphabetSize,
+    std::size_t enumerationLimit = 200'000);
+
+}  // namespace relb::re

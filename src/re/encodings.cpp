@@ -1,0 +1,156 @@
+#include "re/encodings.hpp"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace relb::re {
+
+Problem maximalMatchingProblem(Count delta) { return bMatchingProblem(delta, 1); }
+
+Problem bMatchingProblem(Count delta, Count b) {
+  if (delta < 2 || b < 1 || b > delta) {
+    throw Error("bMatchingProblem: need delta >= 2 and 1 <= b <= delta");
+  }
+  Problem p;
+  const Label m = p.alphabet.add("M");
+  const Label pp = p.alphabet.add("P");
+  const Label o = p.alphabet.add("O");
+
+  Constraint node(delta, {});
+  for (Count i = 0; i < b; ++i) {
+    node.add(Configuration({{LabelSet{m}, i}, {LabelSet{pp}, delta - i}}));
+  }
+  node.add(Configuration({{LabelSet{m}, b}, {LabelSet{o}, delta - b}}));
+  p.node = std::move(node);
+
+  Constraint edge(2, {});
+  edge.add(Configuration({{LabelSet{m}, 2}}));
+  edge.add(Configuration({{LabelSet{pp}, 1}, {LabelSet{o}, 1}}));
+  edge.add(Configuration({{LabelSet{o}, 2}}));
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+Problem cColoringProblem(Count delta, int c) {
+  if (delta < 1 || c < 2 || c > kMaxLabels) {
+    throw Error("cColoringProblem: need delta >= 1 and 2 <= c <= 32");
+  }
+  Problem p;
+  for (int i = 0; i < c; ++i) p.alphabet.add("c" + std::to_string(i));
+
+  Constraint node(delta, {});
+  for (int i = 0; i < c; ++i) {
+    node.add(Configuration({{LabelSet{static_cast<Label>(i)}, delta}}));
+  }
+  p.node = std::move(node);
+
+  Constraint edge(2, {});
+  for (int i = 0; i < c; ++i) {
+    LabelSet others;
+    for (int j = 0; j < c; ++j) {
+      if (j != i) others.insert(static_cast<Label>(j));
+    }
+    edge.add(Configuration(
+        {{LabelSet{static_cast<Label>(i)}, 1}, {others, 1}}));
+  }
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+Problem weakColoringProblem(Count delta, int c) {
+  if (delta < 2 || c < 2 || 2 * c > kMaxLabels) {
+    throw Error("weakColoringProblem: need delta >= 2 and 2 <= c <= 16");
+  }
+  Problem p;
+  // Labels: P_i (pointer of a color-i node), C_i (plain half-edge of a
+  // color-i node).
+  std::vector<Label> pointer(static_cast<std::size_t>(c));
+  std::vector<Label> plain(static_cast<std::size_t>(c));
+  for (int i = 0; i < c; ++i) {
+    pointer[static_cast<std::size_t>(i)] =
+        p.alphabet.add("P" + std::to_string(i));
+    plain[static_cast<std::size_t>(i)] =
+        p.alphabet.add("C" + std::to_string(i));
+  }
+
+  Constraint node(delta, {});
+  for (int i = 0; i < c; ++i) {
+    node.add(Configuration(
+        {{LabelSet{pointer[static_cast<std::size_t>(i)]}, 1},
+         {LabelSet{plain[static_cast<std::size_t>(i)]}, delta - 1}}));
+  }
+  p.node = std::move(node);
+
+  // Edge compatibility: any pair of labels belonging to different colors is
+  // fine; same-color pairs are fine unless a pointer is involved (a pointer
+  // must reach a node of a different color).
+  Constraint edge(2, {});
+  for (int i = 0; i < c; ++i) {
+    // Pointer of color i faces anything of a different color.
+    LabelSet otherColors;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      otherColors.insert(pointer[static_cast<std::size_t>(j)]);
+      otherColors.insert(plain[static_cast<std::size_t>(j)]);
+    }
+    edge.add(Configuration(
+        {{LabelSet{pointer[static_cast<std::size_t>(i)]}, 1},
+         {otherColors, 1}}));
+    // Plain label of color i faces anything except nothing -- including the
+    // same color's plain label (two same-colored neighbors are allowed in
+    // weak coloring) but a same-color pointer is already excluded above.
+    LabelSet partners = otherColors;
+    partners.insert(plain[static_cast<std::size_t>(i)]);
+    edge.add(Configuration(
+        {{LabelSet{plain[static_cast<std::size_t>(i)]}, 1}, {partners, 1}}));
+  }
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+Problem edgeColoringProblem(int delta, int c) {
+  if (delta < 1 || c < delta || c > 12) {
+    throw Error("edgeColoringProblem: need delta <= c <= 12");
+  }
+  Problem p;
+  for (int i = 0; i < c; ++i) p.alphabet.add("e" + std::to_string(i));
+
+  // Node constraint: one configuration per Delta-subset of colors (all
+  // incident edge colors distinct).
+  Constraint node(delta, {});
+  std::vector<Label> chosen;
+  std::function<void(int)> rec = [&](int next) {
+    if (static_cast<int>(chosen.size()) == delta) {
+      std::vector<Group> groups;
+      for (Label l : chosen) groups.push_back({LabelSet{l}, 1});
+      node.add(Configuration(std::move(groups)));
+      return;
+    }
+    for (int i = next; i < c; ++i) {
+      chosen.push_back(static_cast<Label>(i));
+      rec(i + 1);
+      chosen.pop_back();
+    }
+  };
+  rec(0);
+  p.node = std::move(node);
+
+  // Edge constraint: both endpoints agree on the edge's color.
+  Constraint edge(2, {});
+  for (int i = 0; i < c; ++i) {
+    edge.add(Configuration({{LabelSet{static_cast<Label>(i)}, 2}}));
+  }
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+}  // namespace relb::re

@@ -1,0 +1,47 @@
+// A catalog of classic locally checkable problems in the round-elimination
+// formalism, beyond the MIS / sinkless-orientation encodings of
+// problem.hpp.  These are the problems the paper's related-work discussion
+// revolves around (maximal matchings and b-matchings [BBHORS'19, BO'20],
+// colorings [Linial'92], weak coloring [BHOS'19]) and they double as
+// generality tests for the engine.
+//
+// All encodings are on Delta-regular graphs and use the conventions of
+// Section 2.2: a solution assigns one label per (node, incident edge) pair;
+// the node constraint governs each node's multiset, the edge constraint each
+// edge's pair.
+#pragma once
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+/// Maximal matching: label M marks the matched edge (both sides), a
+/// saturated node shows M O^{Delta-1}, an unmatched node P^Delta (every
+/// neighbor of an unmatched node must be matched, or the matching would not
+/// be maximal).  E = { MM, PO, OO }.
+[[nodiscard]] Problem maximalMatchingProblem(Count delta);
+
+/// Maximal b-matching: a node may be in up to b matched edges; a node with
+/// i < b matched edges certifies maximality by pointing P on every unmatched
+/// edge (its other endpoint must be saturated); a saturated node uses O.
+/// N = { M^i P^{Delta-i} : 0 <= i < b } + { M^b O^{Delta-b} },
+/// E = { MM, PO, OO }.  b = 1 coincides with maximalMatchingProblem.
+[[nodiscard]] Problem bMatchingProblem(Count delta, Count b);
+
+/// Proper c-coloring of the nodes: each node outputs its color on every
+/// port; adjacent nodes differ.  N = { i^Delta : i in [c] },
+/// E = { ij : i != j }.
+[[nodiscard]] Problem cColoringProblem(Count delta, int c);
+
+/// Weak c-coloring: every node needs at least one neighbor of a different
+/// color.  A node of color i points (P_i) at one differing neighbor and
+/// writes C_i elsewhere.  2c labels.
+[[nodiscard]] Problem weakColoringProblem(Count delta, int c);
+
+/// Proper c-edge-coloring: each edge gets one of c colors, agreeing on both
+/// sides, with all colors distinct around a node.  The node constraint has
+/// one configuration per Delta-subset of colors; requires small c and Delta
+/// (guarded).
+[[nodiscard]] Problem edgeColoringProblem(int delta, int c);
+
+}  // namespace relb::re

@@ -1,0 +1,82 @@
+#include "re/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace relb::re {
+
+MaxFlow::MaxFlow(int numNodes)
+    : adj_(static_cast<std::size_t>(numNodes)),
+      level_(static_cast<std::size_t>(numNodes)),
+      iter_(static_cast<std::size_t>(numNodes)) {
+  assert(numNodes >= 2);
+}
+
+void MaxFlow::addEdge(int from, int to, Count capacity) {
+  assert(capacity >= 0);
+  assert(from >= 0 && from < static_cast<int>(adj_.size()));
+  assert(to >= 0 && to < static_cast<int>(adj_.size()));
+  const auto fromSize = static_cast<int>(adj_[static_cast<std::size_t>(from)].size());
+  const auto toSize = static_cast<int>(adj_[static_cast<std::size_t>(to)].size());
+  adj_[static_cast<std::size_t>(from)].push_back({to, capacity, toSize});
+  adj_[static_cast<std::size_t>(to)].push_back({from, 0, fromSize});
+}
+
+bool MaxFlow::bfs(int source, int sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj_[static_cast<std::size_t>(v)]) {
+      if (e.cap > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+Count MaxFlow::dfs(int v, int sink, Count limit) {
+  if (v == sink) return limit;
+  auto& it = iter_[static_cast<std::size_t>(v)];
+  auto& edges = adj_[static_cast<std::size_t>(v)];
+  for (; it < static_cast<int>(edges.size()); ++it) {
+    Edge& e = edges[static_cast<std::size_t>(it)];
+    if (e.cap <= 0 || level_[static_cast<std::size_t>(v)] >=
+                          level_[static_cast<std::size_t>(e.to)]) {
+      continue;
+    }
+    const Count pushed = dfs(e.to, sink, std::min(limit, e.cap));
+    if (pushed > 0) {
+      e.cap -= pushed;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Count MaxFlow::solve(int source, int sink) {
+  assert(source != sink);
+  Count flow = 0;
+  while (bfs(source, sink)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const Count pushed =
+          dfs(source, sink, std::numeric_limits<Count>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+}  // namespace relb::re

@@ -1,0 +1,45 @@
+// A small max-flow solver (Dinic's algorithm) used for membership and
+// matching questions on condensed configurations.
+//
+// All feasibility questions the engine asks ("does this word match this
+// condensed configuration?", "do these two condensed configurations share a
+// word?", "can configuration C be relaxed to configuration D?") are bipartite
+// or tripartite transportation problems whose node counts are tiny (labels +
+// groups + 2) but whose capacities can be astronomically large (exponents up
+// to 2^62).  Dinic with 64-bit capacities decides them exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "re/types.hpp"
+
+namespace relb::re {
+
+/// Max-flow on a small directed graph with 64-bit capacities.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int numNodes);
+
+  /// Adds a directed edge with the given capacity (>= 0).
+  void addEdge(int from, int to, Count capacity);
+
+  /// Computes the maximum flow from `source` to `sink`.  May be called once.
+  [[nodiscard]] Count solve(int source, int sink);
+
+ private:
+  struct Edge {
+    int to;
+    Count cap;
+    int rev;  // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(int source, int sink);
+  Count dfs(int v, int sink, Count limit);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace relb::re

@@ -1,0 +1,106 @@
+// LabelSet: a small, value-semantic set of labels backed by a 32-bit bitset.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "re/types.hpp"
+
+namespace relb::re {
+
+/// A set of labels (indices < kMaxLabels).  Cheap to copy and hash.
+class LabelSet {
+ public:
+  constexpr LabelSet() = default;
+  constexpr explicit LabelSet(std::uint32_t bits) : bits_(bits) {}
+  constexpr LabelSet(std::initializer_list<Label> labels) {
+    for (Label l : labels) insert(l);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static constexpr LabelSet full(int n) {
+    assert(n >= 0 && n <= kMaxLabels);
+    return LabelSet(n == 32 ? ~std::uint32_t{0}
+                            : ((std::uint32_t{1} << n) - 1));
+  }
+  static constexpr LabelSet single(Label l) { return LabelSet{l}; }
+
+  constexpr void insert(Label l) {
+    assert(l < kMaxLabels);
+    bits_ |= (std::uint32_t{1} << l);
+  }
+  constexpr void erase(Label l) {
+    assert(l < kMaxLabels);
+    bits_ &= ~(std::uint32_t{1} << l);
+  }
+  [[nodiscard]] constexpr bool contains(Label l) const {
+    assert(l < kMaxLabels);
+    return (bits_ >> l) & 1u;
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr int size() const { return __builtin_popcount(bits_); }
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  [[nodiscard]] constexpr bool subsetOf(LabelSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  [[nodiscard]] constexpr bool properSubsetOf(LabelSet other) const {
+    return subsetOf(other) && bits_ != other.bits_;
+  }
+  [[nodiscard]] constexpr bool intersects(LabelSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  friend constexpr LabelSet operator|(LabelSet a, LabelSet b) {
+    return LabelSet(a.bits_ | b.bits_);
+  }
+  friend constexpr LabelSet operator&(LabelSet a, LabelSet b) {
+    return LabelSet(a.bits_ & b.bits_);
+  }
+  friend constexpr LabelSet operator-(LabelSet a, LabelSet b) {
+    return LabelSet(a.bits_ & ~b.bits_);
+  }
+  friend constexpr bool operator==(LabelSet a, LabelSet b) = default;
+  friend constexpr bool operator<(LabelSet a, LabelSet b) {
+    return a.bits_ < b.bits_;
+  }
+
+  /// Smallest label in the set; set must be non-empty.
+  [[nodiscard]] constexpr Label min() const {
+    assert(!empty());
+    return static_cast<Label>(__builtin_ctz(bits_));
+  }
+
+  /// Labels in increasing order.
+  [[nodiscard]] std::vector<Label> toVector() const {
+    std::vector<Label> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for (std::uint32_t b = bits_; b != 0; b &= b - 1) {
+      out.push_back(static_cast<Label>(__builtin_ctz(b)));
+    }
+    return out;
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Iteration helper: applies `fn(Label)` to every member of `s`.
+template <typename Fn>
+void forEachLabel(LabelSet s, Fn&& fn) {
+  for (std::uint32_t b = s.bits(); b != 0; b &= b - 1) {
+    fn(static_cast<Label>(__builtin_ctz(b)));
+  }
+}
+
+}  // namespace relb::re
+
+template <>
+struct std::hash<relb::re::LabelSet> {
+  std::size_t operator()(relb::re::LabelSet s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.bits());
+  }
+};

@@ -1,0 +1,158 @@
+#include "re/problem.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace relb::re {
+
+namespace {
+
+// Splits a line into whitespace-separated raw tokens, keeping bracketed
+// disjunctions (which may contain spaces) together.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    if (line[i] == '[') {
+      while (j < line.size() && line[j] != ']') ++j;
+      if (j == line.size()) throw Error("parse: unterminated '['");
+      ++j;  // include ']'
+      // Optional exponent suffix.
+      while (j < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+    } else {
+      while (j < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+    }
+    tokens.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+Count parseExponent(std::string_view text) {
+  if (text.empty()) throw Error("parse: empty exponent");
+  Count value = 0;
+  for (char ch : text) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      throw Error("parse: bad exponent '" + std::string(text) + "'");
+    }
+    value = value * 10 + (ch - '0');
+    if (value > (Count{1} << 62)) throw Error("parse: exponent too large");
+  }
+  return value;
+}
+
+}  // namespace
+
+Configuration parseConfiguration(std::string_view line, Alphabet& alphabet) {
+  std::vector<Group> groups;
+  for (const std::string& token : tokenize(line)) {
+    std::string_view body = token;
+    Count count = 1;
+    if (auto caret = body.rfind('^'); caret != std::string_view::npos) {
+      count = parseExponent(body.substr(caret + 1));
+      body = body.substr(0, caret);
+    }
+    LabelSet set;
+    if (!body.empty() && body.front() == '[') {
+      if (body.size() < 2 || body.back() != ']') {
+        throw Error("parse: malformed disjunction '" + token + "'");
+      }
+      const std::string_view inner = body.substr(1, body.size() - 2);
+      if (inner.find(' ') != std::string_view::npos) {
+        std::istringstream iss{std::string(inner)};
+        std::string name;
+        while (iss >> name) set.insert(alphabet.getOrAdd(name));
+      } else {
+        // Compact form: every character is a single-character label name.
+        for (char ch : inner) {
+          set.insert(alphabet.getOrAdd(std::string_view(&ch, 1)));
+        }
+      }
+    } else {
+      if (body.empty()) throw Error("parse: empty token");
+      set.insert(alphabet.getOrAdd(body));
+    }
+    if (set.empty()) throw Error("parse: empty disjunction in '" + token + "'");
+    groups.push_back({set, count});
+  }
+  if (groups.empty()) throw Error("parse: empty configuration line");
+  return Configuration(std::move(groups));
+}
+
+void Problem::validate() const {
+  if (edge.degree() != 2) throw Error("Problem: edge constraint degree != 2");
+  if (node.degree() < 1) throw Error("Problem: node constraint degree < 1");
+  const LabelSet known = alphabet.all();
+  if (!node.support().subsetOf(known) || !edge.support().subsetOf(known)) {
+    throw Error("Problem: constraint mentions label outside the alphabet");
+  }
+}
+
+Problem Problem::parse(std::string_view nodeConstraint,
+                       std::string_view edgeConstraint) {
+  Problem p;
+  auto parseLines = [&](std::string_view text) {
+    std::vector<Configuration> configs;
+    std::istringstream iss{std::string(text)};
+    std::string line;
+    while (std::getline(iss, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (line.starts_with('#')) continue;
+      configs.push_back(parseConfiguration(line, p.alphabet));
+    }
+    return configs;
+  };
+  auto nodeConfigs = parseLines(nodeConstraint);
+  auto edgeConfigs = parseLines(edgeConstraint);
+  if (nodeConfigs.empty()) throw Error("parse: no node configurations");
+  if (edgeConfigs.empty()) throw Error("parse: no edge configurations");
+  const Count delta = nodeConfigs.front().degree();
+  p.node = Constraint(delta, std::move(nodeConfigs));
+  p.edge = Constraint(2, std::move(edgeConfigs));
+  p.validate();
+  return p;
+}
+
+std::string Problem::render() const {
+  return node.render(alphabet) + "\n\n" + edge.render(alphabet) + "\n";
+}
+
+Problem misProblem(Count delta) {
+  if (delta < 2) throw Error("misProblem: delta must be >= 2");
+  Problem p;
+  const Label m = p.alphabet.add("M");
+  const Label pp = p.alphabet.add("P");
+  const Label o = p.alphabet.add("O");
+  p.node = Constraint(
+      delta, {Configuration({{LabelSet{m}, delta}}),
+              Configuration({{LabelSet{pp}, 1}, {LabelSet{o}, delta - 1}})});
+  p.edge = Constraint(2, {Configuration({{LabelSet{m}, 1}, {LabelSet{pp, o}, 1}}),
+                          Configuration({{LabelSet{o}, 2}})});
+  p.validate();
+  return p;
+}
+
+Problem sinklessOrientationProblem(Count delta) {
+  if (delta < 2) throw Error("sinklessOrientationProblem: delta must be >= 2");
+  Problem p;
+  const Label i = p.alphabet.add("I");
+  const Label o = p.alphabet.add("O");
+  p.node = Constraint(
+      delta, {Configuration({{LabelSet{o}, 1}, {LabelSet{i, o}, delta - 1}})});
+  p.edge = Constraint(2, {Configuration({{LabelSet{i}, 1}, {LabelSet{o}, 1}})});
+  p.validate();
+  return p;
+}
+
+}  // namespace relb::re

@@ -1,0 +1,61 @@
+// Problem: a locally checkable problem in the round-elimination formalism.
+//
+// A problem is a triple (alphabet, node constraint, edge constraint) on
+// Delta-regular graphs (Section 2.2 of the paper).  Problems are value types.
+//
+// Text format (round-eliminator style): one configuration per line, groups
+// separated by whitespace.  A group is either a label name, or a disjunction
+// "[AB]" / "[A B]", optionally followed by an exponent "^k", e.g.
+//
+//     M^3
+//     P O^2
+//
+//     M [PO]
+//     O O
+//
+// for the MIS problem at Delta = 3.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "re/alphabet.hpp"
+#include "re/constraint.hpp"
+
+namespace relb::re {
+
+struct Problem {
+  Alphabet alphabet;
+  Constraint node;  // degree Delta
+  Constraint edge;  // degree 2
+
+  [[nodiscard]] Count delta() const { return node.degree(); }
+
+  /// Validates internal consistency: edge degree 2, supports within the
+  /// alphabet.  Throws Error on violation.
+  void validate() const;
+
+  /// Parses node and edge constraints; labels are registered in order of
+  /// first appearance.  Throws Error on malformed input.
+  static Problem parse(std::string_view nodeConstraint,
+                       std::string_view edgeConstraint);
+
+  /// Renders the problem in the text format above.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Parses a single configuration line against (and extending) `alphabet`.
+[[nodiscard]] Configuration parseConfiguration(std::string_view line,
+                                               Alphabet& alphabet);
+
+/// The classic MIS encoding (Section 2.2):  N = { M^Delta, P O^{Delta-1} },
+/// E = { M[PO], OO }.
+[[nodiscard]] Problem misProblem(Count delta);
+
+/// The sinkless-orientation problem:  N = { I O^{Delta-1} }, E = { IO, II }
+/// (every node has >= 1 incoming edge marked I on its side; no edge is
+/// outgoing on both sides).  A classic fixed point of round elimination for
+/// Delta >= 3; used as an engine self-check.
+[[nodiscard]] Problem sinklessOrientationProblem(Count delta);
+
+}  // namespace relb::re

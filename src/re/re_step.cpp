@@ -1,0 +1,389 @@
+#include "re/re_step.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace relb::re {
+
+namespace {
+
+// Builds the fresh alphabet for a collection of label sets over the old
+// alphabet.  Singletons keep their old name; larger sets get a parenthesized
+// concatenation, e.g. "(MOX)".
+Alphabet freshAlphabet(const std::vector<LabelSet>& sets,
+                       const Alphabet& oldAlphabet) {
+  Alphabet fresh;
+  for (LabelSet s : sets) {
+    const auto labels = s.toVector();
+    if (labels.size() == 1) {
+      fresh.add(oldAlphabet.name(labels[0]));
+      continue;
+    }
+    std::string name = "(";
+    bool multiChar = false;
+    for (Label l : labels) multiChar |= oldAlphabet.name(l).size() > 1;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0 && multiChar) name += ' ';
+      name += oldAlphabet.name(labels[i]);
+    }
+    name += ')';
+    fresh.add(std::move(name));
+  }
+  return fresh;
+}
+
+// Replacement method (Section 2.3): rewrites a constraint over the old
+// alphabet into one over the fresh alphabet by replacing every old label y
+// with the disjunction of all fresh labels whose meaning contains y; for a
+// group with set S this is the set of fresh labels whose meaning intersects
+// S.
+Constraint replaceConstraint(const Constraint& constraint,
+                             const std::vector<LabelSet>& meaning) {
+  Constraint out(constraint.degree(), {});
+  for (const auto& c : constraint.configurations()) {
+    // A group whose labels are represented by no fresh label makes the whole
+    // configuration unrealizable; drop it.
+    bool realizable = true;
+    auto mapped = c.mapSets([&](LabelSet oldSet) {
+      LabelSet fresh;
+      for (std::size_t n = 0; n < meaning.size(); ++n) {
+        if (meaning[n].intersects(oldSet)) {
+          fresh.insert(static_cast<Label>(n));
+        }
+      }
+      if (fresh.empty()) {
+        realizable = false;
+        fresh.insert(0);  // placeholder; configuration is discarded
+      }
+      return fresh;
+    });
+    if (realizable) out.add(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
+                                        int alphabetSize) {
+  if (edge.degree() != 2) throw Error("edgeCompatibility: degree != 2");
+  std::vector<LabelSet> compat(static_cast<std::size_t>(alphabetSize));
+  for (int a = 0; a < alphabetSize; ++a) {
+    for (int b = a; b < alphabetSize; ++b) {
+      Word w(static_cast<std::size_t>(alphabetSize), 0);
+      ++w[static_cast<std::size_t>(a)];
+      ++w[static_cast<std::size_t>(b)];
+      if (edge.containsWord(w)) {
+        compat[static_cast<std::size_t>(a)].insert(static_cast<Label>(b));
+        compat[static_cast<std::size_t>(b)].insert(static_cast<Label>(a));
+      }
+    }
+  }
+  return compat;
+}
+
+std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
+    const Constraint& edge, int alphabetSize) {
+  if (alphabetSize > 20) {
+    throw Error("maximalEdgePairs: alphabet too large to enumerate subsets");
+  }
+  const auto compat = edgeCompatibility(edge, alphabetSize);
+  // partner(A) = intersection of compat[a] over a in A: the unique largest
+  // set pairable with A.  Maximal pairs are the Galois-closed pairs
+  // (A, partner(A)) with A = partner(partner(A)).
+  const auto partner = [&](LabelSet a) {
+    LabelSet out = LabelSet::full(alphabetSize);
+    forEachLabel(a, [&](Label l) { out = out & compat[l]; });
+    return out;
+  };
+  std::set<std::pair<LabelSet, LabelSet>> pairs;
+  const std::uint32_t count = std::uint32_t{1} << alphabetSize;
+  for (std::uint32_t mask = 1; mask < count; ++mask) {
+    const LabelSet a(mask);
+    const LabelSet b = partner(a);
+    if (b.empty()) continue;
+    const LabelSet closedA = partner(b);
+    assert(partner(closedA) == b);
+    auto p = std::minmax(closedA, b);
+    pairs.emplace(p.first, p.second);
+  }
+  // Galois-closed pairs are maximal against same-orientation growth by
+  // construction, but an unordered configuration can still be dominated in
+  // the swapped orientation; filter those out.
+  std::vector<std::pair<LabelSet, LabelSet>> out;
+  for (const auto& p : pairs) {
+    const bool dominated = std::any_of(
+        pairs.begin(), pairs.end(), [&](const auto& q) {
+          if (q == p) return false;
+          const bool straight =
+              p.first.subsetOf(q.first) && p.second.subsetOf(q.second);
+          const bool swapped =
+              p.first.subsetOf(q.second) && p.second.subsetOf(q.first);
+          return straight || swapped;
+        });
+    if (!dominated) out.push_back(p);
+  }
+  return out;
+}
+
+StepResult applyR(const Problem& p) {
+  p.validate();
+  const int n = p.alphabet.size();
+  const auto pairs = maximalEdgePairs(p.edge, n);
+  if (pairs.empty()) {
+    throw Error("applyR: empty edge constraint after maximization");
+  }
+
+  // Fresh alphabet: all sets appearing in a maximal pair, ordered by bitset
+  // value for determinism.
+  std::set<LabelSet> setsSeen;
+  for (const auto& [a, b] : pairs) {
+    setsSeen.insert(a);
+    setsSeen.insert(b);
+  }
+  StepResult result;
+  result.meaning.assign(setsSeen.begin(), setsSeen.end());
+  result.problem.alphabet = freshAlphabet(result.meaning, p.alphabet);
+
+  const auto freshLabelOf = [&](LabelSet s) {
+    const auto it = std::lower_bound(result.meaning.begin(),
+                                     result.meaning.end(), s);
+    assert(it != result.meaning.end() && *it == s);
+    return static_cast<Label>(it - result.meaning.begin());
+  };
+
+  Constraint edge(2, {});
+  for (const auto& [a, b] : pairs) {
+    const Label la = freshLabelOf(a);
+    const Label lb = freshLabelOf(b);
+    if (la == lb) {
+      edge.add(Configuration({{LabelSet{la}, 2}}));
+    } else {
+      edge.add(Configuration({{LabelSet{la}, 1}, {LabelSet{lb}, 1}}));
+    }
+  }
+  result.problem.edge = std::move(edge);
+  result.problem.node = replaceConstraint(p.node, result.meaning);
+  result.problem.validate();
+  return result;
+}
+
+namespace {
+
+// Words with per-label counts <= 15 over alphabets of <= 16 labels pack into
+// one uint64 (4 bits per label); the Rbar enumeration runs entirely on this
+// encoding.
+using PackedWord = std::uint64_t;
+
+PackedWord packWord(const Word& w) {
+  PackedWord packed = 0;
+  for (std::size_t l = 0; l < w.size(); ++l) {
+    packed |= static_cast<PackedWord>(w[l]) << (4 * l);
+  }
+  return packed;
+}
+
+// True iff some word in `sorted` dominates `p` componentwise (i.e. the
+// partial word p can still be completed to an allowed word).
+bool dominatedBySome(PackedWord p, const std::vector<PackedWord>& words,
+                     int alphabetSize) {
+  for (const PackedWord w : words) {
+    bool ok = true;
+    for (int l = 0; l < alphabetSize; ++l) {
+      if (((p >> (4 * l)) & 0xF) > ((w >> (4 * l)) & 0xF)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+// Definition 7 on explicit slot vectors: true iff there is a perfect
+// matching pairing every slot of `a` with a superset slot of `b`.
+// Allocation-free Kuhn matching; both vectors have the same (small) length.
+bool slotsRelaxTo(const std::vector<LabelSet>& a,
+                  const std::vector<LabelSet>& b) {
+  const int n = static_cast<int>(a.size());
+  // Quick rejects: unions must nest, and every a-slot needs some superset.
+  LabelSet unionA, unionB;
+  for (const LabelSet s : a) unionA = unionA | s;
+  for (const LabelSet s : b) unionB = unionB | s;
+  if (!unionA.subsetOf(unionB)) return false;
+
+  std::array<int, 16> matchOfB{};
+  matchOfB.fill(-1);
+  std::array<bool, 16> visited{};
+  std::function<bool(int)> augment = [&](int i) -> bool {
+    for (int j = 0; j < n; ++j) {
+      if (visited[static_cast<std::size_t>(j)] ||
+          !a[static_cast<std::size_t>(i)].subsetOf(
+              b[static_cast<std::size_t>(j)])) {
+        continue;
+      }
+      visited[static_cast<std::size_t>(j)] = true;
+      if (matchOfB[static_cast<std::size_t>(j)] < 0 ||
+          augment(matchOfB[static_cast<std::size_t>(j)])) {
+        matchOfB[static_cast<std::size_t>(j)] = i;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 0; i < n; ++i) {
+    visited.fill(false);
+    if (!augment(i)) return false;
+  }
+  return true;
+}
+
+// Encodes a multiset of label sets as a Configuration whose groups carry the
+// slot sets directly (one group per distinct set).  Under this encoding,
+// Configuration::relaxesTo is exactly the relaxation order of Definition 7.
+Configuration slotsToConfiguration(const std::vector<LabelSet>& slots) {
+  std::map<LabelSet, Count> counts;
+  for (LabelSet s : slots) ++counts[s];
+  std::vector<Group> groups;
+  groups.reserve(counts.size());
+  for (const auto& [set, count] : counts) groups.push_back({set, count});
+  return Configuration(std::move(groups));
+}
+
+}  // namespace
+
+StepResult applyRbar(const Problem& p, const StepOptions& options) {
+  p.validate();
+  const int n = p.alphabet.size();
+  const Count delta = p.delta();
+  if (delta > options.maxRbarDelta) {
+    throw Error("applyRbar: node degree too large for exact maximization");
+  }
+
+  // Strength relation w.r.t. the node constraint -> right-closed candidate
+  // slot sets (Observation 4 plus the up-closure argument documented in
+  // re_step.hpp).
+  const auto strength =
+      computeStrength(p.node, n, options.enumerationLimit);
+  const auto rcSets = strength.allRightClosedSets(p.alphabet.all());
+
+  if (n > 16 || delta > 15) {
+    throw Error("applyRbar: packed-word enumeration needs <= 16 labels and "
+                "delta <= 15");
+  }
+  const auto nodeWordList =
+      p.node.enumerateWords(n, options.enumerationLimit);
+  std::vector<PackedWord> nodeWords;
+  nodeWords.reserve(nodeWordList.size());
+  for (const Word& w : nodeWordList) nodeWords.push_back(packWord(w));
+  std::sort(nodeWords.begin(), nodeWords.end());
+
+  // Enumerate multisets of right-closed sets of size delta (non-decreasing
+  // index sequences) with prefix sharing: the level set of distinct partial
+  // choice words is extended one slot at a time, and a branch dies as soon
+  // as some partial word can no longer be completed to an allowed word.
+  std::vector<std::vector<LabelSet>> valid;
+  std::vector<LabelSet> slots;
+  // The same partial word recurs across many branches; memoize its
+  // completability.
+  std::unordered_map<PackedWord, bool> completable;
+  const auto canComplete = [&](PackedWord w) {
+    const auto it = completable.find(w);
+    if (it != completable.end()) return it->second;
+    const bool result = dominatedBySome(w, nodeWords, n);
+    completable.emplace(w, result);
+    return result;
+  };
+  std::function<void(std::size_t, const std::vector<PackedWord>&)> rec =
+      [&](std::size_t minIdx, const std::vector<PackedWord>& level) {
+        if (static_cast<Count>(slots.size()) == delta) {
+          // Completion: every distinct choice word must be allowed.
+          const bool all = std::all_of(
+              level.begin(), level.end(), [&](PackedWord w) {
+                return std::binary_search(nodeWords.begin(), nodeWords.end(),
+                                          w);
+              });
+          if (all) valid.push_back(slots);
+          return;
+        }
+        for (std::size_t i = minIdx; i < rcSets.size(); ++i) {
+          std::vector<PackedWord> next;
+          next.reserve(level.size() * static_cast<std::size_t>(
+                                          rcSets[i].size()));
+          for (const PackedWord w : level) {
+            forEachLabel(rcSets[i], [&](Label l) {
+              next.push_back(w + (PackedWord{1} << (4 * l)));
+            });
+          }
+          std::sort(next.begin(), next.end());
+          next.erase(std::unique(next.begin(), next.end()), next.end());
+          const bool viable = std::all_of(next.begin(), next.end(),
+                                          canComplete);
+          if (!viable) continue;
+          slots.push_back(rcSets[i]);
+          rec(i, next);
+          slots.pop_back();
+        }
+      };
+  rec(0, std::vector<PackedWord>{0});
+  if (valid.empty()) {
+    throw Error("applyRbar: node constraint empty after maximization");
+  }
+
+  // Keep only maximal candidates under the relaxation order.  Candidates
+  // are pairwise distinct slot multisets (the DFS emits each once), so
+  // strict domination is `relaxes-to and not equal`.
+  std::vector<Configuration> maximal;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < valid.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (slotsRelaxTo(valid[i], valid[j]) &&
+          !slotsRelaxTo(valid[j], valid[i])) {
+        dominated = true;
+      }
+    }
+    if (!dominated) maximal.push_back(slotsToConfiguration(valid[i]));
+  }
+  std::sort(maximal.begin(), maximal.end());
+  maximal.erase(std::unique(maximal.begin(), maximal.end()), maximal.end());
+
+  // Fresh alphabet: sets appearing in maximal node configurations.
+  std::set<LabelSet> setsSeen;
+  for (const auto& c : maximal) {
+    for (const auto& g : c.groups()) setsSeen.insert(g.set);
+  }
+  StepResult result;
+  result.meaning.assign(setsSeen.begin(), setsSeen.end());
+  result.problem.alphabet = freshAlphabet(result.meaning, p.alphabet);
+
+  const auto freshLabelOf = [&](LabelSet s) {
+    const auto it =
+        std::lower_bound(result.meaning.begin(), result.meaning.end(), s);
+    assert(it != result.meaning.end() && *it == s);
+    return static_cast<Label>(it - result.meaning.begin());
+  };
+
+  Constraint node(delta, {});
+  for (const auto& c : maximal) {
+    std::vector<Group> groups;
+    for (const auto& g : c.groups()) {
+      groups.push_back({LabelSet::single(freshLabelOf(g.set)), g.count});
+    }
+    node.add(Configuration(std::move(groups)));
+  }
+  result.problem.node = std::move(node);
+  result.problem.edge = replaceConstraint(p.edge, result.meaning);
+  result.problem.validate();
+  return result;
+}
+
+Problem speedupStep(const Problem& p, const StepOptions& options) {
+  return applyRbar(applyR(p).problem, options).problem;
+}
+
+}  // namespace relb::re

@@ -1,0 +1,64 @@
+// The round-elimination operators R and Rbar (Section 2.3, following
+// Brandt [PODC'19], Theorem 4.3).
+//
+// Given a problem Pi with complexity T on high-girth Delta-regular graphs,
+// Rbar(R(Pi)) has complexity exactly max{T-1, 0}.  R replaces labels by sets
+// of labels and maximizes the *edge* constraint; Rbar does the same on the
+// *node* constraint.  The sets of the output become fresh labels of the
+// output problem; `StepResult::meaning` records which set of input labels
+// each fresh label stands for.
+//
+// Scalability:
+//   * applyR is exact for every Delta: the edge side is degree-2 (and thus
+//     Delta-independent), and the node side uses the replacement method on
+//     condensed configurations.
+//   * applyRbar must maximize over node configurations; this is done exactly
+//     by enumerating multisets of right-closed label sets with a
+//     deduplicating all-choices check, which is feasible for small Delta
+//     (the number of distinct choice words is bounded by the number of
+//     multisets, not by |set|^Delta).  Guarded by `options.maxRbarDelta`.
+#pragma once
+
+#include <vector>
+
+#include "re/diagram.hpp"
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+struct StepResult {
+  Problem problem;
+  /// meaning[newLabel] = the set of input labels this fresh label denotes.
+  std::vector<LabelSet> meaning;
+};
+
+struct StepOptions {
+  /// applyRbar refuses node degrees above this (enumeration guard).
+  Count maxRbarDelta = 8;
+  /// Word-enumeration cap used for strength computation inside applyRbar.
+  std::size_t enumerationLimit = 2'000'000;
+};
+
+/// Computes Pi' = R(Pi).  Exact for arbitrary Delta.
+[[nodiscard]] StepResult applyR(const Problem& p);
+
+/// Computes Pi'' = Rbar(Pi').  Exact; requires small Delta (see above).
+[[nodiscard]] StepResult applyRbar(const Problem& p,
+                                   const StepOptions& options = {});
+
+/// One full speedup step Rbar(R(Pi)).
+[[nodiscard]] Problem speedupStep(const Problem& p,
+                                  const StepOptions& options = {});
+
+/// The degree-2 compatibility matrix of an edge constraint:
+/// compat[a] = set of labels b such that the word {a, b} is allowed.
+[[nodiscard]] std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
+                                                      int alphabetSize);
+
+/// Helper shared with the symbolic pipeline: the maximal edge configurations
+/// of R(Pi) as unordered pairs of label sets (before renaming).  Exact for
+/// any Delta.
+[[nodiscard]] std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
+    const Constraint& edge, int alphabetSize);
+
+}  // namespace relb::re

@@ -1,0 +1,36 @@
+#include "re/relax.hpp"
+
+namespace relb::re {
+
+bool isZeroRoundRelabeling(const Problem& from, const Problem& to,
+                           const std::vector<Label>& map, std::size_t limit) {
+  if (map.size() != static_cast<std::size_t>(from.alphabet.size())) {
+    throw Error("isZeroRoundRelabeling: map size mismatch");
+  }
+  for (Label l : map) {
+    if (l >= to.alphabet.size()) {
+      throw Error("isZeroRoundRelabeling: map target out of range");
+    }
+  }
+  if (from.node.degree() != to.node.degree()) return false;
+  const auto mapSet = [&](LabelSet s) {
+    LabelSet out;
+    forEachLabel(s, [&](Label l) { out.insert(map[l]); });
+    return out;
+  };
+  for (const auto& c : from.node.configurations()) {
+    if (!to.node.containsAllWordsOf(c.mapSets(mapSet), to.alphabet.size(),
+                                    limit)) {
+      return false;
+    }
+  }
+  for (const auto& c : from.edge.configurations()) {
+    if (!to.edge.containsAllWordsOf(c.mapSets(mapSet), to.alphabet.size(),
+                                    limit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace relb::re

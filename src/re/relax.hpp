@@ -1,0 +1,24 @@
+// Zero-round reductions between problems via label relabeling.
+//
+// If map : Sigma_from -> Sigma_to sends every node configuration of `from`
+// into the node language of `to` and every edge configuration into the edge
+// language of `to`, then any solution of `from` yields a solution of `to` in
+// zero rounds (each node rewrites its own half-edge labels).  This is the
+// basic "simplification" move of round-elimination proofs.
+#pragma once
+
+#include <vector>
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+/// True iff relabeling by `map` (from-label -> to-label, not necessarily
+/// injective) turns every solution of `from` into a solution of `to`.
+/// Exact; uses the groupwise inclusion certificate first and bounded
+/// enumeration as fallback (throws Error if undecidable within `limit`).
+[[nodiscard]] bool isZeroRoundRelabeling(const Problem& from, const Problem& to,
+                                         const std::vector<Label>& map,
+                                         std::size_t limit = 2'000'000);
+
+}  // namespace relb::re

@@ -1,0 +1,59 @@
+#include "re/rename.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace relb::re {
+
+Problem renameProblem(const Problem& p, const std::vector<Label>& map,
+                      Alphabet newAlphabet) {
+  if (map.size() != static_cast<std::size_t>(p.alphabet.size())) {
+    throw Error("renameProblem: map size mismatch");
+  }
+  std::vector<bool> used(static_cast<std::size_t>(newAlphabet.size()), false);
+  for (Label to : map) {
+    if (to >= newAlphabet.size()) throw Error("renameProblem: out of range");
+    if (used[to]) throw Error("renameProblem: map not injective");
+    used[to] = true;
+  }
+  const auto mapSet = [&](LabelSet s) {
+    LabelSet out;
+    forEachLabel(s, [&](Label l) { out.insert(map[l]); });
+    return out;
+  };
+  Problem out;
+  out.alphabet = std::move(newAlphabet);
+  Constraint node(p.node.degree(), {});
+  for (const auto& c : p.node.configurations()) node.add(c.mapSets(mapSet));
+  Constraint edge(2, {});
+  for (const auto& c : p.edge.configurations()) edge.add(c.mapSets(mapSet));
+  out.node = std::move(node);
+  out.edge = std::move(edge);
+  out.validate();
+  return out;
+}
+
+std::optional<std::vector<Label>> findIsomorphism(const Problem& a,
+                                                  const Problem& b) {
+  if (a.alphabet.size() != b.alphabet.size()) return std::nullopt;
+  if (a.node.degree() != b.node.degree()) return std::nullopt;
+  const int n = a.alphabet.size();
+  if (n > 10) throw Error("findIsomorphism: alphabet too large");
+
+  std::vector<Label> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    const Problem renamed = renameProblem(a, perm, b.alphabet);
+    if (sameLanguage(renamed.edge, b.edge, n) &&
+        sameLanguage(renamed.node, b.node, n)) {
+      return perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return std::nullopt;
+}
+
+bool equivalentUpToRenaming(const Problem& a, const Problem& b) {
+  return findIsomorphism(a, b).has_value();
+}
+
+}  // namespace relb::re

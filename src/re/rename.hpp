@@ -1,0 +1,33 @@
+// Renaming and isomorphism of problems.
+//
+// Two problems are *equal up to renaming* if some bijection between their
+// alphabets maps one's node and edge languages onto the other's.  The engine
+// decides this exactly for small alphabets by trying all bijections and
+// comparing languages semantically (sameLanguage), so differently condensed
+// but equal constraint systems are recognized as isomorphic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+/// Applies a label permutation/injection `map` (old label -> new label) to a
+/// problem, producing a problem over `newAlphabet`.  Throws Error if `map`
+/// is not injective or out of range.
+[[nodiscard]] Problem renameProblem(const Problem& p,
+                                    const std::vector<Label>& map,
+                                    Alphabet newAlphabet);
+
+/// Searches for a bijection from `a`'s labels to `b`'s labels under which the
+/// problems have identical node and edge languages.  Returns the mapping if
+/// found.  Requires equal alphabet sizes and |alphabet| <= 10.
+[[nodiscard]] std::optional<std::vector<Label>> findIsomorphism(
+    const Problem& a, const Problem& b);
+
+/// Convenience wrapper around findIsomorphism.
+[[nodiscard]] bool equivalentUpToRenaming(const Problem& a, const Problem& b);
+
+}  // namespace relb::re

@@ -1,0 +1,38 @@
+// Simplification moves on problems: the manual toolkit round-elimination
+// proofs use between speedup steps (Section 1.2's "similarity approach").
+//
+//   * mergeLabels: identify labels via a surjection f; the image problem is
+//     *easier* (any solution maps through f in zero rounds), and its
+//     description is smaller -- the move that fights the doubly exponential
+//     label growth.
+//   * restrictToLabels: drop every configuration mentioning a label outside
+//     `keep`; the restricted problem is *harder* (its solutions are
+//     solutions of the original).
+//
+// autoLowerBound (autobound.hpp) chains speedup + merge searches into fully
+// automatic lower-bound certificates.
+#pragma once
+
+#include <vector>
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+/// The image problem under a label map `map` (old label -> new label over
+/// `newAlphabet`, not necessarily injective): every configuration is
+/// rewritten through the map.  Any solution of `p` becomes a solution of
+/// the image in zero rounds, so the image is at most as hard as `p`.
+[[nodiscard]] Problem mergeLabels(const Problem& p,
+                                  const std::vector<Label>& map,
+                                  Alphabet newAlphabet);
+
+/// Convenience: merge exactly the two labels `a` and `b` (the merged label
+/// keeps `a`'s name).
+[[nodiscard]] Problem mergeTwoLabels(const Problem& p, Label a, Label b);
+
+/// Keeps only configurations entirely inside `keep` (node and edge).  The
+/// result is at least as hard as `p`; throws Error if a constraint empties.
+[[nodiscard]] Problem restrictToLabels(const Problem& p, LabelSet keep);
+
+}  // namespace relb::re

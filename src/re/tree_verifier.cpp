@@ -1,0 +1,330 @@
+#include "re/tree_verifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "re/re_step.hpp"
+
+namespace relb::re {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// View model, Delta = 3.
+//
+// T = 1: a view has, per port p, a component
+//     comp = ownSide + 2*back + 6*(far0 + 2*far1)   in [0, 24)
+// (ownSide: 1 iff this node is side 0 of the edge at p; back: the
+// neighbor's port for this edge; far0/far1: the neighbor's own-side bits at
+// its two other ports, in increasing port order).  viewId = sum comp_p *
+// 24^p, 13824 views; every view occurs on high-girth 3-regular trees.
+//
+// T = 0: a view is the three own-side bits, 8 views.
+//
+// Two terminals (view, port) can share an edge iff their *interfaces* are
+// mirrors of each other:
+//     iface  = (p, s, b, far, others),   mirror = (b, 1-s, p, others, far)
+// where `others` packs the view's own-side bits at its two other ports (the
+// far bits the partner sees).  At T = 0 the interface is just s with mirror
+// 1-s.  Crucially, the mirror is *unique*, and every terminal pair with
+// mirroring interfaces is realizable; so a deterministic algorithm is
+// correct iff for every interface class c, the set of labels it emits at c
+// and the set at mirror(c) are pointwise edge-compatible.  W.l.o.g. those
+// per-class sets can be grown to *maximal compatible set pairs* -- the same
+// Galois pairs the R operator maximizes over -- which turns T-round
+// solvability into a small CSP: pick one oriented maximal pair per mirror
+// class pair such that every view retains an output value whose port labels
+// lie in the chosen sets.
+// ---------------------------------------------------------------------------
+
+struct Comp {
+  int ownSide;
+  int back;
+  int far;  // 2 bits
+};
+
+Comp unpackComp(int comp) {
+  return {comp % 2, (comp / 2) % 3, comp / 6};
+}
+
+class TreeModel {
+ public:
+  explicit TreeModel(int radius) : t_(radius) {}
+
+  [[nodiscard]] int viewCount() const { return t_ == 0 ? 8 : 24 * 24 * 24; }
+  [[nodiscard]] int ifaceCount() const { return t_ == 0 ? 2 : 288; }
+
+  [[nodiscard]] int compOf(int view, int port) const {
+    if (t_ == 0) return (view >> port) & 1;  // own side bit only
+    for (int i = 0; i < port; ++i) view /= 24;
+    return view % 24;
+  }
+
+  [[nodiscard]] int ifaceOf(int view, int port) const {
+    if (t_ == 0) return (view >> port) & 1;
+    const Comp c = unpackComp(compOf(view, port));
+    int others = 0;
+    int idx = 0;
+    for (int q = 0; q < 3; ++q) {
+      if (q == port) continue;
+      others |= unpackComp(compOf(view, q)).ownSide << idx;
+      ++idx;
+    }
+    // Pack (p, s, b, far, others): 3 * 2 * 3 * 4 * 4 = 288 interfaces.
+    return (((port * 2 + c.ownSide) * 3 + c.back) * 4 + c.far) * 4 + others;
+  }
+
+  [[nodiscard]] int mirrorOf(int iface) const {
+    if (t_ == 0) return 1 - iface;
+    const int others = iface % 4;
+    const int far = (iface / 4) % 4;
+    const int b = (iface / 16) % 3;
+    const int s = (iface / 48) % 2;
+    const int p = iface / 96;
+    return (((b * 2 + (1 - s)) * 3 + p) * 4 + others) * 4 + far;
+  }
+
+ private:
+  int t_;
+};
+
+}  // namespace
+
+bool treeSolvable3(const Problem& p, int radius, long searchBudget) {
+  p.validate();
+  if (p.delta() != 3) throw Error("treeSolvable3: requires Delta = 3");
+  if (radius < 0 || radius > 1) throw Error("treeSolvable3: radius in {0,1}");
+  const int n = p.alphabet.size();
+  if (n > 16) throw Error("treeSolvable3: alphabet too large");
+
+  // Output values: label triples whose multiset is an allowed node
+  // configuration, stored as per-port label bit masks for fast filtering.
+  struct Value {
+    std::array<std::uint32_t, 3> bit;  // 1u << label, per port
+  };
+  std::vector<Value> baseDomain;
+  for (Label a = 0; a < n; ++a) {
+    for (Label b = 0; b < n; ++b) {
+      for (Label c = 0; c < n; ++c) {
+        Word w(static_cast<std::size_t>(n), 0);
+        ++w[a];
+        ++w[b];
+        ++w[c];
+        if (p.node.containsWord(w)) {
+          baseDomain.push_back({{1u << a, 1u << b, 1u << c}});
+        }
+      }
+    }
+  }
+  if (baseDomain.empty()) return false;
+
+  // Candidate per-class label-set pairs: the maximal edge-compatible set
+  // pairs (exactly the Galois pairs of the R operator), in both
+  // orientations.
+  const auto maximalPairs = maximalEdgePairs(p.edge, n);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> orientedPairs;
+  for (const auto& [a, b] : maximalPairs) {
+    orientedPairs.emplace_back(a.bits(), b.bits());
+    if (a != b) orientedPairs.emplace_back(b.bits(), a.bits());
+  }
+  if (orientedPairs.empty()) return false;
+
+  const TreeModel model(radius);
+  const int views = model.viewCount();
+  const int ifaces = model.ifaceCount();
+
+  // Group interfaces into mirror pairs; pairVar[c] = index of the pair
+  // variable, side[c] = which component of the oriented pair applies to c.
+  std::vector<int> pairVar(static_cast<std::size_t>(ifaces), -1);
+  std::vector<int> side(static_cast<std::size_t>(ifaces), 0);
+  int numPairs = 0;
+  for (int c = 0; c < ifaces; ++c) {
+    if (pairVar[static_cast<std::size_t>(c)] >= 0) continue;
+    const int m = model.mirrorOf(c);
+    pairVar[static_cast<std::size_t>(c)] = numPairs;
+    side[static_cast<std::size_t>(c)] = 0;
+    pairVar[static_cast<std::size_t>(m)] = numPairs;
+    side[static_cast<std::size_t>(m)] = 1;
+    ++numPairs;
+  }
+
+  // Per-view constraint scopes: the (pair variable, side) feeding each port.
+  // Views whose port multisets coincide impose identical constraints (the
+  // value set is closed under port permutation), so scopes are deduplicated
+  // after sorting.
+  struct Scope {
+    std::array<std::pair<int, int>, 3> port;  // (var, side), sorted
+  };
+  std::vector<Scope> scopes;
+  {
+    std::set<std::array<std::pair<int, int>, 3>> seen;
+    for (int v = 0; v < views; ++v) {
+      std::array<std::pair<int, int>, 3> ports;
+      for (int q = 0; q < 3; ++q) {
+        const int c = model.ifaceOf(v, q);
+        ports[static_cast<std::size_t>(q)] = {
+            pairVar[static_cast<std::size_t>(c)],
+            side[static_cast<std::size_t>(c)]};
+      }
+      std::sort(ports.begin(), ports.end());
+      if (seen.insert(ports).second) scopes.push_back({ports});
+    }
+  }
+  std::vector<std::vector<int>> scopesOf(static_cast<std::size_t>(numPairs));
+  for (std::size_t s = 0; s < scopes.size(); ++s) {
+    for (const auto& [var, sd] : scopes[s].port) {
+      auto& list = scopesOf[static_cast<std::size_t>(var)];
+      if (list.empty() || list.back() != static_cast<int>(s)) {
+        list.push_back(static_cast<int>(s));
+      }
+    }
+  }
+
+  // CSP over pair variables; domain = indices into orientedPairs.
+  std::vector<std::vector<int>> domain(
+      static_cast<std::size_t>(numPairs), [&] {
+        std::vector<int> all(orientedPairs.size());
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          all[i] = static_cast<int>(i);
+        }
+        return all;
+      }());
+
+  // A scope is satisfiable under masks allowed[port] iff some output value
+  // fits all three ports; memoized on the (sorted) mask triple -- the value
+  // set is port-permutation closed, so sorting is sound.
+  std::unordered_map<std::uint64_t, bool> feasCache;
+  const auto feasible = [&](std::array<std::uint32_t, 3> allowed) {
+    std::sort(allowed.begin(), allowed.end());
+    const std::uint64_t key = (static_cast<std::uint64_t>(allowed[0]) << 32) ^
+                              (static_cast<std::uint64_t>(allowed[1]) << 16) ^
+                              allowed[2];
+    const auto it = feasCache.find(key);
+    if (it != feasCache.end()) return it->second;
+    const bool ok = std::any_of(baseDomain.begin(), baseDomain.end(),
+                                [&](const Value& value) {
+                                  return (value.bit[0] & allowed[0]) &&
+                                         (value.bit[1] & allowed[1]) &&
+                                         (value.bit[2] & allowed[2]);
+                                });
+    feasCache.emplace(key, ok);
+    return ok;
+  };
+
+  // Union of the chosen set over a pair variable's current domain, per side.
+  const auto unionMask = [&](int var, int sd) {
+    std::uint32_t mask = 0;
+    for (const int idx : domain[static_cast<std::size_t>(var)]) {
+      const auto& pr = orientedPairs[static_cast<std::size_t>(idx)];
+      mask |= sd == 0 ? pr.first : pr.second;
+    }
+    return mask;
+  };
+  const auto pairMask = [&](int idx, int sd) {
+    const auto& pr = orientedPairs[static_cast<std::size_t>(idx)];
+    return sd == 0 ? pr.first : pr.second;
+  };
+
+  // Sound (union-based) pruning with a change-driven worklist: drop a pair
+  // value if fixing it makes some scope infeasible even with every other
+  // variable at its full union.
+  const auto propagate = [&](std::vector<int> queue) -> bool {
+    std::vector<bool> queued(static_cast<std::size_t>(numPairs), false);
+    for (int var : queue) queued[static_cast<std::size_t>(var)] = true;
+    while (!queue.empty()) {
+      const int var = queue.back();
+      queue.pop_back();
+      queued[static_cast<std::size_t>(var)] = false;
+      for (const int s : scopesOf[static_cast<std::size_t>(var)]) {
+        const auto& scope = scopes[static_cast<std::size_t>(s)];
+        std::array<std::uint32_t, 3> unions{};
+        for (int q = 0; q < 3; ++q) {
+          unions[static_cast<std::size_t>(q)] =
+              unionMask(scope.port[static_cast<std::size_t>(q)].first,
+                        scope.port[static_cast<std::size_t>(q)].second);
+        }
+        // Prune every variable of the scope against it.
+        for (int target = 0; target < 3; ++target) {
+          const int tv = scope.port[static_cast<std::size_t>(target)].first;
+          auto& dom = domain[static_cast<std::size_t>(tv)];
+          const auto bad = [&](int idx) {
+            std::array<std::uint32_t, 3> allowed = unions;
+            for (int q = 0; q < 3; ++q) {
+              if (scope.port[static_cast<std::size_t>(q)].first == tv) {
+                allowed[static_cast<std::size_t>(q)] = pairMask(
+                    idx, scope.port[static_cast<std::size_t>(q)].second);
+              }
+            }
+            return !feasible(allowed);
+          };
+          const auto before = dom.size();
+          dom.erase(std::remove_if(dom.begin(), dom.end(), bad), dom.end());
+          if (dom.empty()) return false;
+          if (dom.size() != before && !queued[static_cast<std::size_t>(tv)]) {
+            queued[static_cast<std::size_t>(tv)] = true;
+            queue.push_back(tv);
+          }
+        }
+      }
+    }
+    return true;
+  };
+
+  // Exact check of a full assignment.
+  const auto fullCheck = [&]() {
+    for (const auto& scope : scopes) {
+      std::array<std::uint32_t, 3> allowed{};
+      for (int q = 0; q < 3; ++q) {
+        allowed[static_cast<std::size_t>(q)] = pairMask(
+            domain[static_cast<std::size_t>(
+                scope.port[static_cast<std::size_t>(q)].first)][0],
+            scope.port[static_cast<std::size_t>(q)].second);
+      }
+      if (!feasible(allowed)) return false;
+    }
+    return true;
+  };
+
+  // MRV backtracking with a node budget: the CSP is an exists-forall search
+  // in disguise (the adversary picks a bad view for every set choice), so
+  // refutations can be exponential; past the budget we report "undecided"
+  // rather than silently mislabeling the problem.
+  long nodesLeft = searchBudget;
+  std::function<bool(std::vector<int>)> search =
+      [&](std::vector<int> touched) -> bool {
+    if (--nodesLeft < 0) {
+      throw Error("treeSolvable3: search budget exceeded (undecided)");
+    }
+    if (!propagate(std::move(touched))) return false;
+    int pick = -1;
+    std::size_t best = 0;
+    for (int var = 0; var < numPairs; ++var) {
+      const auto size = domain[static_cast<std::size_t>(var)].size();
+      if (size > 1 && (pick < 0 || size < best)) {
+        pick = var;
+        best = size;
+      }
+    }
+    if (pick < 0) return fullCheck();
+    const auto saved = domain;
+    for (const int idx : saved[static_cast<std::size_t>(pick)]) {
+      domain = saved;
+      domain[static_cast<std::size_t>(pick)] = {idx};
+      if (search({pick})) return true;
+    }
+    domain = saved;
+    return false;
+  };
+  std::vector<int> all(static_cast<std::size_t>(numPairs));
+  for (int var = 0; var < numPairs; ++var) {
+    all[static_cast<std::size_t>(var)] = var;
+  }
+  return search(std::move(all));
+}
+
+}  // namespace relb::re

@@ -1,0 +1,32 @@
+// Exact T-round solvability on 3-regular high-girth trees in the
+// port-numbering model with edge ports, for T in {0, 1} -- the Delta = 3
+// companion of cycle_verifier.hpp, reaching into the degree regime where
+// the paper's problems actually live (MIS at Delta = 3, the family
+// Pi_3(a,x), ...).
+//
+// A radius-1 view of a node consists of, per port p in {0,1,2}: the side of
+// its own edge at p, the neighbor's back-port, and the sides of the
+// neighbor's two other edges (listed by the neighbor's port order).  Every
+// combination of these values occurs on high-girth 3-regular trees, so
+// T-round solvability is again a finite CSP: outputs per view such that
+// every realizable adjacent pair of views satisfies the constraints.
+//
+// Together with cycleSolvable this lets the tests check the speedup theorem
+//     treeSolvable3(Pi, 1) == treeSolvable3(Rbar(R(Pi)), 0)
+// on the paper's own encodings and on random Delta = 3 problems.
+#pragma once
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+/// Exact T-round solvability of a Delta = 3 problem on high-girth 3-regular
+/// trees, T in {0, 1}.  Throws Error if p.delta() != 3, or if the refutation
+/// search exceeds `searchBudget` nodes (the underlying question is
+/// exists-forall, so adversarially symmetric instances -- e.g. sinkless
+/// orientation at T = 1 -- can force exponential search; the budget makes
+/// "undecided" an explicit outcome instead of a hang).
+[[nodiscard]] bool treeSolvable3(const Problem& p, int radius,
+                                 long searchBudget = 200'000);
+
+}  // namespace relb::re

@@ -1,0 +1,34 @@
+// Basic value types shared by the round-elimination engine.
+//
+// The engine manipulates locally checkable problems in the formalism of
+// Brandt [PODC'19]: an alphabet of labels, a node constraint (a set of
+// configurations of length Delta) and an edge constraint (a set of
+// configurations of length 2).  Labels are small integers indexing into an
+// Alphabet; sets of labels are bitsets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace relb::re {
+
+/// Index of a label within an Alphabet.
+using Label = std::uint8_t;
+
+/// Exponents / degrees.  Signed 64-bit so that condensed configurations can
+/// describe problems on trees of degree up to 2^62 without overflow.
+using Count = std::int64_t;
+
+/// Maximum number of labels a single alphabet may hold.  LabelSet is a 32-bit
+/// bitset; every public entry point validates against this limit.
+inline constexpr int kMaxLabels = 32;
+
+/// Exception type thrown on API misuse (malformed configurations, alphabet
+/// overflow, parse errors, ...).  Internal invariant violations use assert.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace relb::re

@@ -1,0 +1,107 @@
+#include "re/zero_round.hpp"
+
+#include <algorithm>
+
+#include "re/re_step.hpp"
+
+namespace relb::re {
+
+bool selfCompatible(const Problem& p, Label l) {
+  Word w(static_cast<std::size_t>(p.alphabet.size()), 0);
+  w[l] += 2;
+  return p.edge.containsWord(w);
+}
+
+LabelSet selfCompatibleLabels(const Problem& p) {
+  LabelSet out;
+  for (int l = 0; l < p.alphabet.size(); ++l) {
+    if (selfCompatible(p, static_cast<Label>(l))) {
+      out.insert(static_cast<Label>(l));
+    }
+  }
+  return out;
+}
+
+std::optional<Word> zeroRoundSymmetricWitness(const Problem& p) {
+  const LabelSet good = selfCompatibleLabels(p);
+  for (const auto& config : p.node.configurations()) {
+    Word witness(static_cast<std::size_t>(p.alphabet.size()), 0);
+    bool feasible = true;
+    for (const Group& g : config.groups()) {
+      const LabelSet allowed = g.set & good;
+      if (allowed.empty()) {
+        feasible = false;
+        break;
+      }
+      witness[allowed.min()] += g.count;
+    }
+    if (feasible) return witness;
+  }
+  return std::nullopt;
+}
+
+bool zeroRoundSolvableSymmetricPorts(const Problem& p) {
+  return zeroRoundSymmetricWitness(p).has_value();
+}
+
+bool zeroRoundSolvableAdversarialPorts(const Problem& p) {
+  const auto compat = edgeCompatibility(p.edge, p.alphabet.size());
+  // A support set S works iff S x S (including diagonal) is edge-compatible.
+  const auto cliqueOk = [&](LabelSet s) {
+    bool ok = true;
+    forEachLabel(s, [&](Label l) {
+      if (!s.subsetOf(compat[l])) ok = false;
+    });
+    return ok;
+  };
+  for (const auto& config : p.node.configurations()) {
+    // Greedy is not enough here (the choice within one group affects the
+    // clique condition globally), so search over per-group label choices;
+    // groups are few, and only the support matters, so dedupe by support.
+    const auto& groups = config.groups();
+    std::vector<LabelSet> supports{LabelSet{}};
+    for (const Group& g : groups) {
+      std::vector<LabelSet> next;
+      for (LabelSet s : supports) {
+        forEachLabel(g.set, [&](Label l) {
+          LabelSet extended = s;
+          extended.insert(l);
+          next.push_back(extended);
+        });
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      supports = std::move(next);
+    }
+    for (LabelSet s : supports) {
+      if (cliqueOk(s)) return true;
+    }
+  }
+  return false;
+}
+
+bool zeroRoundSolvableWithEdgeInputs(const Problem& p) {
+  const auto pairs = maximalEdgePairs(p.edge, p.alphabet.size());
+  const auto works = [&](LabelSet a, LabelSet b) {
+    for (Count m = 0; m <= p.delta(); ++m) {
+      const Configuration pattern(
+          {{a, m}, {b, p.delta() - m}});
+      if (!p.node.intersectsConfiguration(pattern)) return false;
+    }
+    return true;
+  };
+  for (const auto& [a, b] : pairs) {
+    if (works(a, b) || (a != b && works(b, a))) return true;
+  }
+  return false;
+}
+
+double randomizedFailureLowerBound(const Problem& p) {
+  if (zeroRoundSolvableSymmetricPorts(p)) return 0.0;
+  const double q = static_cast<double>(p.node.size());
+  const double delta = static_cast<double>(p.delta());
+  const double perPort = 1.0 / (q * delta);
+  return perPort * perPort;
+}
+
+}  // namespace relb::re

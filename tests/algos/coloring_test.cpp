@@ -1,0 +1,88 @@
+#include "algos/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace relb::algos {
+namespace {
+
+TEST(NextPrime, SmallValues) {
+  EXPECT_EQ(nextPrime(0), 2);
+  EXPECT_EQ(nextPrime(2), 2);
+  EXPECT_EQ(nextPrime(3), 3);
+  EXPECT_EQ(nextPrime(4), 5);
+  EXPECT_EQ(nextPrime(14), 17);
+  EXPECT_EQ(nextPrime(1000), 1009);
+}
+
+TEST(LinialStep, ReducesIdsOnTree) {
+  const auto g = local::completeRegularTree(3, 6);  // 190 nodes
+  std::vector<int> ids(static_cast<std::size_t>(g.numNodes()));
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  const auto next = linialStep(g, ids, g.numNodes());
+  EXPECT_TRUE(isProperColoring(g, next.color, next.numColors));
+  EXPECT_LT(next.numColors, g.numNodes());
+  EXPECT_EQ(next.rounds, 1);
+}
+
+TEST(LinialReduction, ReachesPolyDeltaColorsFast) {
+  for (int delta : {3, 4, 6}) {
+    const auto g = local::completeRegularTree(delta, 4);
+    const auto result = linialColorReduction(g);
+    EXPECT_TRUE(isProperColoring(g, result.color, result.numColors));
+    // O(Delta^2) colors: q <= nextPrime(~2 Delta + small), so q^2 bounded.
+    EXPECT_LE(result.numColors, (4 * delta + 8) * (4 * delta + 8));
+    // log*-ish round count: generously small.
+    EXPECT_LE(result.rounds, 8) << "delta=" << delta;
+  }
+}
+
+TEST(LinialReduction, RoundsGrowVerySlowlyWithN) {
+  std::mt19937 rng(5);
+  const auto small = local::randomTree(20, 4, rng);
+  const auto large = local::randomTree(4000, 4, rng);
+  const auto rSmall = linialColorReduction(small);
+  const auto rLarge = linialColorReduction(large);
+  EXPECT_TRUE(isProperColoring(large, rLarge.color, rLarge.numColors));
+  // 200x more nodes costs at most ~2 extra reduction rounds (log* growth).
+  EXPECT_LE(rLarge.rounds, rSmall.rounds + 2);
+}
+
+TEST(ReduceToDeltaPlusOne, ProperAndTight) {
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = local::randomTree(100, 5, rng);
+    const auto result = properColoring(g);
+    EXPECT_TRUE(isProperColoring(g, result.color, g.maxDegree() + 1));
+    EXPECT_EQ(result.numColors, g.maxDegree() + 1);
+  }
+}
+
+TEST(ProperColoring, WorksOnPathAndStar) {
+  const auto path = local::pathGraph(50);
+  const auto pr = properColoring(path);
+  EXPECT_TRUE(isProperColoring(path, pr.color, 3));
+
+  const auto star = local::starGraph(9);
+  const auto sr = properColoring(star);
+  EXPECT_TRUE(isProperColoring(star, sr.color, 10));
+}
+
+TEST(ProperColoring, SingleNode) {
+  const local::Graph g(1);
+  const auto result = properColoring(g);
+  EXPECT_EQ(result.numColors, 1);
+  EXPECT_EQ(result.color[0], 0);
+}
+
+TEST(IsProperColoring, DetectsViolations) {
+  const auto g = local::pathGraph(3);
+  EXPECT_FALSE(isProperColoring(g, {0, 0, 1}, 2));
+  EXPECT_FALSE(isProperColoring(g, {0, 1}, 2));     // size mismatch
+  EXPECT_FALSE(isProperColoring(g, {0, 2, 0}, 2));  // out of range
+  EXPECT_TRUE(isProperColoring(g, {0, 1, 0}, 2));
+}
+
+}  // namespace
+}  // namespace relb::algos

@@ -1,0 +1,114 @@
+#include "algos/defective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace relb::algos {
+namespace {
+
+struct DefCase {
+  int n;
+  int maxDegree;
+  int k;
+  unsigned seed;
+};
+
+class DefectiveSweep : public ::testing::TestWithParam<DefCase> {};
+
+TEST_P(DefectiveSweep, DefectAndColorBoundsHold) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed);
+  const auto g = local::randomTree(param.n, param.maxDegree, rng);
+  const auto proper = properColoring(g);
+  ASSERT_TRUE(isProperColoring(g, proper.color, proper.numColors));
+
+  const auto def = kDefectiveColoring(g, proper, param.k);
+  EXPECT_LE(defectOf(g, def.color), param.k);
+  EXPECT_EQ(def.rounds, 1);
+  // O((Delta/k)^2 + Delta) classes.
+  const int delta = g.maxDegree();
+  const int budget = delta / (param.k + 1) + 1;
+  const int q = static_cast<int>(
+      nextPrime(std::max<long long>({2, budget,
+                                     static_cast<long long>(
+                                         std::ceil(std::sqrt(delta + 1.0)))})));
+  EXPECT_LE(def.numColors, (q + 30) * (q + 30));
+}
+
+TEST_P(DefectiveSweep, ArbdefectBoundsHold) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 1);
+  const auto g = local::randomTree(param.n, param.maxDegree, rng);
+  const auto proper = properColoring(g);
+  const auto arb = kArbdefectiveColoring(g, proper, param.k);
+  const int out = arbdefectOf(g, arb.color, arb.orientation);
+  ASSERT_GE(out, 0) << "some intra-class edge unoriented";
+  EXPECT_LE(out, param.k);
+  // ceil((Delta+1)/(k+1)) classes.
+  EXPECT_EQ(arb.numColors,
+            (g.maxDegree() + 1 + param.k) / (param.k + 1));
+  EXPECT_EQ(arb.rounds, proper.numColors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DefectiveSweep,
+    ::testing::Values(DefCase{50, 4, 1, 1}, DefCase{100, 5, 1, 2},
+                      DefCase{100, 5, 2, 3}, DefCase{200, 8, 2, 4},
+                      DefCase{200, 8, 3, 5}, DefCase{300, 10, 4, 6},
+                      DefCase{300, 10, 1, 7}, DefCase{500, 12, 5, 8}),
+    [](const ::testing::TestParamInfo<DefCase>& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.maxDegree) + "k" +
+             std::to_string(info.param.k) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Defective, ZeroDefectIsProper) {
+  std::mt19937 rng(10);
+  const auto g = local::randomTree(80, 4, rng);
+  const auto proper = properColoring(g);
+  const auto def = kDefectiveColoring(g, proper, 0);
+  EXPECT_EQ(defectOf(g, def.color), 0);
+  EXPECT_TRUE(isProperColoring(g, def.color, def.numColors));
+}
+
+TEST(Defective, LargerKFewerColors) {
+  std::mt19937 rng(20);
+  const auto g = local::randomTree(400, 12, rng);
+  const auto proper = properColoring(g);
+  const auto k1 = kDefectiveColoring(g, proper, 1);
+  const auto k4 = kDefectiveColoring(g, proper, 4);
+  EXPECT_LE(k4.numColors, k1.numColors);
+}
+
+TEST(Arbdefective, FewerBinsThanDegreePlusOne) {
+  std::mt19937 rng(30);
+  const auto g = local::randomTree(200, 9, rng);
+  const auto proper = properColoring(g);
+  const auto arb = kArbdefectiveColoring(g, proper, 3);
+  EXPECT_LT(arb.numColors, g.maxDegree() + 1);
+}
+
+TEST(Defective, DefectOfHelpers) {
+  // Triangle-free sanity: on a star, all-leaves same color has defect 0 at
+  // leaves but the center counts its same-colored neighbors.
+  const auto g = local::starGraph(4);
+  std::vector<int> sameAsCenter{0, 0, 1, 1, 1};
+  EXPECT_EQ(defectOf(g, sameAsCenter), 1);  // center matches leaf 1
+  local::EdgeOrientation o(4, 0);
+  // Intra-class edge 0-1 unoriented -> -1 sentinel.
+  EXPECT_EQ(arbdefectOf(g, sameAsCenter, o), -1);
+  o[0] = 1;
+  EXPECT_EQ(arbdefectOf(g, sameAsCenter, o), 1);
+}
+
+TEST(Defective, RejectsNegativeK) {
+  const auto g = local::pathGraph(3);
+  const auto proper = properColoring(g);
+  EXPECT_THROW(kDefectiveColoring(g, proper, -1), re::Error);
+  EXPECT_THROW(kArbdefectiveColoring(g, proper, -1), re::Error);
+}
+
+}  // namespace
+}  // namespace relb::algos

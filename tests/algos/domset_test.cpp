@@ -1,0 +1,125 @@
+#include "algos/domset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace relb::algos {
+namespace {
+
+struct DsCase {
+  int n;
+  int maxDegree;
+  int k;
+  unsigned seed;
+};
+
+class DomSetSweep : public ::testing::TestWithParam<DsCase> {};
+
+TEST_P(DomSetSweep, OutdegreeVariantValid) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed);
+  const auto g = local::randomTree(param.n, param.maxDegree, rng);
+  const auto result = kOutdegreeDominatingSet(g, param.k);
+  EXPECT_TRUE(local::isKOutdegreeDominatingSet(g, result.inSet,
+                                               result.orientation, param.k));
+}
+
+TEST_P(DomSetSweep, DegreeVariantValid) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 10);
+  const auto g = local::randomTree(param.n, param.maxDegree, rng);
+  const auto result = kDegreeDominatingSet(g, param.k);
+  EXPECT_TRUE(local::isKDegreeDominatingSet(g, result.inSet, param.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DomSetSweep,
+    ::testing::Values(DsCase{50, 4, 0, 1}, DsCase{100, 5, 1, 2},
+                      DsCase{150, 6, 2, 3}, DsCase{200, 8, 3, 4},
+                      DsCase{300, 10, 4, 5}, DsCase{400, 12, 6, 6},
+                      DsCase{500, 14, 2, 7}, DsCase{250, 9, 8, 8}),
+    [](const ::testing::TestParamInfo<DsCase>& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.maxDegree) + "k" +
+             std::to_string(info.param.k) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(DomSet, MisFromColoringIsMis) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = local::randomTree(120, 6, rng);
+    const auto result = misFromColoring(g);
+    EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet));
+  }
+}
+
+TEST(DomSet, KZeroMatchesMisSemantics) {
+  std::mt19937 rng(4);
+  const auto g = local::randomTree(80, 5, rng);
+  const auto result = kOutdegreeDominatingSet(g, 0);
+  EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet));
+  EXPECT_TRUE(
+      local::isKOutdegreeDominatingSet(g, result.inSet, result.orientation, 0));
+}
+
+TEST(DomSet, SweepRoundsShrinkWithK) {
+  // The k-dependence of the paper's upper bound: the sweep stage costs one
+  // round per (arb)defective class, and larger k means fewer classes.
+  std::mt19937 rng(8);
+  const auto g = local::randomTree(600, 16, rng);
+  const auto k1 = kOutdegreeDominatingSet(g, 1);
+  const auto k7 = kOutdegreeDominatingSet(g, 7);
+  EXPECT_LT(k7.roundsSweep, k1.roundsSweep);
+
+  const auto d1 = kDegreeDominatingSet(g, 1);
+  const auto d7 = kDegreeDominatingSet(g, 7);
+  EXPECT_LT(d7.roundsSweep, d1.roundsSweep);
+}
+
+TEST(DomSet, WorksOnPathologicalTrees) {
+  for (const auto& g : {local::starGraph(40), local::broomGraph(15, 25),
+                        local::pathGraph(100)}) {
+    for (int k : {0, 1, 3}) {
+      const auto result = kOutdegreeDominatingSet(g, k);
+      EXPECT_TRUE(local::isKOutdegreeDominatingSet(g, result.inSet,
+                                                   result.orientation, k));
+    }
+  }
+}
+
+TEST(DomSet, GreedyBaselines) {
+  std::mt19937 rng(77);
+  const auto g = local::randomTree(200, 7, rng);
+  const auto mis = greedyMis(g);
+  EXPECT_TRUE(local::isMaximalIndependentSet(g, mis));
+  const auto ds = greedyDominatingSet(g);
+  EXPECT_TRUE(local::isDominatingSet(g, ds));
+  // Greedy DS is no larger than the MIS (both dominate; greedy picks
+  // high-coverage nodes first).
+  const auto size = [](const std::vector<bool>& s) {
+    return std::count(s.begin(), s.end(), true);
+  };
+  EXPECT_LE(size(ds), size(mis) * 2);
+}
+
+TEST(DomSet, LargerKNeverInvalidatesSmallerSolution) {
+  // A k-outdegree DS is also a (k+1)-outdegree DS.
+  std::mt19937 rng(21);
+  const auto g = local::randomTree(150, 8, rng);
+  const auto result = kOutdegreeDominatingSet(g, 2);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_TRUE(
+        local::isKOutdegreeDominatingSet(g, result.inSet, result.orientation, k));
+  }
+}
+
+TEST(DomSet, RejectsNegativeK) {
+  const auto g = local::pathGraph(4);
+  EXPECT_THROW(kOutdegreeDominatingSet(g, -1), re::Error);
+  EXPECT_THROW(kDegreeDominatingSet(g, -2), re::Error);
+}
+
+}  // namespace
+}  // namespace relb::algos

@@ -1,0 +1,80 @@
+#include "algos/luby.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "local/verify.hpp"
+
+namespace relb::algos {
+namespace {
+
+struct LubyCase {
+  int n;
+  int maxDegree;
+  unsigned seed;
+};
+
+class LubySweep : public ::testing::TestWithParam<LubyCase> {};
+
+TEST_P(LubySweep, ProducesMisOnRandomTrees) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed);
+  const auto g = local::randomTree(param.n, param.maxDegree, rng);
+  const auto result = lubyMis(g, rng);
+  EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet));
+  EXPECT_GT(result.phases, 0);
+  EXPECT_EQ(result.rounds, 2 * result.phases);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LubySweep,
+    ::testing::Values(LubyCase{2, 2, 1}, LubyCase{10, 3, 2},
+                      LubyCase{50, 4, 3}, LubyCase{200, 4, 4},
+                      LubyCase{200, 8, 5}, LubyCase{1000, 6, 6},
+                      LubyCase{1000, 3, 7}, LubyCase{3000, 5, 8}),
+    [](const ::testing::TestParamInfo<LubyCase>& info) {
+      return "n" + std::to_string(info.param.n) + "d" +
+             std::to_string(info.param.maxDegree) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Luby, WorksOnPathologicalTrees) {
+  std::mt19937 rng(99);
+  for (const auto& g :
+       {local::starGraph(50), local::broomGraph(20, 30), local::pathGraph(200)}) {
+    const auto result = lubyMis(g, rng);
+    EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet));
+  }
+}
+
+TEST(Luby, WorksOnCycles) {
+  std::mt19937 rng(7);
+  const auto g = local::cycleGraph(101);
+  const auto result = lubyMis(g, rng);
+  EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet));
+}
+
+TEST(Luby, PhasesLogarithmicInN) {
+  // Average phases over seeds must stay within a small multiple of log2 n.
+  std::mt19937 structureRng(1);
+  const auto g = local::randomTree(2000, 5, structureRng);
+  double total = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    std::mt19937 rng(100 + static_cast<unsigned>(t));
+    total += lubyMis(g, rng).phases;
+  }
+  EXPECT_LE(total / trials, 3.0 * std::log2(2000.0));
+}
+
+TEST(Luby, SingleNodeJoins) {
+  const local::Graph g(1);
+  std::mt19937 rng(3);
+  const auto result = lubyMis(g, rng);
+  EXPECT_TRUE(result.inSet[0]);
+  EXPECT_EQ(result.phases, 1);
+}
+
+}  // namespace
+}  // namespace relb::algos

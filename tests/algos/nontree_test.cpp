@@ -1,0 +1,82 @@
+// The upper-bound algorithms on non-tree graphs: cycles and the
+// symmetric-port gadget (K_{Delta,Delta}).  The paper's algorithms are
+// stated for general graphs; trees are only where the *lower* bound lives.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algos/domset.hpp"
+#include "algos/luby.hpp"
+#include "local/verify.hpp"
+
+namespace relb::algos {
+namespace {
+
+TEST(NonTree, LubyOnGadget) {
+  std::mt19937 rng(2);
+  for (int delta : {2, 3, 5, 8}) {
+    const auto g = local::symmetricPortGadget(delta);
+    const auto result = lubyMis(g, rng);
+    EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet))
+        << "delta=" << delta;
+  }
+}
+
+TEST(NonTree, ColoringOnGadget) {
+  for (int delta : {2, 3, 5}) {
+    const auto g = local::symmetricPortGadget(delta);
+    const auto result = properColoring(g);
+    EXPECT_TRUE(isProperColoring(g, result.color, g.maxDegree() + 1));
+  }
+}
+
+TEST(NonTree, MisFromColoringOnCycles) {
+  for (int n : {5, 8, 13, 100}) {
+    const auto g = local::cycleGraph(n);
+    const auto result = misFromColoring(g);
+    EXPECT_TRUE(local::isMaximalIndependentSet(g, result.inSet)) << n;
+  }
+}
+
+TEST(NonTree, KOutdegreeDsOnGadget) {
+  for (int delta : {4, 6}) {
+    const auto g = local::symmetricPortGadget(delta);
+    for (int k : {0, 1, 2}) {
+      const auto result = kOutdegreeDominatingSet(g, k);
+      EXPECT_TRUE(local::isKOutdegreeDominatingSet(g, result.inSet,
+                                                   result.orientation, k))
+          << "delta=" << delta << " k=" << k;
+    }
+  }
+}
+
+TEST(NonTree, KDegreeDsOnCycle) {
+  const auto g = local::cycleGraph(30);
+  for (int k : {0, 1, 2}) {
+    const auto result = kDegreeDominatingSet(g, k);
+    EXPECT_TRUE(local::isKDegreeDominatingSet(g, result.inSet, k)) << k;
+  }
+}
+
+TEST(NonTree, DefectiveColoringOnGadget) {
+  const auto g = local::symmetricPortGadget(6);
+  const auto proper = properColoring(g);
+  for (int k : {1, 2, 3}) {
+    const auto def = kDefectiveColoring(g, proper, k);
+    EXPECT_LE(defectOf(g, def.color), k);
+    const auto arb = kArbdefectiveColoring(g, proper, k);
+    const int out = arbdefectOf(g, arb.color, arb.orientation);
+    ASSERT_GE(out, 0);
+    EXPECT_LE(out, k);
+  }
+}
+
+TEST(NonTree, GreedyEdgeColoringOnGadgetWithinVizing) {
+  auto g = local::symmetricPortGadget(5);
+  const int colors = g.properEdgeColorGreedy();
+  EXPECT_LE(colors, 2 * g.maxDegree() - 1);
+  EXPECT_TRUE(g.edgeColoringIsProper(colors));
+}
+
+}  // namespace
+}  // namespace relb::algos

@@ -1,0 +1,80 @@
+// Port-numbering adversary: every algorithm and conversion must survive a
+// random permutation of each node's port order (the PN model gives the
+// adversary exactly this power).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algos/domset.hpp"
+#include "algos/luby.hpp"
+#include "core/conversions.hpp"
+#include "local/halfedge.hpp"
+#include "local/verify.hpp"
+
+namespace relb {
+namespace {
+
+class ShuffledPorts : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShuffledPorts, AlgorithmsSurvive) {
+  std::mt19937 rng(GetParam());
+  auto g = local::randomTree(150, 6, rng);
+  g.shufflePorts(rng);
+
+  const auto luby = algos::lubyMis(g, rng);
+  EXPECT_TRUE(local::isMaximalIndependentSet(g, luby.inSet));
+
+  const auto det = algos::misFromColoring(g);
+  EXPECT_TRUE(local::isMaximalIndependentSet(g, det.inSet));
+
+  const auto ds = algos::kOutdegreeDominatingSet(g, 2);
+  EXPECT_TRUE(
+      local::isKOutdegreeDominatingSet(g, ds.inSet, ds.orientation, 2));
+}
+
+TEST_P(ShuffledPorts, ConversionsSurvive) {
+  std::mt19937 rng(GetParam() + 100);
+  auto g = local::completeRegularTree(5, 3);
+  g.shufflePorts(rng);
+  ASSERT_TRUE(g.edgeColoringIsProper(5));
+
+  const re::Count delta = 5, a = 5, x = 1;
+  const auto plus = core::syntheticPlusLabelingAlternating(g, delta, a, x);
+  ASSERT_TRUE(
+      local::checkLabeling(g, core::familyPlusProblem(delta, a, x), plus)
+          .ok());
+  const auto converted = core::lemma9Convert(g, plus, delta, a, x);
+  const re::Count aNew = (a - 2 * x - 1) / 2;
+  EXPECT_TRUE(local::checkLabeling(
+                  g, core::familyProblem(delta, aNew, x + 1), converted)
+                  .ok());
+}
+
+TEST_P(ShuffledPorts, CheckerIndependentOfPortOrder) {
+  // A valid labeling stays valid if we *relabel consistently* after a
+  // shuffle: build the labeling after shuffling.
+  std::mt19937 rng(GetParam() + 200);
+  auto g = local::completeRegularTree(4, 3);
+  g.shufflePorts(rng);
+  std::vector<bool> inSet(static_cast<std::size_t>(g.numNodes()), false);
+  for (local::NodeId v = 0; v < g.numNodes(); ++v) {
+    bool blocked = false;
+    for (const auto& he : g.neighbors(v)) {
+      if (inSet[static_cast<std::size_t>(he.neighbor)]) blocked = true;
+    }
+    if (!blocked) inSet[static_cast<std::size_t>(v)] = true;
+  }
+  local::EdgeOrientation orientation(static_cast<std::size_t>(g.numEdges()),
+                                     0);
+  const auto labeling = core::lemma5Labeling(g, inSet, orientation, 4, 0);
+  EXPECT_TRUE(
+      local::checkLabeling(g, core::familyProblem(4, 4, 0), labeling).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShuffledPorts, ::testing::Range(1u, 9u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace relb

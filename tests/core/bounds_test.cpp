@@ -1,0 +1,77 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace relb::core {
+namespace {
+
+TEST(Bounds, LiftTakesMinimum) {
+  // t small: chain limited.
+  EXPECT_DOUBLE_EQ(liftDeterministic(10.0, /*log2n=*/20.0, /*delta=*/4.0),
+                   10.0);
+  // log_Delta n small: n limited (log2n=20, delta=2^10 -> 2 rounds).
+  EXPECT_DOUBLE_EQ(liftDeterministic(100.0, 20.0, 1024.0), 2.0);
+  // Randomized: log2(log2 n)/log2(delta) with log2n = 2^16.
+  EXPECT_DOUBLE_EQ(liftRandomized(100.0, std::exp2(16.0), 16.0), 4.0);
+}
+
+TEST(Bounds, Theorem1DeterministicShape) {
+  // For fixed n, the bound grows with Delta up to the crossover and then
+  // decays as log_Delta n.
+  const double log2n = 64.0;
+  EXPECT_LT(theorem1Deterministic(log2n, 4), theorem1Deterministic(log2n, 256));
+  EXPECT_GT(theorem1Deterministic(log2n, 256),
+            theorem1Deterministic(log2n, 1e9));
+}
+
+TEST(Bounds, CrossoverAtBestDelta) {
+  const double log2n = 100.0;
+  const double bestLog = bestLog2DeltaDeterministic(log2n);
+  EXPECT_NEAR(bestLog, 10.0, 1e-9);  // sqrt(100)
+  // At the best Delta both branches of the min coincide: value sqrt(log n).
+  const double best = std::exp2(bestLog);
+  EXPECT_NEAR(theorem1Deterministic(log2n, best), 10.0, 1e-6);
+  // Corollary 2's formula agrees there.
+  EXPECT_NEAR(corollary2Deterministic(log2n, best), 10.0, 1e-6);
+}
+
+TEST(Bounds, RandomizedIsExponentiallySmaller) {
+  const double log2n = std::exp2(16.0);  // n = 2^(2^16)
+  const double detLog = bestLog2DeltaDeterministic(log2n);
+  const double randLog = bestLog2DeltaRandomized(log2n);
+  EXPECT_GT(detLog, randLog);
+  EXPECT_NEAR(randLog, 4.0, 1e-6);  // sqrt(log2 log2 n) = sqrt(16)
+  EXPECT_NEAR(theorem1Randomized(log2n, std::exp2(randLog)), 4.0, 1e-6);
+}
+
+TEST(Bounds, DegenerateInputsSafe) {
+  EXPECT_DOUBLE_EQ(theorem1Deterministic(3.3, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(theorem1Randomized(0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(corollary2Deterministic(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(corollary2Randomized(-5.0, 2.0), 0.0);
+}
+
+TEST(Bounds, MaxAdmissibleK) {
+  EXPECT_EQ(maxAdmissibleK(1 << 20, 0.25), 32);   // (2^20)^(1/4) = 2^5
+  EXPECT_EQ(maxAdmissibleK(1 << 20, 0.5), 1024);  // 2^10
+  EXPECT_EQ(maxAdmissibleK(1, 0.5), 0);
+  EXPECT_EQ(maxAdmissibleK(1 << 20, 0.0), 0);
+}
+
+TEST(Bounds, Corollary2Randomized) {
+  const double log2n = std::exp2(25.0);  // n = 2^(2^25)
+  EXPECT_NEAR(corollary2Randomized(log2n, 1e9), 5.0, 1e-6);
+  EXPECT_NEAR(corollary2Randomized(log2n, 4.0), 2.0, 1e-6);
+}
+
+TEST(Bounds, LiftMonotoneInChainLength) {
+  for (double t = 1.0; t < 32.0; t *= 2) {
+    EXPECT_LE(liftDeterministic(t, 1e6, 64.0),
+              liftDeterministic(2 * t, 1e6, 64.0));
+  }
+}
+
+}  // namespace
+}  // namespace relb::core

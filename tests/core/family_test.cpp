@@ -1,0 +1,130 @@
+#include "core/family.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/zero_round.hpp"
+
+namespace relb::core {
+namespace {
+
+using re::Count;
+using re::wordFromLabels;
+
+TEST(Family, NodeConstraintMatchesSection31) {
+  const auto p = familyProblem(6, 4, 2);
+  // M^{6-2} X^2, A^4 X^2, P O^5.
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kM, kM, kM, kM, kX, kX}, 5)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kA, kA, kA, kA, kX, kX}, 5)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kP, kO, kO, kO, kO, kO}, 5)));
+  // Wrong multiplicities rejected.
+  EXPECT_FALSE(
+      p.node.containsWord(wordFromLabels({kM, kM, kM, kX, kX, kX}, 5)));
+  EXPECT_FALSE(
+      p.node.containsWord(wordFromLabels({kA, kA, kA, kX, kX, kX}, 5)));
+  EXPECT_FALSE(
+      p.node.containsWord(wordFromLabels({kP, kP, kO, kO, kO, kO}, 5)));
+}
+
+TEST(Family, EdgeConstraintMatchesSection31) {
+  const auto p = familyProblem(4, 3, 1);
+  const auto allowed = [&](re::Label a, re::Label b) {
+    return p.edge.containsWord(wordFromLabels({a, b}, 5));
+  };
+  // "M is not compatible with M, A is not compatible with A, P is not
+  // compatible with P, A or O, while anything else is allowed."
+  for (re::Label a = 0; a < 5; ++a) {
+    for (re::Label b = a; b < 5; ++b) {
+      const bool forbidden = (a == kM && b == kM) || (a == kA && b == kA) ||
+                             (a == kP && (b == kP || b == kA || b == kO)) ||
+                             (b == kP && (a == kP || a == kA || a == kO));
+      EXPECT_EQ(allowed(a, b), !forbidden) << int(a) << "," << int(b);
+    }
+  }
+}
+
+TEST(Family, MisIsKEqualsZeroCase) {
+  // For x = 0 and a = Delta the M and P configurations are exactly the MIS
+  // encoding; only the A configuration is extra.
+  const auto p = familyProblem(3, 3, 0);
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kM, kM, kM}, 5)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kP, kO, kO}, 5)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({kM, kM}, 5)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({kP, kP}, 5)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({kP, kO}, 5)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({kO, kO}, 5)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({kM, kP}, 5)));
+}
+
+TEST(Family, ParameterValidation) {
+  EXPECT_THROW(familyProblem(4, 5, 0), re::Error);
+  EXPECT_THROW(familyProblem(4, 0, 5), re::Error);
+  EXPECT_THROW(familyProblem(4, -1, 0), re::Error);
+  EXPECT_NO_THROW(familyProblem(4, 0, 0));
+  EXPECT_NO_THROW(familyProblem(4, 4, 4));
+}
+
+TEST(Family, HugeDelta) {
+  const Count delta = Count{1} << 40;
+  const auto p = familyProblem(delta, delta / 2, 123);
+  re::Word w(5, 0);
+  w[kM] = delta - 123;
+  w[kX] = 123;
+  EXPECT_TRUE(p.node.containsWord(w));
+  w[kM] -= 1;
+  w[kO] = 1;
+  EXPECT_FALSE(p.node.containsWord(w));
+}
+
+TEST(FamilyPlus, NodeConstraintMatchesLemma8) {
+  const auto p = familyPlusProblem(6, 4, 1);
+  // M^{6-1-1} X^2, A^{4-1-1} X^{6-4+1+1}, P O^5, C^{6-1} X^1.
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kM, kM, kM, kM, kX, kX}, 6)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kA, kA, kX, kX, kX, kX}, 6)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kP, kO, kO, kO, kO, kO}, 6)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({kC, kC, kC, kC, kC, kX}, 6)));
+  EXPECT_FALSE(
+      p.node.containsWord(wordFromLabels({kC, kC, kC, kC, kX, kX}, 6)));
+}
+
+TEST(FamilyPlus, CBehavesLikeASecondA) {
+  const auto p = familyPlusProblem(5, 3, 1);
+  const auto allowed = [&](re::Label a, re::Label b) {
+    return p.edge.containsWord(wordFromLabels({a, b}, 6));
+  };
+  EXPECT_FALSE(allowed(kC, kC));
+  EXPECT_FALSE(allowed(kC, kP));
+  EXPECT_TRUE(allowed(kC, kM));
+  EXPECT_TRUE(allowed(kC, kO));
+  EXPECT_TRUE(allowed(kC, kA));
+  EXPECT_TRUE(allowed(kC, kX));
+  // The Pi edge constraint is untouched for the old labels.
+  EXPECT_FALSE(allowed(kM, kM));
+  EXPECT_FALSE(allowed(kA, kA));
+  EXPECT_FALSE(allowed(kP, kO));
+}
+
+TEST(FamilyPlus, ParameterValidation) {
+  EXPECT_THROW(familyPlusProblem(4, 0, 0), re::Error);   // a < x + 1
+  EXPECT_THROW(familyPlusProblem(4, 4, 4), re::Error);   // x + 1 > delta
+  EXPECT_NO_THROW(familyPlusProblem(4, 1, 0));
+}
+
+TEST(Family, SpeedupParamsRecurrence) {
+  const FamilyParams next = speedupParams({100, 50, 3});
+  EXPECT_EQ(next.a, (50 - 7) / 2);
+  EXPECT_EQ(next.x, 4);
+  EXPECT_EQ(next.delta, 100);
+}
+
+TEST(Family, ZeroRoundSolvabilityBoundary) {
+  // Lemma 12: not solvable for a >= 1 and x <= Delta-1...
+  EXPECT_FALSE(re::zeroRoundSolvableSymmetricPorts(familyProblem(4, 2, 1)));
+  EXPECT_FALSE(re::zeroRoundSolvableSymmetricPorts(familyProblem(4, 1, 3)));
+  // ...and solvable outside that range: a = 0 gives the all-X configuration,
+  // x = Delta gives X^Delta as the M configuration.
+  EXPECT_TRUE(re::zeroRoundSolvableSymmetricPorts(familyProblem(4, 0, 1)));
+  EXPECT_TRUE(re::zeroRoundSolvableSymmetricPorts(familyProblem(4, 2, 4)));
+}
+
+}  // namespace
+}  // namespace relb::core

@@ -1,0 +1,115 @@
+// Machine checks of Lemma 6 and Figure 4 over parameter sweeps, including
+// a failure-injection test showing the verifier is not vacuous.
+#include "core/lemma6.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/diagram.hpp"
+
+namespace relb::core {
+namespace {
+
+using re::Count;
+
+struct Params {
+  Count delta;
+  Count a;
+  Count x;
+};
+
+class Lemma6Sweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Lemma6Sweep, Verifies) {
+  const auto [delta, a, x] = GetParam();
+  const auto result = verifyLemma6(delta, a, x);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_P(Lemma6Sweep, Figure4Holds) {
+  const auto [delta, a, x] = GetParam();
+  EXPECT_TRUE(verifyFigure4(delta, a, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallDeltas, Lemma6Sweep,
+    ::testing::Values(Params{2, 2, 0}, Params{3, 2, 0}, Params{3, 3, 0},
+                      Params{3, 3, 1}, Params{4, 2, 0}, Params{4, 3, 1},
+                      Params{4, 4, 2}, Params{5, 4, 1}, Params{5, 5, 3},
+                      Params{6, 3, 1}, Params{6, 6, 4}, Params{7, 5, 2},
+                      Params{8, 8, 0}, Params{16, 9, 3}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "d" + std::to_string(info.param.delta) + "a" +
+             std::to_string(info.param.a) + "x" +
+             std::to_string(info.param.x);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    LargeDeltas, Lemma6Sweep,
+    ::testing::Values(Params{1 << 10, 1 << 8, 7},
+                      Params{1 << 16, 1 << 13, 100},
+                      Params{Count{1} << 30, Count{1} << 20, 1000},
+                      Params{Count{1} << 40, Count{1} << 39, 0}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "d" + std::to_string(info.param.delta) + "a" +
+             std::to_string(info.param.a) + "x" +
+             std::to_string(info.param.x);
+    });
+
+TEST(Lemma6, ExhaustiveSmallParameterSpace) {
+  // Every valid (a, x) with x + 2 <= a <= delta for delta in {2..6}.
+  for (Count delta = 2; delta <= 6; ++delta) {
+    for (Count a = 2; a <= delta; ++a) {
+      for (Count x = 0; x + 2 <= a; ++x) {
+        const auto result = verifyLemma6(delta, a, x);
+        EXPECT_TRUE(result.ok) << "delta=" << delta << " a=" << a
+                               << " x=" << x << ": " << result.detail;
+      }
+    }
+  }
+}
+
+TEST(Lemma6, RejectsParametersOutsideLemma) {
+  EXPECT_FALSE(verifyLemma6(4, 1, 0).ok);   // a < x + 2
+  EXPECT_FALSE(verifyLemma6(4, 3, 2).ok);   // a < x + 2
+  EXPECT_FALSE(verifyLemma6(4, 5, 0).ok);   // a > delta
+}
+
+TEST(Lemma6, ClaimedProblemHasEightLabels) {
+  const auto claimed = claimedRFamily(8, 5, 1);
+  EXPECT_EQ(claimed.alphabet.size(), 8);
+  EXPECT_EQ(claimed.edge.size(), 4u);
+  EXPECT_EQ(claimed.node.size(), 3u);
+}
+
+TEST(Lemma6, MeaningsAreTheEightRightClosedSets) {
+  // Figure 4's diagram admits exactly 8 right-closed sets; the meanings of
+  // the renamed labels enumerate all of them.
+  const auto pi = familyProblem(5, 4, 1);
+  const auto rel = re::computeStrength(pi.edge, pi.alphabet.size());
+  const auto rc = rel.allRightClosedSets(pi.alphabet.all());
+  const auto meanings = rFamilyMeanings();
+  EXPECT_EQ(rc.size(), meanings.size());
+  for (const auto& m : meanings) {
+    EXPECT_NE(std::find(rc.begin(), rc.end(), m), rc.end());
+  }
+}
+
+// Failure injection: a perturbed "claimed" problem must be rejected, i.e.
+// the comparison in verifyLemma6 actually distinguishes constraint systems.
+TEST(Lemma6, FailureInjectionDetectsPerturbedClaim) {
+  const auto computed = re::applyR(familyProblem(5, 4, 1));
+  auto claimed = claimedRFamily(5, 4, 1);
+  // Drop one edge configuration.
+  re::Constraint smallerEdge(2, {});
+  for (std::size_t i = 0; i + 1 < claimed.edge.size(); ++i) {
+    smallerEdge.add(claimed.edge.configurations()[i]);
+  }
+  auto ca = computed.problem.edge.configurations();
+  auto cb = smallerEdge.configurations();
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  EXPECT_NE(ca, cb);
+}
+
+}  // namespace
+}  // namespace relb::core

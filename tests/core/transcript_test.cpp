@@ -1,0 +1,59 @@
+#include "core/transcript.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::core {
+namespace {
+
+TEST(VerifyChainDeep, PassesOnExactChains) {
+  for (re::Count delta : {re::Count{16}, re::Count{1} << 10}) {
+    const auto chain = exactChain(delta, 1);
+    const auto deep = verifyChainDeep(chain);
+    EXPECT_TRUE(deep.ok) << deep.failure;
+    EXPECT_EQ(deep.lemma6Checks, static_cast<int>(chain.steps.size()) - 1);
+    EXPECT_EQ(deep.lemma8Checks, deep.lemma6Checks);
+    EXPECT_EQ(deep.hardnessChecks, static_cast<int>(chain.steps.size()));
+  }
+}
+
+TEST(VerifyChainDeep, RejectsBogusChain) {
+  Chain bogus;
+  bogus.delta = 64;
+  bogus.steps = {{64, 0}, {60, 1}};
+  const auto deep = verifyChainDeep(bogus);
+  EXPECT_FALSE(deep.ok);
+  EXPECT_NE(deep.failure.find("chain certification"), std::string::npos);
+}
+
+TEST(VerifyChainDeep, RejectsStepOutsideLemmaRange) {
+  // A formally reachable chain whose first step violates the Lemma 6
+  // precondition never arises from exactChain; construct one by hand where
+  // certifyChain passes (Corollary 10 needs 2x+1 <= a and x+2 <= a, which
+  // also covers Lemma 6) -- so instead check a chain with a > delta is
+  // caught at certification.
+  Chain bogus;
+  bogus.delta = 8;
+  bogus.steps = {{9, 0}, {4, 1}};
+  EXPECT_FALSE(verifyChainDeep(bogus).ok);
+}
+
+TEST(Transcript, ContainsTheDerivation) {
+  const auto text = writeTranscript(1 << 10, 1);
+  EXPECT_NE(text.find("LOWER BOUND TRANSCRIPT"), std::string::npos);
+  EXPECT_NE(text.find("Lemma 6 verified"), std::string::npos);
+  EXPECT_NE(text.find("Lemma 8 verified"), std::string::npos);
+  EXPECT_NE(text.find("Lemma 12"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 14"), std::string::npos);
+  EXPECT_NE(text.find("P -> A"), std::string::npos);  // Figure 4 diagram
+  // The chain table lists step 0 with a = delta.
+  EXPECT_NE(text.find("1024"), std::string::npos);
+}
+
+TEST(Transcript, DifferentKDifferentChains) {
+  const auto t1 = writeTranscript(1 << 12, 0);
+  const auto t2 = writeTranscript(1 << 12, 8);
+  EXPECT_NE(t1, t2);
+}
+
+}  // namespace
+}  // namespace relb::core

@@ -1,0 +1,67 @@
+// CONGEST accounting: the paper notes its LOCAL lower bounds carry over to
+// CONGEST (Section 2.1); here the message meter certifies that the
+// *upper-bound* algorithms also fit the CONGEST regime (O(log n)-bit
+// messages).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+
+#include "local/network.hpp"
+
+namespace relb::local {
+namespace {
+
+long bitsOf(int value) {
+  return value <= 0 ? 1 : std::bit_width(static_cast<unsigned>(value));
+}
+
+TEST(Congest, MeterTracksMaximum) {
+  const Graph g = pathGraph(3);
+  SyncNetwork<int> net(g);
+  net.setMessageMeter([](const int& m) { return bitsOf(m); });
+  net.step([](NodeId v, std::span<const int>, std::span<int> out) {
+    for (auto& m : out) m = v == 1 ? 1000 : 1;
+  });
+  EXPECT_EQ(net.maxMessageBits(), 10);  // 1000 needs 10 bits
+}
+
+TEST(Congest, UnmeteredNetworkReportsZero) {
+  const Graph g = pathGraph(2);
+  SyncNetwork<int> net(g);
+  net.step([](NodeId, std::span<const int>, std::span<int> out) {
+    for (auto& m : out) m = 1 << 20;
+  });
+  EXPECT_EQ(net.maxMessageBits(), 0);
+}
+
+TEST(Congest, FloodingStaysLogarithmic) {
+  // Distance flooding on a path: messages are distances < n, i.e.
+  // O(log n) bits -- a CONGEST algorithm.
+  const NodeId n = 64;
+  const Graph g = pathGraph(n);
+  SyncNetwork<int> net(g);
+  net.setMessageMeter([](const int& m) { return bitsOf(m); });
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  dist[0] = 0;
+  for (int round = 0; round < n; ++round) {
+    net.step([&](NodeId v, std::span<const int> in, std::span<int> out) {
+      for (int m : in) {
+        if (m > 0 && (dist[static_cast<std::size_t>(v)] < 0 ||
+                      m < dist[static_cast<std::size_t>(v)])) {
+          dist[static_cast<std::size_t>(v)] = m;
+        }
+      }
+      const int send = dist[static_cast<std::size_t>(v)] >= 0
+                           ? dist[static_cast<std::size_t>(v)] + 1
+                           : 0;
+      for (auto& m : out) m = send;
+    });
+  }
+  EXPECT_LE(net.maxMessageBits(),
+            static_cast<long>(std::ceil(std::log2(n))) + 1);
+}
+
+}  // namespace
+}  // namespace relb::local

@@ -1,0 +1,129 @@
+#include "local/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/types.hpp"
+
+namespace relb::local {
+namespace {
+
+TEST(Graph, BasicAdjacency) {
+  Graph g(3);
+  const EdgeId e0 = g.addEdge(0, 1);
+  const EdgeId e1 = g.addEdge(1, 2);
+  EXPECT_EQ(g.numNodes(), 3);
+  EXPECT_EQ(g.numEdges(), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.halfEdge(0, 0).neighbor, 1);
+  EXPECT_EQ(g.halfEdge(0, 0).edge, e0);
+  EXPECT_EQ(g.portOf(1, e0), 0);
+  EXPECT_EQ(g.portOf(1, e1), 1);
+  EXPECT_THROW((void)g.portOf(0, e1), re::Error);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(0, 0), re::Error);
+  EXPECT_THROW(g.addEdge(0, 2), re::Error);
+  EXPECT_THROW(g.addEdge(-1, 0), re::Error);
+}
+
+TEST(CompleteRegularTree, StructureAndColoring) {
+  for (int delta : {2, 3, 4, 5}) {
+    for (int depth : {0, 1, 2, 3}) {
+      const Graph g = completeRegularTree(delta, depth);
+      EXPECT_TRUE(g.isTree());
+      EXPECT_LE(g.maxDegree(), delta);
+      if (depth >= 1) {
+        EXPECT_EQ(g.maxDegree(), delta);
+      }
+      EXPECT_TRUE(g.edgeColoringIsProper(delta)) << delta << "," << depth;
+      // Interior nodes have degree exactly delta.
+      if (depth >= 2) {
+        EXPECT_EQ(g.degree(0), delta);  // root
+        EXPECT_EQ(g.degree(1), delta);  // depth-1 node
+      }
+    }
+  }
+}
+
+TEST(CompleteRegularTree, NodeCount) {
+  // delta=3, depth=2: 1 + 3 + 6 = 10 nodes.
+  EXPECT_EQ(completeRegularTree(3, 2).numNodes(), 10);
+  // delta=4, depth=3: 1 + 4 + 12 + 36 = 53.
+  EXPECT_EQ(completeRegularTree(4, 3).numNodes(), 53);
+}
+
+TEST(RandomTree, IsTreeWithCapAndProperColors) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = randomTree(60, 5, rng);
+    EXPECT_TRUE(g.isTree());
+    EXPECT_LE(g.maxDegree(), 5);
+    EXPECT_TRUE(g.edgeColoringIsProper(5));
+  }
+}
+
+TEST(Builders, PathCycleStarBroom) {
+  const Graph path = pathGraph(5);
+  EXPECT_TRUE(path.isTree());
+  EXPECT_EQ(path.maxDegree(), 2);
+
+  const Graph cycle = cycleGraph(6);
+  EXPECT_FALSE(cycle.isTree());
+  EXPECT_EQ(cycle.girth(), 6);
+
+  const Graph star = starGraph(7);
+  EXPECT_TRUE(star.isTree());
+  EXPECT_EQ(star.degree(0), 7);
+  EXPECT_TRUE(star.edgeColoringIsProper(7));
+
+  const Graph broom = broomGraph(4, 3);
+  EXPECT_TRUE(broom.isTree());
+  EXPECT_EQ(broom.degree(3), 4);  // path end + 3 bristles
+}
+
+TEST(Girth, TreeHasNone) {
+  EXPECT_EQ(completeRegularTree(3, 3).girth(), -1);
+  EXPECT_EQ(pathGraph(4).girth(), -1);
+}
+
+TEST(SymmetricPortGadget, PortEqualsColorBothSides) {
+  for (int delta : {2, 3, 4, 7}) {
+    const Graph g = symmetricPortGadget(delta);
+    EXPECT_EQ(g.numNodes(), 2 * delta);
+    EXPECT_EQ(g.numEdges(), delta * delta);
+    EXPECT_EQ(g.maxDegree(), delta);
+    EXPECT_TRUE(g.edgeColoringIsProper(delta));
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+      const auto [u, v] = g.endpoints(e);
+      EXPECT_EQ(g.portOf(u, e), g.edgeColor(e));
+      EXPECT_EQ(g.portOf(v, e), g.edgeColor(e));
+    }
+  }
+}
+
+TEST(SymmetricPortGadget, GirthFour) {
+  EXPECT_EQ(symmetricPortGadget(3).girth(), 4);
+}
+
+TEST(GreedyEdgeColoring, TreeUsesAtMostDeltaColors) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = randomTree(40, 4, rng);
+    const int colors = g.properEdgeColorGreedy();
+    EXPECT_LE(colors, 4);
+    EXPECT_TRUE(g.edgeColoringIsProper(colors));
+  }
+}
+
+TEST(GreedyEdgeColoring, CycleMayNeedThree) {
+  Graph g = cycleGraph(5);
+  const int colors = g.properEdgeColorGreedy();
+  EXPECT_LE(colors, 3);
+  EXPECT_TRUE(g.edgeColoringIsProper(colors));
+}
+
+}  // namespace
+}  // namespace relb::local

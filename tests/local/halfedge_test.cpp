@@ -1,0 +1,109 @@
+#include "local/halfedge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/family.hpp"
+#include "re/problem.hpp"
+
+namespace relb::local {
+namespace {
+
+TEST(HalfEdgeLabeling, SetGetAndEdgeView) {
+  Graph g(3);
+  const EdgeId e0 = g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  HalfEdgeLabeling l(g);
+  l.set(0, 0, 2);
+  l.set(1, 0, 1);
+  EXPECT_EQ(l.at(0, 0), 2);
+  EXPECT_EQ(l.atEdge(g, 0, e0), 2);
+  EXPECT_EQ(l.atEdge(g, 1, e0), 1);
+}
+
+TEST(Checker, AcceptsValidMisLabeling) {
+  // Path 0-1-2 with node 1 in the MIS, Delta = 2 at node 1.
+  const Graph g = pathGraph(3);
+  const auto mis = re::misProblem(2);
+  HalfEdgeLabeling l(g);
+  const auto m = mis.alphabet.at("M");
+  const auto p = mis.alphabet.at("P");
+  l.set(1, 0, m);
+  l.set(1, 1, m);
+  l.set(0, 0, p);
+  l.set(2, 0, p);
+  const auto result = checkLabeling(g, mis, l);
+  EXPECT_TRUE(result.ok()) << (result.messages.empty()
+                                   ? ""
+                                   : result.messages.front());
+}
+
+TEST(Checker, RejectsAdjacentMisNodes) {
+  const Graph g = pathGraph(2);
+  const auto mis = re::misProblem(2);
+  HalfEdgeLabeling l(g);
+  const auto m = mis.alphabet.at("M");
+  l.set(0, 0, m);
+  l.set(1, 0, m);
+  const auto result = checkLabeling(g, mis, l);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.edgeViolations, 1);
+  EXPECT_EQ(result.nodeViolations, 0);  // degree-1 nodes skipped
+}
+
+TEST(Checker, NodeConstraintCheckedAtFullDegreeOnly) {
+  const Graph g = starGraph(3);  // center has degree 3, leaves 1
+  const auto mis = re::misProblem(3);
+  HalfEdgeLabeling l(g);
+  const auto m = mis.alphabet.at("M");
+  const auto p = mis.alphabet.at("P");
+  for (Port q = 0; q < 3; ++q) l.set(0, q, m);
+  for (NodeId leaf = 1; leaf <= 3; ++leaf) l.set(leaf, 0, p);
+  EXPECT_TRUE(checkLabeling(g, mis, l).ok());
+  // Break the center's configuration: M M P is not allowed at degree 3.
+  l.set(0, 2, p);
+  const auto result = checkLabeling(g, mis, l);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.nodeViolations, 1);
+}
+
+TEST(Checker, AllNodesModeChecksLeavesToo) {
+  const Graph g = pathGraph(2);
+  const auto mis = re::misProblem(2);
+  HalfEdgeLabeling l(g);
+  l.set(0, 0, mis.alphabet.at("M"));
+  l.set(1, 0, mis.alphabet.at("P"));
+  CheckOptions opts;
+  opts.fullDegreeNodesOnly = false;
+  // Degree-1 node labeled M: word "M" is not M^2, so it violates.
+  const auto result = checkLabeling(g, mis, l, opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.nodeViolations, 2);
+}
+
+TEST(Checker, OutOfRangeLabelReported) {
+  const Graph g = pathGraph(2);
+  const auto mis = re::misProblem(2);
+  HalfEdgeLabeling l(g);
+  l.set(0, 0, 7);  // alphabet has 3 labels
+  l.set(1, 0, mis.alphabet.at("O"));
+  const auto result = checkLabeling(g, mis, l);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Checker, ViolationMessagesCapped) {
+  const Graph g = completeRegularTree(3, 2);
+  const auto pi = core::familyProblem(3, 3, 0);
+  HalfEdgeLabeling l(g);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) l.set(v, p, core::kM);
+  }
+  CheckOptions opts;
+  opts.maxViolations = 3;
+  const auto result = checkLabeling(g, pi, l, opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_LE(result.messages.size(), 3u);
+  EXPECT_GT(result.edgeViolations, 3);
+}
+
+}  // namespace
+}  // namespace relb::local

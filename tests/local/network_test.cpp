@@ -1,0 +1,85 @@
+#include "local/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::local {
+namespace {
+
+TEST(SyncNetwork, DeliversAlongPorts) {
+  // Path 0-1-2; each node sends its id on every port; after one round each
+  // node's inbox holds the neighbor ids in port order.
+  const Graph g = pathGraph(3);
+  SyncNetwork<int> net(g);
+  net.step([](NodeId v, std::span<const int>, std::span<int> out) {
+    for (auto& m : out) m = static_cast<int>(v);
+  });
+  std::vector<std::vector<int>> received(3);
+  net.step([&](NodeId v, std::span<const int> in, std::span<int> out) {
+    received[static_cast<std::size_t>(v)].assign(in.begin(), in.end());
+    for (auto& m : out) m = 0;
+  });
+  EXPECT_EQ(received[0], std::vector<int>{1});
+  EXPECT_EQ(received[1], (std::vector<int>{0, 2}));
+  EXPECT_EQ(received[2], std::vector<int>{1});
+  EXPECT_EQ(net.rounds(), 2);
+}
+
+TEST(SyncNetwork, FirstRoundInboxIsDefault) {
+  const Graph g = pathGraph(2);
+  SyncNetwork<int> net(g);
+  bool sawDefault = true;
+  net.step([&](NodeId, std::span<const int> in, std::span<int> out) {
+    for (int m : in) {
+      if (m != 0) sawDefault = false;
+    }
+    for (auto& m : out) m = 7;
+  });
+  EXPECT_TRUE(sawDefault);
+}
+
+TEST(SyncNetwork, FloodingComputesEccentricity) {
+  // BFS-style flooding on a path: the min-distance-to-node-0 estimate
+  // stabilizes after exactly the eccentricity of node 0.
+  const NodeId n = 6;
+  const Graph g = pathGraph(n);
+  SyncNetwork<int> net(g);  // message: distance-to-0 + 1 (0 = unknown)
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  dist[0] = 0;
+  for (int round = 0; round < n; ++round) {
+    net.step([&](NodeId v, std::span<const int> in, std::span<int> out) {
+      for (int m : in) {
+        if (m > 0 && (dist[static_cast<std::size_t>(v)] < 0 ||
+                      m - 1 < dist[static_cast<std::size_t>(v)])) {
+          dist[static_cast<std::size_t>(v)] = m - 1;
+        }
+      }
+      const int send =
+          dist[static_cast<std::size_t>(v)] >= 0
+              ? dist[static_cast<std::size_t>(v)] + 2  // my dist + 1, +1 enc
+              : 0;
+      for (auto& m : out) m = send == 0 ? 0 : send - 1 + 1;
+    });
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(SyncNetwork, MessagesCrossSimultaneously) {
+  // Two nodes exchange values in the same round (synchronous semantics).
+  const Graph g = pathGraph(2);
+  SyncNetwork<int> net(g);
+  net.step([](NodeId v, std::span<const int>, std::span<int> out) {
+    out[0] = v == 0 ? 100 : 200;
+  });
+  std::vector<int> got(2, 0);
+  net.step([&](NodeId v, std::span<const int> in, std::span<int> out) {
+    got[static_cast<std::size_t>(v)] = in[0];
+    out[0] = 0;
+  });
+  EXPECT_EQ(got[0], 200);
+  EXPECT_EQ(got[1], 100);
+}
+
+}  // namespace
+}  // namespace relb::local

@@ -1,0 +1,99 @@
+#include "local/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/types.hpp"
+
+namespace relb::local {
+namespace {
+
+TEST(Verify, IndependentAndDominating) {
+  const Graph g = pathGraph(4);  // 0-1-2-3
+  std::vector<bool> s{false, true, false, true};
+  EXPECT_TRUE(isIndependentSet(g, s));
+  EXPECT_TRUE(isDominatingSet(g, s));
+  EXPECT_TRUE(isMaximalIndependentSet(g, s));
+
+  std::vector<bool> adjacent{true, true, false, false};
+  EXPECT_FALSE(isIndependentSet(g, adjacent));
+
+  std::vector<bool> sparse{true, false, false, false};
+  EXPECT_TRUE(isIndependentSet(g, sparse));
+  EXPECT_FALSE(isDominatingSet(g, sparse));  // node 2,3 undominated
+  EXPECT_FALSE(isMaximalIndependentSet(g, sparse));
+}
+
+TEST(Verify, EmptySetOnNonemptyGraphNotDominating) {
+  const Graph g = pathGraph(3);
+  std::vector<bool> none(3, false);
+  EXPECT_TRUE(isIndependentSet(g, none));
+  EXPECT_FALSE(isDominatingSet(g, none));
+}
+
+TEST(Verify, InducedDegreeAndKDegreeDs) {
+  const Graph g = starGraph(4);  // center 0
+  std::vector<bool> all(5, true);
+  EXPECT_EQ(inducedMaxDegree(g, all), 4);
+  EXPECT_TRUE(isKDegreeDominatingSet(g, all, 4));
+  EXPECT_FALSE(isKDegreeDominatingSet(g, all, 3));
+
+  std::vector<bool> centerOnly{true, false, false, false, false};
+  EXPECT_EQ(inducedMaxDegree(g, centerOnly), 0);
+  EXPECT_TRUE(isKDegreeDominatingSet(g, centerOnly, 0));
+}
+
+TEST(Verify, OutdegreeOrientationRules) {
+  // Path 0-1-2 with all nodes in S, edges oriented towards node 0.
+  const Graph g = pathGraph(3);
+  std::vector<bool> all(3, true);
+  EdgeOrientation toLeft{-1, -1};  // edge(0,1) -> 0, edge(1,2) -> 1
+  EXPECT_EQ(inducedMaxOutdegree(g, all, toLeft), 1);
+  EXPECT_TRUE(isKOutdegreeDominatingSet(g, all, toLeft, 1));
+  EXPECT_FALSE(isKOutdegreeDominatingSet(g, all, toLeft, 0));
+
+  // Both edges outgoing from node 1: outdegree 2.
+  EdgeOrientation fromMiddle{-1, +1};
+  EXPECT_EQ(inducedMaxOutdegree(g, all, fromMiddle), 2);
+  EXPECT_FALSE(isKOutdegreeDominatingSet(g, all, fromMiddle, 1));
+}
+
+TEST(Verify, UnorientedInducedEdgeRejected) {
+  const Graph g = pathGraph(2);
+  std::vector<bool> all(2, true);
+  EdgeOrientation none{0};
+  EXPECT_EQ(inducedMaxOutdegree(g, all, none), -1);
+  EXPECT_FALSE(isKOutdegreeDominatingSet(g, all, none, 5));
+}
+
+TEST(Verify, OrientationOutsideSetIgnored) {
+  const Graph g = pathGraph(3);
+  std::vector<bool> s{true, false, true};
+  EdgeOrientation none{0, 0};  // no G[S] edges exist
+  EXPECT_EQ(inducedMaxOutdegree(g, s, none), 0);
+  EXPECT_TRUE(isKOutdegreeDominatingSet(g, s, none, 0));
+}
+
+TEST(Verify, KZeroOutdegreeEqualsMis) {
+  const Graph g = broomGraph(3, 2);
+  // Independent dominating set: MIS <=> 0-outdegree DS (no G[S] edges).
+  std::vector<bool> mis(static_cast<std::size_t>(g.numNodes()), false);
+  mis[0] = true;
+  mis[2] = true;  // path end (degree 3 hub at node 2)
+  mis[3] = false;
+  // Greedy: nodes 0, 2 dominate 1; hub 2 dominates bristles 3, 4.
+  EdgeOrientation none(static_cast<std::size_t>(g.numEdges()), 0);
+  EXPECT_EQ(isMaximalIndependentSet(g, mis),
+            isKOutdegreeDominatingSet(g, mis, none, 0));
+}
+
+TEST(Verify, SizeMismatchThrows) {
+  const Graph g = pathGraph(3);
+  std::vector<bool> tooShort(2, true);
+  EXPECT_THROW((void)isIndependentSet(g, tooShort), re::Error);
+  std::vector<bool> all(3, true);
+  EdgeOrientation tooFew{1};
+  EXPECT_THROW((void)inducedMaxOutdegree(g, all, tooFew), re::Error);
+}
+
+}  // namespace
+}  // namespace relb::local

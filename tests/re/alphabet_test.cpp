@@ -1,0 +1,59 @@
+#include "re/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::re {
+namespace {
+
+TEST(Alphabet, AddAndLookup) {
+  Alphabet a;
+  EXPECT_EQ(a.add("M"), 0);
+  EXPECT_EQ(a.add("P"), 1);
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_EQ(a.at("M"), 0);
+  EXPECT_EQ(a.at("P"), 1);
+  EXPECT_EQ(a.name(0), "M");
+  EXPECT_FALSE(a.find("O").has_value());
+  EXPECT_THROW((void)a.at("O"), Error);
+}
+
+TEST(Alphabet, RejectsDuplicatesAndEmptyNames) {
+  Alphabet a;
+  a.add("M");
+  EXPECT_THROW(a.add("M"), Error);
+  EXPECT_THROW(a.add(""), Error);
+}
+
+TEST(Alphabet, GetOrAddIsIdempotent) {
+  Alphabet a;
+  EXPECT_EQ(a.getOrAdd("X"), 0);
+  EXPECT_EQ(a.getOrAdd("X"), 0);
+  EXPECT_EQ(a.size(), 1);
+}
+
+TEST(Alphabet, OverflowRejected) {
+  Alphabet a;
+  for (int i = 0; i < kMaxLabels; ++i) a.add("L" + std::to_string(i));
+  EXPECT_THROW(a.add("Overflow"), Error);
+}
+
+TEST(Alphabet, RenderSingleAndSets) {
+  Alphabet a({"M", "P", "O"});
+  EXPECT_EQ(a.render(LabelSet{0}), "M");
+  EXPECT_EQ(a.render(LabelSet{1, 2}), "[PO]");
+  EXPECT_EQ(a.render(LabelSet{}), "[]");
+}
+
+TEST(Alphabet, RenderMultiCharNamesWithSpaces) {
+  Alphabet a({"M1", "P"});
+  EXPECT_EQ(a.render(LabelSet{0, 1}), "[M1 P]");
+}
+
+TEST(Alphabet, VectorConstructor) {
+  const Alphabet a({"A", "B"});
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_EQ(a.at("B"), 1);
+}
+
+}  // namespace
+}  // namespace relb::re

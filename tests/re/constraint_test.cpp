@@ -1,0 +1,100 @@
+#include "re/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::re {
+namespace {
+
+Configuration cfg(std::vector<Group> groups) {
+  return Configuration(std::move(groups));
+}
+
+TEST(Constraint, DegreeEnforced) {
+  Constraint c(3, {});
+  EXPECT_THROW(c.add(cfg({{LabelSet{0}, 2}})), Error);
+  c.add(cfg({{LabelSet{0}, 3}}));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Constraint, DuplicatesDropped) {
+  Constraint c(2, {});
+  c.add(cfg({{LabelSet{0}, 2}}));
+  c.add(cfg({{LabelSet{0}, 2}}));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Constraint, ContainsWordUnionSemantics) {
+  Constraint c(2, {cfg({{LabelSet{0}, 2}}),                       // AA
+                   cfg({{LabelSet{1}, 1}, {LabelSet{2}, 1}})});   // BC
+  EXPECT_TRUE(c.containsWord(wordFromLabels({0, 0}, 3)));
+  EXPECT_TRUE(c.containsWord(wordFromLabels({1, 2}, 3)));
+  EXPECT_FALSE(c.containsWord(wordFromLabels({0, 1}, 3)));
+  EXPECT_FALSE(c.containsWord(wordFromLabels({1, 1}, 3)));
+}
+
+TEST(Constraint, IntersectsConfiguration) {
+  Constraint c(2, {cfg({{LabelSet{0}, 2}})});
+  EXPECT_TRUE(c.intersectsConfiguration(cfg({{LabelSet{0, 1}, 2}})));
+  EXPECT_FALSE(c.intersectsConfiguration(cfg({{LabelSet{1}, 2}})));
+}
+
+TEST(Constraint, ContainsAllWordsOfUnionNeeded) {
+  // L([AB][AB]) = {AA, AB, BB} is covered by the union of AA | [AB]B,
+  // but by no single configuration.
+  Constraint c(2, {cfg({{LabelSet{0}, 2}}),
+                   cfg({{LabelSet{0, 1}, 1}, {LabelSet{1}, 1}})});
+  EXPECT_TRUE(c.containsAllWordsOf(cfg({{LabelSet{0, 1}, 2}}), 2));
+  // Missing BB -> not contained.
+  Constraint c2(2, {cfg({{LabelSet{0}, 2}}),
+                    cfg({{LabelSet{0}, 1}, {LabelSet{1}, 1}})});
+  EXPECT_FALSE(c2.containsAllWordsOf(cfg({{LabelSet{0, 1}, 2}}), 2));
+}
+
+TEST(Constraint, ContainsAllWordsOfCheapPathHugeExponents) {
+  const Count huge = Count{1} << 40;
+  Constraint c(2 * huge, {cfg({{LabelSet{0, 1}, 2 * huge}})});
+  // Groupwise embedding certifies inclusion without enumeration.
+  EXPECT_TRUE(
+      c.containsAllWordsOf(cfg({{LabelSet{0}, huge}, {LabelSet{1}, huge}}), 2));
+}
+
+TEST(Constraint, EnumerateWordsDeduplicatesAcrossConfigs) {
+  Constraint c(2, {cfg({{LabelSet{0, 1}, 2}}), cfg({{LabelSet{0}, 2}})});
+  const auto words = c.enumerateWords(2);
+  EXPECT_EQ(words.size(), 3u);  // AA, AB, BB
+}
+
+TEST(Constraint, RemoveDominatedConfigurations) {
+  Constraint c(2, {cfg({{LabelSet{0}, 2}}),          // AA (dominated)
+                   cfg({{LabelSet{0, 1}, 2}}),       // [AB]^2
+                   cfg({{LabelSet{2}, 2}})});        // CC (kept)
+  c.removeDominatedConfigurations();
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.containsWord(wordFromLabels({0, 0}, 3)));
+  EXPECT_TRUE(c.containsWord(wordFromLabels({2, 2}, 3)));
+}
+
+TEST(Constraint, RemoveDominatedKeepsOneOfEqualPair) {
+  Constraint c(2, {cfg({{LabelSet{0}, 1}, {LabelSet{1}, 1}}),
+                   cfg({{LabelSet{1}, 1}, {LabelSet{0}, 1}})});
+  // Identical after normalization -> already deduped by add().
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Constraint, SameLanguage) {
+  Constraint a(2, {cfg({{LabelSet{0, 1}, 2}})});
+  Constraint b(2, {cfg({{LabelSet{0}, 2}}), cfg({{LabelSet{1}, 2}}),
+                   cfg({{LabelSet{0}, 1}, {LabelSet{1}, 1}})});
+  EXPECT_TRUE(sameLanguage(a, b, 2));
+  Constraint c(2, {cfg({{LabelSet{0}, 2}}), cfg({{LabelSet{1}, 2}})});
+  EXPECT_FALSE(sameLanguage(a, c, 2));
+}
+
+TEST(Constraint, RenderListsConfigs) {
+  Alphabet alpha({"M", "O"});
+  Constraint c(2, {cfg({{LabelSet{0}, 2}}), cfg({{LabelSet{1}, 2}})});
+  EXPECT_EQ(c.render(alpha), "M^2\nO^2");
+}
+
+}  // namespace
+}  // namespace relb::re

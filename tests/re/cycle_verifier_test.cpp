@@ -1,0 +1,120 @@
+// Tests for the exact T-round cycle solver, culminating in an empirical
+// machine-check of the speedup theorem (Theorem 3) on Delta = 2 problems:
+//     cycleSolvable(Pi, T)  ==  cycleSolvable(Rbar(R(Pi)), T-1).
+#include "re/cycle_verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "re/encodings.hpp"
+#include "re/re_step.hpp"
+#include "re/zero_round.hpp"
+
+namespace relb::re {
+namespace {
+
+TEST(CycleSolvable, ViewCounts) {
+  EXPECT_EQ(cycleViewCount(0), 4);
+  EXPECT_EQ(cycleViewCount(1), 64);
+  EXPECT_EQ(cycleViewCount(2), 1024);
+  EXPECT_THROW((void)cycleViewCount(4), Error);
+}
+
+TEST(CycleSolvable, TrivialProblem) {
+  const auto p = Problem::parse("O^2\n", "O O\n");
+  EXPECT_TRUE(cycleSolvable(p, 0));
+  EXPECT_TRUE(cycleSolvable(p, 1));
+}
+
+TEST(CycleSolvable, EdgePortsAreVisibleAtRadiusZero) {
+  // "Output Z on the edge where you are side 0, O otherwise": solvable in 0
+  // rounds *because* edge ports are part of the input -- while the
+  // port-agnostic adversarial analysis (which ignores edge sides) says no.
+  const auto orient = Problem::parse("[ZO] [ZO]\n", "Z O\n");
+  EXPECT_TRUE(cycleSolvable(orient, 0));
+  EXPECT_FALSE(zeroRoundSolvableAdversarialPorts(orient));
+}
+
+TEST(CycleSolvable, GlobalProblemsUnsolvableAtSmallRadius) {
+  // 2-coloring, 3-coloring (Theta(log* n)), MIS, maximal matching: none is
+  // O(1) on cycles.
+  for (const auto& p :
+       {cColoringProblem(2, 2), cColoringProblem(2, 3), misProblem(2),
+        maximalMatchingProblem(2), sinklessOrientationProblem(2)}) {
+    EXPECT_FALSE(cycleSolvable(p, 0));
+    EXPECT_FALSE(cycleSolvable(p, 1));
+    EXPECT_FALSE(cycleSolvable(p, 2));
+  }
+}
+
+TEST(CycleSolvable, RequiresDeltaTwo) {
+  EXPECT_THROW((void)cycleSolvable(misProblem(3), 1), Error);
+}
+
+TEST(Theorem3, HoldsOnTheCatalog) {
+  for (const auto& p :
+       {cColoringProblem(2, 2), cColoringProblem(2, 3), misProblem(2),
+        maximalMatchingProblem(2), sinklessOrientationProblem(2),
+        Problem::parse("[ZO] [ZO]\n", "Z O\n")}) {
+    const auto sped = speedupStep(p);
+    EXPECT_EQ(cycleSolvable(p, 1), cycleSolvable(sped, 0));
+    EXPECT_EQ(cycleSolvable(p, 2), cycleSolvable(sped, 1));
+  }
+}
+
+// Random Delta = 2 problems; the speedup theorem must hold for every one.
+Problem randomCycleProblem(std::mt19937& rng, int nLabels) {
+  Problem p;
+  for (int i = 0; i < nLabels; ++i) {
+    p.alphabet.add(std::string(1, static_cast<char>('a' + i)));
+  }
+  std::uniform_int_distribution<int> setDist(1, (1 << nLabels) - 1);
+  std::bernoulli_distribution coin(0.45);
+  Constraint node(2, {});
+  const int cnt = std::uniform_int_distribution<int>(1, 3)(rng);
+  for (int i = 0; i < cnt; ++i) {
+    node.add(Configuration(
+        {{LabelSet(static_cast<std::uint32_t>(setDist(rng))), 1},
+         {LabelSet(static_cast<std::uint32_t>(setDist(rng))), 1}}));
+  }
+  p.node = std::move(node);
+  Constraint edge(2, {});
+  bool any = false;
+  for (int a = 0; a < nLabels; ++a) {
+    for (int b = a; b < nLabels; ++b) {
+      if (coin(rng)) {
+        edge.add(Configuration({{LabelSet{static_cast<Label>(a)}, 1},
+                                {LabelSet{static_cast<Label>(b)}, 1}}));
+        any = true;
+      }
+    }
+  }
+  if (!any) edge.add(Configuration({{LabelSet{0}, 2}}));
+  p.edge = std::move(edge);
+  p.validate();
+  return p;
+}
+
+class Theorem3Random : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Theorem3Random, SpeedupMatchesBruteForceSolvability) {
+  std::mt19937 rng(GetParam());
+  const auto p = randomCycleProblem(rng, GetParam() % 2 ? 2 : 3);
+  Problem sped;
+  try {
+    sped = speedupStep(p);
+  } catch (const Error&) {
+    GTEST_SKIP() << "speedup exceeded engine guards";
+  }
+  EXPECT_EQ(cycleSolvable(p, 1), cycleSolvable(sped, 0)) << p.render();
+  EXPECT_EQ(cycleSolvable(p, 2), cycleSolvable(sped, 1)) << p.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem3Random, ::testing::Range(1u, 41u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace relb::re

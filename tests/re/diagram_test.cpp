@@ -1,0 +1,144 @@
+#include "re/diagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+namespace {
+
+// Figure 1: in the MIS edge constraint, O is stronger than P and M is
+// unrelated to both.
+TEST(Diagram, MisEdgeDiagramMatchesFigure1) {
+  const auto p = misProblem(3);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  rel.checkPreorder();
+  const auto m = p.alphabet.at("M");
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  EXPECT_TRUE(rel.strictlyStronger(o, pp));
+  EXPECT_FALSE(rel.atLeastAsStrong(pp, o));
+  EXPECT_FALSE(rel.atLeastAsStrong(m, pp));
+  EXPECT_FALSE(rel.atLeastAsStrong(pp, m));
+  EXPECT_FALSE(rel.atLeastAsStrong(m, o));
+  EXPECT_FALSE(rel.atLeastAsStrong(o, m));
+  const auto edges = rel.diagramEdges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], std::make_pair(pp, o));
+}
+
+TEST(Diagram, MisRightClosedSetsMatchObservation4Universe) {
+  const auto p = misProblem(3);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  const auto sets = rel.allRightClosedSets(p.alphabet.all());
+  const auto m = p.alphabet.at("M");
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  // Right-closed: every set containing P must contain O.
+  for (const LabelSet s : sets) {
+    if (s.contains(pp)) {
+      EXPECT_TRUE(s.contains(o));
+    }
+  }
+  // {M}, {O}, {MO}, {PO}, {MPO} are right-closed; {P}, {MP} are not.
+  EXPECT_EQ(sets.size(), 5u);
+  EXPECT_NE(std::find(sets.begin(), sets.end(), LabelSet{m}), sets.end());
+  EXPECT_EQ(std::find(sets.begin(), sets.end(), LabelSet{pp}), sets.end());
+}
+
+TEST(Diagram, RightClosureAddsStrongerLabels) {
+  const auto p = misProblem(3);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  EXPECT_EQ(rel.rightClosure(LabelSet{pp}), (LabelSet{pp, o}));
+  EXPECT_FALSE(rel.isRightClosed(LabelSet{pp}));
+  EXPECT_TRUE(rel.isRightClosed(LabelSet{pp, o}));
+}
+
+TEST(Diagram, NodeStrengthMis) {
+  // W.r.t. the MIS node constraint {M^3, PO^2}: replacing O by O keeps, but
+  // no distinct pair is related (M^3 breaks M-replacements, P count breaks
+  // P/O swaps).
+  const auto p = misProblem(3);
+  const auto rel = computeStrength(p.node, p.alphabet.size());
+  rel.checkPreorder();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(rel.atLeastAsStrong(static_cast<Label>(a),
+                                       static_cast<Label>(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Diagram, ScalableAgreesWithExactOnMis) {
+  const auto p = misProblem(4);
+  for (const Constraint* c : {&p.edge, &p.node}) {
+    const auto exact = computeStrength(*c, p.alphabet.size());
+    const auto scalable = computeStrengthScalable(*c, p.alphabet.size());
+    EXPECT_EQ(exact, scalable);
+  }
+}
+
+TEST(Diagram, ScalableHandlesHugeDelta) {
+  const Count delta = Count{1} << 25;
+  const auto p = misProblem(delta);
+  // The node constraint's language is astronomically large, but the scalable
+  // relation still resolves every pair for this structure.
+  const auto rel = computeStrengthScalable(p.node, p.alphabet.size());
+  rel.checkPreorder();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(rel.atLeastAsStrong(static_cast<Label>(a),
+                                       static_cast<Label>(b)));
+    }
+  }
+  const auto edgeRel = computeStrengthScalable(p.edge, p.alphabet.size());
+  EXPECT_TRUE(edgeRel.strictlyStronger(p.alphabet.at("O"), p.alphabet.at("P")));
+}
+
+TEST(Diagram, SinklessOrientationHasNoEdgeRelations) {
+  const auto p = sinklessOrientationProblem(3);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  EXPECT_TRUE(rel.diagramEdges().empty());
+}
+
+TEST(Diagram, DotOutputWellFormed) {
+  const auto p = misProblem(3);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  const auto dot = rel.toDot(p.alphabet, "mis");
+  EXPECT_NE(dot.find("digraph mis {"), std::string::npos);
+  EXPECT_NE(dot.find("\"P\" -> \"O\""), std::string::npos);
+}
+
+TEST(Diagram, RenderDiagramReadable) {
+  const auto p = misProblem(3);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  EXPECT_EQ(rel.renderDiagram(p.alphabet), "P -> O\n");
+}
+
+TEST(Diagram, AllRightClosedSetsUniverseGuard) {
+  StrengthRelation rel(21);
+  EXPECT_THROW(rel.allRightClosedSets(LabelSet::full(21)), Error);
+}
+
+TEST(Diagram, TransitiveReductionDropsImpliedEdges) {
+  // Chain A < B < C: the diagram must not contain A -> C.
+  StrengthRelation rel(3);
+  rel.set(1, 0, true);
+  rel.set(2, 0, true);
+  rel.set(2, 1, true);
+  rel.checkPreorder();
+  const auto edges = rel.diagramEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(Label{0}, Label{1}));
+  EXPECT_EQ(edges[1], std::make_pair(Label{1}, Label{2}));
+}
+
+}  // namespace
+}  // namespace relb::re

@@ -1,0 +1,154 @@
+#include "re/encodings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/diagram.hpp"
+#include "re/re_step.hpp"
+#include "re/rename.hpp"
+#include "re/zero_round.hpp"
+
+namespace relb::re {
+namespace {
+
+TEST(MaximalMatching, Encoding) {
+  const auto p = maximalMatchingProblem(3);
+  const auto m = p.alphabet.at("M");
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  // Saturated node: M O O; unmatched node: P P P.
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({m, o, o}, 3)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({pp, pp, pp}, 3)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({m, m, o}, 3)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({m, pp, o}, 3)));
+  // Edges: MM (matched), PO (unmatched node next to saturated), OO.
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({m, m}, 3)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({pp, o}, 3)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({o, o}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({pp, pp}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({m, pp}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({m, o}, 3)));
+}
+
+TEST(MaximalMatching, ZeroRoundBehaviorDependsOnPorts) {
+  for (Count delta : {2, 3, 6}) {
+    const auto p = maximalMatchingProblem(delta);
+    // On the symmetric-port family the ports form a Delta-edge coloring and
+    // "match along color 0" is a 0-round perfect (hence maximal) matching --
+    // this is exactly why matching lower bounds need instances other than
+    // the Lemma 12 family.
+    EXPECT_TRUE(zeroRoundSolvableSymmetricPorts(p));
+    // Against adversarial ports no 0-round algorithm exists.
+    EXPECT_FALSE(zeroRoundSolvableAdversarialPorts(p));
+  }
+}
+
+TEST(MaximalMatching, SpeedupRunsAndStaysHard) {
+  const auto p = maximalMatchingProblem(3);
+  const auto sped = speedupStep(p);
+  sped.validate();
+  // Maximal matching needs Omega(Delta) rounds [BBHORS'19]; in particular
+  // one speedup cannot make it 0-round solvable in the plain PN model
+  // (adversarial ports).  Note the *symmetric-port* family is genuinely
+  // easy for the speedup -- ports there encode a Delta-edge coloring, which
+  // helps matching-like problems; only the adversarial check is meaningful
+  // here.
+  EXPECT_FALSE(zeroRoundSolvableAdversarialPorts(sped));
+}
+
+TEST(BMatching, GeneralizesMaximalMatching) {
+  EXPECT_TRUE(equivalentUpToRenaming(bMatchingProblem(4, 1),
+                                     maximalMatchingProblem(4)));
+}
+
+TEST(BMatching, NodeConfigurations) {
+  const auto p = bMatchingProblem(5, 3);
+  EXPECT_EQ(p.node.size(), 4u);  // i = 0, 1, 2 unsaturated + saturated
+  const auto m = p.alphabet.at("M");
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({m, m, pp, pp, pp}, 3)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({m, m, m, o, o}, 3)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({m, m, m, m, o}, 3)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({m, m, o, o, o}, 3)));
+}
+
+TEST(BMatching, ParameterValidation) {
+  EXPECT_THROW(bMatchingProblem(3, 0), Error);
+  EXPECT_THROW(bMatchingProblem(3, 4), Error);
+  EXPECT_THROW(bMatchingProblem(1, 1), Error);
+}
+
+TEST(CColoring, Encoding) {
+  const auto p = cColoringProblem(3, 3);
+  EXPECT_EQ(p.alphabet.size(), 3);
+  EXPECT_EQ(p.node.size(), 3u);
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({0, 0, 0}, 3)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({0, 0, 1}, 3)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({0, 1}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({1, 1}, 3)));
+}
+
+TEST(CColoring, NotZeroRoundSolvable) {
+  // No color is self-compatible, so the symmetric-port family defeats any
+  // 0-round algorithm.
+  EXPECT_FALSE(zeroRoundSolvableSymmetricPorts(cColoringProblem(2, 3)));
+  EXPECT_FALSE(zeroRoundSolvableSymmetricPorts(cColoringProblem(4, 8)));
+}
+
+TEST(CColoring, DiagramIsEmpty) {
+  // Distinct colors are never interchangeable one-sidedly.
+  const auto p = cColoringProblem(3, 4);
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  EXPECT_TRUE(rel.diagramEdges().empty());
+}
+
+TEST(WeakColoring, Encoding) {
+  const auto p = weakColoringProblem(3, 2);
+  EXPECT_EQ(p.alphabet.size(), 4);
+  const auto p0 = p.alphabet.at("P0");
+  const auto c0 = p.alphabet.at("C0");
+  const auto p1 = p.alphabet.at("P1");
+  const auto c1 = p.alphabet.at("C1");
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({p0, c0, c0}, 4)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({p0, c1, c1}, 4)));
+  // Pointer must reach a different color.
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({p0, c1}, 4)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({p0, p1}, 4)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({p0, c0}, 4)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({p0, p0}, 4)));
+  // Same-color plain halves may face each other.
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({c0, c0}, 4)));
+}
+
+TEST(WeakColoring, NotZeroRoundSolvableButEasy) {
+  // Weak 2-coloring is Omega(log* n) [BHOS'19] -- in particular not 0-round.
+  EXPECT_FALSE(zeroRoundSolvableSymmetricPorts(weakColoringProblem(3, 2)));
+}
+
+TEST(EdgeColoring, Encoding) {
+  const auto p = edgeColoringProblem(3, 4);
+  EXPECT_EQ(p.alphabet.size(), 4);
+  EXPECT_EQ(p.node.size(), 4u);  // C(4,3) subsets
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({0, 1, 2}, 4)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({0, 0, 1}, 4)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({2, 2}, 4)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({1, 2}, 4)));
+}
+
+TEST(EdgeColoring, SymmetricPortsMakeItTrivial) {
+  // On the symmetric-port family the ports themselves are a Delta-edge
+  // coloring, so outputting "my port number" works: color i is
+  // self-compatible and the rainbow configuration exists.
+  EXPECT_TRUE(zeroRoundSolvableSymmetricPorts(edgeColoringProblem(3, 3)));
+  // Against adversarial ports it is not 0-round solvable (same color may
+  // collide).
+  EXPECT_FALSE(zeroRoundSolvableAdversarialPorts(edgeColoringProblem(3, 3)));
+}
+
+TEST(EdgeColoring, Guards) {
+  EXPECT_THROW(edgeColoringProblem(5, 4), Error);   // c < delta
+  EXPECT_THROW(edgeColoringProblem(4, 13), Error);  // c too large
+}
+
+}  // namespace
+}  // namespace relb::re

@@ -1,0 +1,78 @@
+#include "re/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::re {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow f(2);
+  f.addEdge(0, 1, 5);
+  EXPECT_EQ(f.solve(0, 1), 5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlow f(3);
+  f.addEdge(0, 1, 7);
+  f.addEdge(1, 2, 3);
+  EXPECT_EQ(f.solve(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelAdds) {
+  MaxFlow f(4);
+  f.addEdge(0, 1, 2);
+  f.addEdge(1, 3, 2);
+  f.addEdge(0, 2, 3);
+  f.addEdge(2, 3, 3);
+  EXPECT_EQ(f.solve(0, 3), 5);
+}
+
+TEST(MaxFlow, RequiresAugmentingPathReassignment) {
+  // Classic diamond where a greedy path must be rerouted.
+  MaxFlow f(4);
+  f.addEdge(0, 1, 1);
+  f.addEdge(0, 2, 1);
+  f.addEdge(1, 2, 1);
+  f.addEdge(1, 3, 1);
+  f.addEdge(2, 3, 1);
+  EXPECT_EQ(f.solve(0, 3), 2);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.addEdge(0, 1, 10);
+  f.addEdge(2, 3, 10);
+  EXPECT_EQ(f.solve(0, 3), 0);
+}
+
+TEST(MaxFlow, HugeCapacities) {
+  const Count huge = Count{1} << 60;
+  MaxFlow f(3);
+  f.addEdge(0, 1, huge);
+  f.addEdge(1, 2, huge);
+  f.addEdge(0, 2, huge);
+  EXPECT_EQ(f.solve(0, 2), 2 * huge);
+}
+
+TEST(MaxFlow, ZeroCapacityEdgeIgnored) {
+  MaxFlow f(2);
+  f.addEdge(0, 1, 0);
+  EXPECT_EQ(f.solve(0, 1), 0);
+}
+
+TEST(MaxFlow, BipartiteAssignment) {
+  // 2 jobs x 2 machines, each with unit capacity -- perfect matching.
+  // Nodes: 0 = source, 1-2 jobs, 3-4 machines, 5 = sink.
+  MaxFlow f(6);
+  f.addEdge(0, 1, 1);
+  f.addEdge(0, 2, 1);
+  f.addEdge(1, 3, 1);
+  f.addEdge(2, 3, 1);
+  f.addEdge(2, 4, 1);
+  f.addEdge(3, 5, 1);
+  f.addEdge(4, 5, 1);
+  EXPECT_EQ(f.solve(0, 5), 2);
+}
+
+}  // namespace
+}  // namespace relb::re

@@ -1,0 +1,76 @@
+#include "re/label_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::re {
+namespace {
+
+TEST(LabelSet, EmptyByDefault) {
+  LabelSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(LabelSet, InsertEraseContains) {
+  LabelSet s;
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(LabelSet, InitializerList) {
+  const LabelSet s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(LabelSet, FullSet) {
+  EXPECT_EQ(LabelSet::full(0).size(), 0);
+  EXPECT_EQ(LabelSet::full(5).size(), 5);
+  EXPECT_EQ(LabelSet::full(32).size(), 32);
+  EXPECT_TRUE(LabelSet::full(32).contains(31));
+}
+
+TEST(LabelSet, SubsetRelations) {
+  const LabelSet a{1, 2};
+  const LabelSet b{1, 2, 3};
+  EXPECT_TRUE(a.subsetOf(b));
+  EXPECT_TRUE(a.properSubsetOf(b));
+  EXPECT_FALSE(b.subsetOf(a));
+  EXPECT_TRUE(a.subsetOf(a));
+  EXPECT_FALSE(a.properSubsetOf(a));
+}
+
+TEST(LabelSet, SetAlgebra) {
+  const LabelSet a{1, 2};
+  const LabelSet b{2, 3};
+  EXPECT_EQ((a | b), (LabelSet{1, 2, 3}));
+  EXPECT_EQ((a & b), (LabelSet{2}));
+  EXPECT_EQ((a - b), (LabelSet{1}));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(LabelSet{3, 4}));
+}
+
+TEST(LabelSet, MinAndToVector) {
+  const LabelSet s{4, 1, 9};
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.toVector(), (std::vector<Label>{1, 4, 9}));
+}
+
+TEST(LabelSet, ForEachLabelVisitsInOrder) {
+  const LabelSet s{0, 3, 6};
+  std::vector<Label> seen;
+  forEachLabel(s, [&](Label l) { seen.push_back(l); });
+  EXPECT_EQ(seen, (std::vector<Label>{0, 3, 6}));
+}
+
+}  // namespace
+}  // namespace relb::re

@@ -1,0 +1,103 @@
+#include "re/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::re {
+namespace {
+
+TEST(ProblemParse, MisRoundTrip) {
+  const auto p = Problem::parse("M^3\nP O^2\n", "M [PO]\nO O\n");
+  EXPECT_EQ(p.alphabet.size(), 3);
+  EXPECT_EQ(p.delta(), 3);
+  EXPECT_EQ(p.node.size(), 2u);
+  EXPECT_EQ(p.edge.size(), 2u);
+  const auto m = p.alphabet.at("M");
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({m, m, m}, 3)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({pp, o, o}, 3)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({pp, pp, o}, 3)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({m, o}, 3)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({m, pp}, 3)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({o, o}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({m, m}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({pp, pp}, 3)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({pp, o}, 3)));
+}
+
+TEST(ProblemParse, BracketWithSpacesAndExponents) {
+  const auto p = Problem::parse("[Ma Pb]^4\n", "[Ma Pb] [Ma Pb]\n");
+  EXPECT_EQ(p.alphabet.size(), 2);
+  EXPECT_EQ(p.delta(), 4);
+}
+
+TEST(ProblemParse, CommentsAndBlankLinesSkipped) {
+  const auto p = Problem::parse("# node\nM^2\n\n", "# edge\nM M\n");
+  EXPECT_EQ(p.node.size(), 1u);
+}
+
+TEST(ProblemParse, Errors) {
+  EXPECT_THROW(Problem::parse("", "M M\n"), Error);
+  EXPECT_THROW(Problem::parse("M^2\n", ""), Error);
+  EXPECT_THROW(Problem::parse("M^2\n", "M M M\n"), Error);  // edge degree != 2
+  EXPECT_THROW(Problem::parse("[M\n", "M M\n"), Error);
+  EXPECT_THROW(Problem::parse("M^x\n", "M M\n"), Error);
+}
+
+TEST(ProblemParse, RenderParsesBack) {
+  const auto p = misProblem(5);
+  const auto q = Problem::parse(p.node.render(p.alphabet),
+                                p.edge.render(p.alphabet));
+  EXPECT_EQ(q.delta(), 5);
+  EXPECT_EQ(q.node.size(), p.node.size());
+  EXPECT_EQ(q.edge.size(), p.edge.size());
+}
+
+TEST(MisProblem, MatchesSectionTwoTwo) {
+  const auto p = misProblem(4);
+  EXPECT_EQ(p.delta(), 4);
+  EXPECT_EQ(p.node.size(), 2u);
+  EXPECT_EQ(p.edge.size(), 2u);
+  EXPECT_THROW(misProblem(1), Error);
+}
+
+TEST(MisProblem, HugeDelta) {
+  const Count delta = Count{1} << 30;
+  const auto p = misProblem(delta);
+  const auto m = p.alphabet.at("M");
+  const auto pp = p.alphabet.at("P");
+  const auto o = p.alphabet.at("O");
+  Word w(3, 0);
+  w[m] = delta;
+  EXPECT_TRUE(p.node.containsWord(w));
+  Word w2(3, 0);
+  w2[pp] = 1;
+  w2[o] = delta - 1;
+  EXPECT_TRUE(p.node.containsWord(w2));
+  w2[pp] = 2;
+  w2[o] = delta - 2;
+  EXPECT_FALSE(p.node.containsWord(w2));
+}
+
+TEST(SinklessOrientation, Encoding) {
+  const auto p = sinklessOrientationProblem(3);
+  const auto i = p.alphabet.at("I");
+  const auto o = p.alphabet.at("O");
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({o, o, o}, 2)));
+  EXPECT_TRUE(p.node.containsWord(wordFromLabels({o, i, i}, 2)));
+  EXPECT_FALSE(p.node.containsWord(wordFromLabels({i, i, i}, 2)));
+  EXPECT_TRUE(p.edge.containsWord(wordFromLabels({i, o}, 2)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({o, o}, 2)));
+  EXPECT_FALSE(p.edge.containsWord(wordFromLabels({i, i}, 2)));
+}
+
+TEST(Problem, ValidateCatchesBadEdgeDegree) {
+  Problem p;
+  p.alphabet.add("A");
+  p.node = Constraint(3, {Configuration({{LabelSet{0}, 3}})});
+  p.edge = Constraint(3, {Configuration({{LabelSet{0}, 3}})});
+  EXPECT_THROW(p.validate(), Error);
+}
+
+}  // namespace
+}  // namespace relb::re

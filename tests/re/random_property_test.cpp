@@ -1,0 +1,201 @@
+// Property-based tests: randomized problems cross-check the flow-based
+// primitives against brute-force enumeration, and the strength machinery
+// against its defining property.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "re/diagram.hpp"
+#include "re/problem.hpp"
+
+namespace relb::re {
+namespace {
+
+struct RandomCase {
+  int alphabetSize;
+  Count degree;
+  unsigned seed;
+};
+
+class RandomProblemTest : public ::testing::TestWithParam<RandomCase> {};
+
+Configuration randomConfiguration(std::mt19937& rng, int alphabetSize,
+                                  Count degree) {
+  std::uniform_int_distribution<int> setDist(
+      1, (1 << alphabetSize) - 1);
+  std::vector<Group> groups;
+  Count remaining = degree;
+  while (remaining > 0) {
+    std::uniform_int_distribution<Count> countDist(1, remaining);
+    const Count c = countDist(rng);
+    groups.push_back({LabelSet(static_cast<std::uint32_t>(setDist(rng))), c});
+    remaining -= c;
+  }
+  return Configuration(std::move(groups));
+}
+
+Constraint randomConstraint(std::mt19937& rng, int alphabetSize, Count degree,
+                            int numConfigs) {
+  Constraint out(degree, {});
+  for (int i = 0; i < numConfigs; ++i) {
+    out.add(randomConfiguration(rng, alphabetSize, degree));
+  }
+  return out;
+}
+
+TEST_P(RandomProblemTest, MembershipAgreesWithEnumeration) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed);
+  const auto c = randomConfiguration(rng, param.alphabetSize, param.degree);
+  std::set<Word> enumerated;
+  c.forEachWord(param.alphabetSize,
+                [&](const Word& w) { enumerated.insert(w); });
+  // Walk all words of the right degree.
+  std::vector<Count> w(static_cast<std::size_t>(param.alphabetSize), 0);
+  std::function<void(int, Count)> walk = [&](int idx, Count left) {
+    if (idx + 1 == param.alphabetSize) {
+      w[static_cast<std::size_t>(idx)] = left;
+      EXPECT_EQ(c.matchesWord(w), enumerated.contains(w));
+      return;
+    }
+    for (Count take = 0; take <= left; ++take) {
+      w[static_cast<std::size_t>(idx)] = take;
+      walk(idx + 1, left - take);
+    }
+  };
+  walk(0, param.degree);
+}
+
+TEST_P(RandomProblemTest, IntersectsAgreesWithEnumeration) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 1000);
+  const auto c1 = randomConfiguration(rng, param.alphabetSize, param.degree);
+  const auto c2 = randomConfiguration(rng, param.alphabetSize, param.degree);
+  bool shared = false;
+  c1.forEachWord(param.alphabetSize, [&](const Word& w) {
+    if (!shared && c2.matchesWord(w)) shared = true;
+  });
+  EXPECT_EQ(c1.intersects(c2), shared);
+}
+
+TEST_P(RandomProblemTest, RelaxationImpliesInclusion) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 2000);
+  const auto c1 = randomConfiguration(rng, param.alphabetSize, param.degree);
+  const auto c2 = randomConfiguration(rng, param.alphabetSize, param.degree);
+  if (c1.relaxesTo(c2)) {
+    c1.forEachWord(param.alphabetSize, [&](const Word& w) {
+      EXPECT_TRUE(c2.matchesWord(w));
+    });
+  }
+}
+
+TEST_P(RandomProblemTest, ContainsAllWordsOfIsExact) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 3000);
+  const auto constraint =
+      randomConstraint(rng, param.alphabetSize, param.degree, 3);
+  const auto probe = randomConfiguration(rng, param.alphabetSize, param.degree);
+  bool expected = true;
+  probe.forEachWord(param.alphabetSize, [&](const Word& w) {
+    if (expected && !constraint.containsWord(w)) expected = false;
+  });
+  EXPECT_EQ(constraint.containsAllWordsOf(probe, param.alphabetSize), expected);
+}
+
+TEST_P(RandomProblemTest, StrengthSatisfiesDefiningProperty) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 4000);
+  const auto constraint =
+      randomConstraint(rng, param.alphabetSize, param.degree, 2);
+  const auto rel = computeStrength(constraint, param.alphabetSize);
+  rel.checkPreorder();
+  const auto words = constraint.enumerateWords(param.alphabetSize);
+  const std::set<Word> wordSet(words.begin(), words.end());
+  for (int a = 0; a < param.alphabetSize; ++a) {
+    for (int b = 0; b < param.alphabetSize; ++b) {
+      if (a == b) continue;
+      bool expected = true;
+      for (const Word& w : words) {
+        if (w[static_cast<std::size_t>(b)] == 0) continue;
+        Word r = w;
+        --r[static_cast<std::size_t>(b)];
+        ++r[static_cast<std::size_t>(a)];
+        if (!wordSet.contains(r)) {
+          expected = false;
+          break;
+        }
+      }
+      EXPECT_EQ(
+          rel.atLeastAsStrong(static_cast<Label>(a), static_cast<Label>(b)),
+          expected);
+    }
+  }
+}
+
+TEST_P(RandomProblemTest, ScalableStrengthAgreesWithExactWhenDecided) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 5000);
+  const auto constraint =
+      randomConstraint(rng, param.alphabetSize, param.degree, 2);
+  const auto exact = computeStrength(constraint, param.alphabetSize);
+  for (int a = 0; a < param.alphabetSize; ++a) {
+    for (int b = 0; b < param.alphabetSize; ++b) {
+      if (a == b) continue;
+      const auto scalable = atLeastAsStrongScalable(
+          constraint, param.alphabetSize, static_cast<Label>(a),
+          static_cast<Label>(b));
+      if (scalable.has_value()) {
+        EXPECT_EQ(*scalable, exact.atLeastAsStrong(static_cast<Label>(a),
+                                                   static_cast<Label>(b)))
+            << "labels " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST_P(RandomProblemTest, CountWordsUpperBoundIsSound) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 7000);
+  const auto c = randomConfiguration(rng, param.alphabetSize, param.degree);
+  const std::size_t exact = c.countWords(param.alphabetSize, 1'000'000);
+  EXPECT_GE(c.countWordsUpperBound(1'000'000), exact);
+  // Saturation respects the cap.
+  EXPECT_LE(c.countWordsUpperBound(10), 11u);
+}
+
+TEST_P(RandomProblemTest, RightClosedEnumerationMatchesFilter) {
+  const auto param = GetParam();
+  std::mt19937 rng(param.seed + 6000);
+  const auto constraint =
+      randomConstraint(rng, param.alphabetSize, param.degree, 2);
+  const auto rel = computeStrength(constraint, param.alphabetSize);
+  const auto universe = LabelSet::full(param.alphabetSize);
+  const auto sets = rel.allRightClosedSets(universe);
+  std::set<LabelSet> fromEnum(sets.begin(), sets.end());
+  std::set<LabelSet> fromFilter;
+  for (std::uint32_t mask = 1; mask < (std::uint32_t{1} << param.alphabetSize);
+       ++mask) {
+    const LabelSet s(mask);
+    if (rel.isRightClosed(s)) fromFilter.insert(s);
+  }
+  EXPECT_EQ(fromEnum, fromFilter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomProblemTest,
+    ::testing::Values(RandomCase{2, 3, 1}, RandomCase{2, 5, 2},
+                      RandomCase{3, 3, 3}, RandomCase{3, 4, 4},
+                      RandomCase{3, 6, 5}, RandomCase{4, 3, 6},
+                      RandomCase{4, 4, 7}, RandomCase{4, 5, 8},
+                      RandomCase{5, 3, 9}, RandomCase{5, 4, 10},
+                      RandomCase{4, 6, 11}, RandomCase{3, 8, 12}),
+    [](const ::testing::TestParamInfo<RandomCase>& info) {
+      return "n" + std::to_string(info.param.alphabetSize) + "d" +
+             std::to_string(info.param.degree) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace relb::re

@@ -1,0 +1,67 @@
+#include "re/relax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/encodings.hpp"
+#include "re/problem.hpp"
+
+namespace relb::re {
+namespace {
+
+TEST(ZeroRoundRelabeling, IdentityAlwaysWorks) {
+  const auto p = misProblem(3);
+  EXPECT_TRUE(isZeroRoundRelabeling(p, p, {0, 1, 2}));
+}
+
+TEST(ZeroRoundRelabeling, ColoringDropsToFewerColorsFails) {
+  // Collapsing two colors of a proper coloring breaks the edge constraint.
+  const auto c3 = cColoringProblem(3, 3);
+  EXPECT_FALSE(isZeroRoundRelabeling(c3, c3, {0, 0, 2}));
+}
+
+TEST(ZeroRoundRelabeling, ColoringEmbedsIntoMoreColors) {
+  const auto c3 = cColoringProblem(3, 3);
+  const auto c4 = cColoringProblem(3, 4);
+  EXPECT_TRUE(isZeroRoundRelabeling(c3, c4, {0, 1, 2}));
+  // Any injective map works.
+  EXPECT_TRUE(isZeroRoundRelabeling(c3, c4, {3, 1, 0}));
+}
+
+TEST(ZeroRoundRelabeling, MisToDominatingSetStyleRelaxation) {
+  // MIS solves the "M or pointer" relaxation where O may also face P
+  // (strictly more permissive edge constraint).
+  const auto mis = misProblem(3);
+  const auto relaxed = Problem::parse("M^3\nP O^2\n", "M [PO]\nO [OP]\n");
+  EXPECT_TRUE(isZeroRoundRelabeling(mis, relaxed, {0, 1, 2}));
+  // The reverse direction must fail (PO is allowed in `relaxed` only).
+  EXPECT_FALSE(isZeroRoundRelabeling(relaxed, mis, {0, 1, 2}));
+}
+
+TEST(ZeroRoundRelabeling, NonInjectiveMapsAllowed) {
+  // Collapsing P and O is fine if the target accepts the merged label
+  // everywhere both appeared.
+  const auto from = Problem::parse("A B\n", "A B\nB B\nA A\n");
+  const auto to = Problem::parse("C C\n", "C C\n");
+  EXPECT_TRUE(isZeroRoundRelabeling(from, to, {0, 0}));
+}
+
+TEST(ZeroRoundRelabeling, Validation) {
+  const auto p = misProblem(3);
+  EXPECT_THROW((void)isZeroRoundRelabeling(p, p, {0, 1}), Error);
+  EXPECT_THROW((void)isZeroRoundRelabeling(p, p, {0, 1, 9}), Error);
+  // Degree mismatch is a (non-throwing) failure.
+  EXPECT_FALSE(isZeroRoundRelabeling(p, misProblem(4), {0, 1, 2}));
+}
+
+TEST(ZeroRoundRelabeling, MatchesMonotoneFamilyRelation) {
+  // b-matching with larger b is a relaxation: a maximal matching is NOT
+  // automatically a maximal 2-matching (maximality differs), so the naive
+  // identity relabeling must fail -- guarding against a tempting wrong
+  // simplification.
+  const auto b1 = bMatchingProblem(4, 1);
+  const auto b2 = bMatchingProblem(4, 2);
+  EXPECT_FALSE(isZeroRoundRelabeling(b1, b2, {0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace relb::re

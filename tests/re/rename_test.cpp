@@ -1,0 +1,62 @@
+#include "re/rename.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::re {
+namespace {
+
+TEST(Rename, IdentityKeepsProblem) {
+  const auto p = misProblem(3);
+  const auto q = renameProblem(p, {0, 1, 2}, p.alphabet);
+  EXPECT_EQ(q.node, p.node);
+  EXPECT_EQ(q.edge, p.edge);
+}
+
+TEST(Rename, PermutationMapsConstraints) {
+  const auto p = misProblem(3);
+  Alphabet shuffled({"O", "M", "P"});
+  // M->1 (name M), P->2 (name P), O->0 (name O) in the new alphabet.
+  const auto q = renameProblem(p, {1, 2, 0}, shuffled);
+  EXPECT_TRUE(q.node.containsWord(wordFromLabels({1, 1, 1}, 3)));  // M^3
+  EXPECT_TRUE(q.edge.containsWord(wordFromLabels({0, 0}, 3)));     // OO
+  EXPECT_FALSE(q.edge.containsWord(wordFromLabels({1, 1}, 3)));    // MM
+}
+
+TEST(Rename, RejectsNonInjective) {
+  const auto p = misProblem(3);
+  EXPECT_THROW(renameProblem(p, {0, 0, 1}, p.alphabet), Error);
+  EXPECT_THROW(renameProblem(p, {0, 1}, p.alphabet), Error);
+}
+
+TEST(Isomorphism, DetectsRenamedMis) {
+  const auto p = misProblem(3);
+  const auto q = Problem::parse("x^3\ny z^2\n", "x [yz]\nz z\n");
+  const auto iso = findIsomorphism(p, q);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ((*iso)[p.alphabet.at("M")], q.alphabet.at("x"));
+  EXPECT_EQ((*iso)[p.alphabet.at("P")], q.alphabet.at("y"));
+  EXPECT_EQ((*iso)[p.alphabet.at("O")], q.alphabet.at("z"));
+}
+
+TEST(Isomorphism, SeesThroughDifferentCondensations) {
+  // Same language written with different condensed configurations.
+  const auto a = Problem::parse("[AB] [AB]\n", "[AB] [AB]\n");
+  const auto b = Problem::parse("A A\nA B\nB B\n", "A [AB]\nB B\n");
+  EXPECT_TRUE(equivalentUpToRenaming(a, b));
+}
+
+TEST(Isomorphism, RejectsDifferentProblems) {
+  const auto p = misProblem(3);
+  const auto so = sinklessOrientationProblem(3);
+  EXPECT_FALSE(equivalentUpToRenaming(p, so));
+  EXPECT_FALSE(equivalentUpToRenaming(misProblem(3), misProblem(4)));
+}
+
+TEST(Isomorphism, DifferentAlphabetSizes) {
+  const auto a = Problem::parse("A^2\n", "A A\n");
+  const auto b = Problem::parse("A B\n", "A B\n");
+  EXPECT_FALSE(equivalentUpToRenaming(a, b));
+}
+
+}  // namespace
+}  // namespace relb::re

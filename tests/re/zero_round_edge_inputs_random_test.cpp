@@ -1,0 +1,76 @@
+// Random cross-validation: the closed-form 0-round analysis with edge-port
+// inputs (maximal-pair characterization, any Delta) must agree with the
+// brute-force T=0 solvers on cycles and 3-regular trees.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "re/cycle_verifier.hpp"
+#include "re/tree_verifier.hpp"
+#include "re/zero_round.hpp"
+
+namespace relb::re {
+namespace {
+
+Problem randomProblem(std::mt19937& rng, int nLabels, Count delta) {
+  Problem p;
+  for (int i = 0; i < nLabels; ++i) {
+    p.alphabet.add(std::string(1, static_cast<char>('a' + i)));
+  }
+  std::uniform_int_distribution<int> setDist(1, (1 << nLabels) - 1);
+  std::bernoulli_distribution coin(0.5);
+  Constraint node(delta, {});
+  const int cnt = std::uniform_int_distribution<int>(1, 3)(rng);
+  for (int i = 0; i < cnt; ++i) {
+    std::vector<Group> groups;
+    Count remaining = delta;
+    while (remaining > 0) {
+      const Count c = std::uniform_int_distribution<Count>(1, remaining)(rng);
+      groups.push_back(
+          {LabelSet(static_cast<std::uint32_t>(setDist(rng))), c});
+      remaining -= c;
+    }
+    node.add(Configuration(std::move(groups)));
+  }
+  p.node = std::move(node);
+  Constraint edge(2, {});
+  bool any = false;
+  for (int a = 0; a < nLabels; ++a) {
+    for (int b = a; b < nLabels; ++b) {
+      if (coin(rng)) {
+        edge.add(Configuration({{LabelSet{static_cast<Label>(a)}, 1},
+                                {LabelSet{static_cast<Label>(b)}, 1}}));
+        any = true;
+      }
+    }
+  }
+  if (!any) edge.add(Configuration({{LabelSet{0}, 2}}));
+  p.edge = std::move(edge);
+  return p;
+}
+
+class EdgeInputsRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EdgeInputsRandom, MatchesCycleBruteForce) {
+  std::mt19937 rng(GetParam());
+  const auto p = randomProblem(rng, 1 + static_cast<int>(GetParam() % 3) + 1,
+                               2);
+  EXPECT_EQ(zeroRoundSolvableWithEdgeInputs(p), cycleSolvable(p, 0))
+      << p.render();
+}
+
+TEST_P(EdgeInputsRandom, MatchesTreeBruteForce) {
+  std::mt19937 rng(GetParam() + 1000);
+  const auto p = randomProblem(rng, 1 + static_cast<int>(GetParam() % 3) + 1,
+                               3);
+  EXPECT_EQ(zeroRoundSolvableWithEdgeInputs(p), treeSolvable3(p, 0))
+      << p.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeInputsRandom, ::testing::Range(1u, 31u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace relb::re
