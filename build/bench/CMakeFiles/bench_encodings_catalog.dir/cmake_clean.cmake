@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encodings_catalog.dir/bench_encodings_catalog.cpp.o"
+  "CMakeFiles/bench_encodings_catalog.dir/bench_encodings_catalog.cpp.o.d"
+  "bench_encodings_catalog"
+  "bench_encodings_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encodings_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

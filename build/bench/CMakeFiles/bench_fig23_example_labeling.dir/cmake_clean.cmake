@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_example_labeling.dir/bench_fig23_example_labeling.cpp.o"
+  "CMakeFiles/bench_fig23_example_labeling.dir/bench_fig23_example_labeling.cpp.o.d"
+  "bench_fig23_example_labeling"
+  "bench_fig23_example_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_example_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rpi_diagram.dir/bench_fig5_rpi_diagram.cpp.o"
+  "CMakeFiles/bench_fig5_rpi_diagram.dir/bench_fig5_rpi_diagram.cpp.o.d"
+  "bench_fig5_rpi_diagram"
+  "bench_fig5_rpi_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rpi_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

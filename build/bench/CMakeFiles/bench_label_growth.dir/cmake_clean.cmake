@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_growth.dir/bench_label_growth.cpp.o"
+  "CMakeFiles/bench_label_growth.dir/bench_label_growth.cpp.o.d"
+  "bench_label_growth"
+  "bench_label_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma13_sequence.dir/bench_lemma13_sequence.cpp.o"
+  "CMakeFiles/bench_lemma13_sequence.dir/bench_lemma13_sequence.cpp.o.d"
+  "bench_lemma13_sequence"
+  "bench_lemma13_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma13_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

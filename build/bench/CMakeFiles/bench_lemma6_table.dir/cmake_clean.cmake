@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma6_table.dir/bench_lemma6_table.cpp.o"
+  "CMakeFiles/bench_lemma6_table.dir/bench_lemma6_table.cpp.o.d"
+  "bench_lemma6_table"
+  "bench_lemma6_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma6_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma9_conversion.dir/bench_lemma9_conversion.cpp.o"
+  "CMakeFiles/bench_lemma9_conversion.dir/bench_lemma9_conversion.cpp.o.d"
+  "bench_lemma9_conversion"
+  "bench_lemma9_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma9_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_bounds.dir/bench_theorem1_bounds.cpp.o"
+  "CMakeFiles/bench_theorem1_bounds.dir/bench_theorem1_bounds.cpp.o.d"
+  "bench_theorem1_bounds"
+  "bench_theorem1_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

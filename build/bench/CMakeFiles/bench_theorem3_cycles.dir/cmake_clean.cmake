@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem3_cycles.dir/bench_theorem3_cycles.cpp.o"
+  "CMakeFiles/bench_theorem3_cycles.dir/bench_theorem3_cycles.cpp.o.d"
+  "bench_theorem3_cycles"
+  "bench_theorem3_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem3_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

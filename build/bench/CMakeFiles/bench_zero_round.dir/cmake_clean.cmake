@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zero_round.dir/bench_zero_round.cpp.o"
+  "CMakeFiles/bench_zero_round.dir/bench_zero_round.cpp.o.d"
+  "bench_zero_round"
+  "bench_zero_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zero_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domset_pipeline.dir/domset_pipeline.cpp.o"
+  "CMakeFiles/domset_pipeline.dir/domset_pipeline.cpp.o.d"
+  "domset_pipeline"
+  "domset_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domset_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

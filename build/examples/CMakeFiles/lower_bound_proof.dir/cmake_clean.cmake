@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_proof.dir/lower_bound_proof.cpp.o"
+  "CMakeFiles/lower_bound_proof.dir/lower_bound_proof.cpp.o.d"
+  "lower_bound_proof"
+  "lower_bound_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

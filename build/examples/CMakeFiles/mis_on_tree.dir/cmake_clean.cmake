@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_on_tree.dir/mis_on_tree.cpp.o"
+  "CMakeFiles/mis_on_tree.dir/mis_on_tree.cpp.o.d"
+  "mis_on_tree"
+  "mis_on_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_on_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

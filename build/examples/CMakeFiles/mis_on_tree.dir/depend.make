@@ -1,0 +1,2 @@
+# Empty dependencies file for mis_on_tree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_eliminator_cli.dir/round_eliminator_cli.cpp.o"
+  "CMakeFiles/round_eliminator_cli.dir/round_eliminator_cli.cpp.o.d"
+  "round_eliminator_cli"
+  "round_eliminator_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_eliminator_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

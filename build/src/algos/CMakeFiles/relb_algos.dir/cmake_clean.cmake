@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relb_algos.dir/coloring.cpp.o"
+  "CMakeFiles/relb_algos.dir/coloring.cpp.o.d"
+  "CMakeFiles/relb_algos.dir/defective.cpp.o"
+  "CMakeFiles/relb_algos.dir/defective.cpp.o.d"
+  "CMakeFiles/relb_algos.dir/domset.cpp.o"
+  "CMakeFiles/relb_algos.dir/domset.cpp.o.d"
+  "CMakeFiles/relb_algos.dir/luby.cpp.o"
+  "CMakeFiles/relb_algos.dir/luby.cpp.o.d"
+  "librelb_algos.a"
+  "librelb_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relb_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

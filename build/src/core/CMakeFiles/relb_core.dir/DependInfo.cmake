@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/relb_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/conversions.cpp" "src/core/CMakeFiles/relb_core.dir/conversions.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/conversions.cpp.o.d"
+  "/root/repo/src/core/family.cpp" "src/core/CMakeFiles/relb_core.dir/family.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/family.cpp.o.d"
+  "/root/repo/src/core/lemma6.cpp" "src/core/CMakeFiles/relb_core.dir/lemma6.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/lemma6.cpp.o.d"
+  "/root/repo/src/core/lemma8.cpp" "src/core/CMakeFiles/relb_core.dir/lemma8.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/lemma8.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/core/CMakeFiles/relb_core.dir/sequence.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/sequence.cpp.o.d"
+  "/root/repo/src/core/transcript.cpp" "src/core/CMakeFiles/relb_core.dir/transcript.cpp.o" "gcc" "src/core/CMakeFiles/relb_core.dir/transcript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/re/CMakeFiles/relb_re.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/relb_local.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relb_core.dir/bounds.cpp.o"
+  "CMakeFiles/relb_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/relb_core.dir/conversions.cpp.o"
+  "CMakeFiles/relb_core.dir/conversions.cpp.o.d"
+  "CMakeFiles/relb_core.dir/family.cpp.o"
+  "CMakeFiles/relb_core.dir/family.cpp.o.d"
+  "CMakeFiles/relb_core.dir/lemma6.cpp.o"
+  "CMakeFiles/relb_core.dir/lemma6.cpp.o.d"
+  "CMakeFiles/relb_core.dir/lemma8.cpp.o"
+  "CMakeFiles/relb_core.dir/lemma8.cpp.o.d"
+  "CMakeFiles/relb_core.dir/sequence.cpp.o"
+  "CMakeFiles/relb_core.dir/sequence.cpp.o.d"
+  "CMakeFiles/relb_core.dir/transcript.cpp.o"
+  "CMakeFiles/relb_core.dir/transcript.cpp.o.d"
+  "librelb_core.a"
+  "librelb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

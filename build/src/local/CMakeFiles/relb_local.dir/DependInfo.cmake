@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/graph.cpp" "src/local/CMakeFiles/relb_local.dir/graph.cpp.o" "gcc" "src/local/CMakeFiles/relb_local.dir/graph.cpp.o.d"
+  "/root/repo/src/local/halfedge.cpp" "src/local/CMakeFiles/relb_local.dir/halfedge.cpp.o" "gcc" "src/local/CMakeFiles/relb_local.dir/halfedge.cpp.o.d"
+  "/root/repo/src/local/verify.cpp" "src/local/CMakeFiles/relb_local.dir/verify.cpp.o" "gcc" "src/local/CMakeFiles/relb_local.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/re/CMakeFiles/relb_re.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relb_local.dir/graph.cpp.o"
+  "CMakeFiles/relb_local.dir/graph.cpp.o.d"
+  "CMakeFiles/relb_local.dir/halfedge.cpp.o"
+  "CMakeFiles/relb_local.dir/halfedge.cpp.o.d"
+  "CMakeFiles/relb_local.dir/verify.cpp.o"
+  "CMakeFiles/relb_local.dir/verify.cpp.o.d"
+  "librelb_local.a"
+  "librelb_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relb_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

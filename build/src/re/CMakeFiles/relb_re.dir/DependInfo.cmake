@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/re/alphabet.cpp" "src/re/CMakeFiles/relb_re.dir/alphabet.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/alphabet.cpp.o.d"
+  "/root/repo/src/re/autobound.cpp" "src/re/CMakeFiles/relb_re.dir/autobound.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/autobound.cpp.o.d"
+  "/root/repo/src/re/configuration.cpp" "src/re/CMakeFiles/relb_re.dir/configuration.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/configuration.cpp.o.d"
+  "/root/repo/src/re/constraint.cpp" "src/re/CMakeFiles/relb_re.dir/constraint.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/constraint.cpp.o.d"
+  "/root/repo/src/re/cycle_verifier.cpp" "src/re/CMakeFiles/relb_re.dir/cycle_verifier.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/cycle_verifier.cpp.o.d"
+  "/root/repo/src/re/diagram.cpp" "src/re/CMakeFiles/relb_re.dir/diagram.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/diagram.cpp.o.d"
+  "/root/repo/src/re/encodings.cpp" "src/re/CMakeFiles/relb_re.dir/encodings.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/encodings.cpp.o.d"
+  "/root/repo/src/re/flow.cpp" "src/re/CMakeFiles/relb_re.dir/flow.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/flow.cpp.o.d"
+  "/root/repo/src/re/problem.cpp" "src/re/CMakeFiles/relb_re.dir/problem.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/problem.cpp.o.d"
+  "/root/repo/src/re/re_step.cpp" "src/re/CMakeFiles/relb_re.dir/re_step.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/re_step.cpp.o.d"
+  "/root/repo/src/re/relax.cpp" "src/re/CMakeFiles/relb_re.dir/relax.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/relax.cpp.o.d"
+  "/root/repo/src/re/rename.cpp" "src/re/CMakeFiles/relb_re.dir/rename.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/rename.cpp.o.d"
+  "/root/repo/src/re/simplify.cpp" "src/re/CMakeFiles/relb_re.dir/simplify.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/simplify.cpp.o.d"
+  "/root/repo/src/re/tree_verifier.cpp" "src/re/CMakeFiles/relb_re.dir/tree_verifier.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/tree_verifier.cpp.o.d"
+  "/root/repo/src/re/zero_round.cpp" "src/re/CMakeFiles/relb_re.dir/zero_round.cpp.o" "gcc" "src/re/CMakeFiles/relb_re.dir/zero_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

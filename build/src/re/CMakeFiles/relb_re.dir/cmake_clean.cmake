@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relb_re.dir/alphabet.cpp.o"
+  "CMakeFiles/relb_re.dir/alphabet.cpp.o.d"
+  "CMakeFiles/relb_re.dir/autobound.cpp.o"
+  "CMakeFiles/relb_re.dir/autobound.cpp.o.d"
+  "CMakeFiles/relb_re.dir/configuration.cpp.o"
+  "CMakeFiles/relb_re.dir/configuration.cpp.o.d"
+  "CMakeFiles/relb_re.dir/constraint.cpp.o"
+  "CMakeFiles/relb_re.dir/constraint.cpp.o.d"
+  "CMakeFiles/relb_re.dir/cycle_verifier.cpp.o"
+  "CMakeFiles/relb_re.dir/cycle_verifier.cpp.o.d"
+  "CMakeFiles/relb_re.dir/diagram.cpp.o"
+  "CMakeFiles/relb_re.dir/diagram.cpp.o.d"
+  "CMakeFiles/relb_re.dir/encodings.cpp.o"
+  "CMakeFiles/relb_re.dir/encodings.cpp.o.d"
+  "CMakeFiles/relb_re.dir/flow.cpp.o"
+  "CMakeFiles/relb_re.dir/flow.cpp.o.d"
+  "CMakeFiles/relb_re.dir/problem.cpp.o"
+  "CMakeFiles/relb_re.dir/problem.cpp.o.d"
+  "CMakeFiles/relb_re.dir/re_step.cpp.o"
+  "CMakeFiles/relb_re.dir/re_step.cpp.o.d"
+  "CMakeFiles/relb_re.dir/relax.cpp.o"
+  "CMakeFiles/relb_re.dir/relax.cpp.o.d"
+  "CMakeFiles/relb_re.dir/rename.cpp.o"
+  "CMakeFiles/relb_re.dir/rename.cpp.o.d"
+  "CMakeFiles/relb_re.dir/simplify.cpp.o"
+  "CMakeFiles/relb_re.dir/simplify.cpp.o.d"
+  "CMakeFiles/relb_re.dir/tree_verifier.cpp.o"
+  "CMakeFiles/relb_re.dir/tree_verifier.cpp.o.d"
+  "CMakeFiles/relb_re.dir/zero_round.cpp.o"
+  "CMakeFiles/relb_re.dir/zero_round.cpp.o.d"
+  "librelb_re.a"
+  "librelb_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relb_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algos/coloring_test.cpp" "tests/algos/CMakeFiles/algos_coloring_test.dir/coloring_test.cpp.o" "gcc" "tests/algos/CMakeFiles/algos_coloring_test.dir/coloring_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/relb_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/relb_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/re/CMakeFiles/relb_re.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_coloring_test.dir/coloring_test.cpp.o"
+  "CMakeFiles/algos_coloring_test.dir/coloring_test.cpp.o.d"
+  "algos_coloring_test"
+  "algos_coloring_test.pdb"
+  "algos_coloring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

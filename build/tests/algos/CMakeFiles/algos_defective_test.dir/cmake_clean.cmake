@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_defective_test.dir/defective_test.cpp.o"
+  "CMakeFiles/algos_defective_test.dir/defective_test.cpp.o.d"
+  "algos_defective_test"
+  "algos_defective_test.pdb"
+  "algos_defective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_defective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

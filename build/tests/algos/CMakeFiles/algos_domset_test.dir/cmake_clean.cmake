@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_domset_test.dir/domset_test.cpp.o"
+  "CMakeFiles/algos_domset_test.dir/domset_test.cpp.o.d"
+  "algos_domset_test"
+  "algos_domset_test.pdb"
+  "algos_domset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_domset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

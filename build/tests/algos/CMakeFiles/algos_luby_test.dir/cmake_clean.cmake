@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_luby_test.dir/luby_test.cpp.o"
+  "CMakeFiles/algos_luby_test.dir/luby_test.cpp.o.d"
+  "algos_luby_test"
+  "algos_luby_test.pdb"
+  "algos_luby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_luby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_nontree_test.dir/nontree_test.cpp.o"
+  "CMakeFiles/algos_nontree_test.dir/nontree_test.cpp.o.d"
+  "algos_nontree_test"
+  "algos_nontree_test.pdb"
+  "algos_nontree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_nontree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_shuffled_ports_test.dir/shuffled_ports_test.cpp.o"
+  "CMakeFiles/algos_shuffled_ports_test.dir/shuffled_ports_test.cpp.o.d"
+  "algos_shuffled_ports_test"
+  "algos_shuffled_ports_test.pdb"
+  "algos_shuffled_ports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_shuffled_ports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

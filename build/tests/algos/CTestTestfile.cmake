@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/algos
+# Build directory: /root/repo/build/tests/algos
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algos/algos_coloring_test[1]_include.cmake")
+include("/root/repo/build/tests/algos/algos_luby_test[1]_include.cmake")
+include("/root/repo/build/tests/algos/algos_defective_test[1]_include.cmake")
+include("/root/repo/build/tests/algos/algos_domset_test[1]_include.cmake")
+include("/root/repo/build/tests/algos/algos_nontree_test[1]_include.cmake")
+include("/root/repo/build/tests/algos/algos_shuffled_ports_test[1]_include.cmake")

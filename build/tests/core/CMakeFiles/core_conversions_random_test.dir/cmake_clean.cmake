@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_conversions_random_test.dir/conversions_random_test.cpp.o"
+  "CMakeFiles/core_conversions_random_test.dir/conversions_random_test.cpp.o.d"
+  "core_conversions_random_test"
+  "core_conversions_random_test.pdb"
+  "core_conversions_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_conversions_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

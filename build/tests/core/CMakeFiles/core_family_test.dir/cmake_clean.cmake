@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_family_test.dir/family_test.cpp.o"
+  "CMakeFiles/core_family_test.dir/family_test.cpp.o.d"
+  "core_family_test"
+  "core_family_test.pdb"
+  "core_family_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lemma6_test.dir/lemma6_test.cpp.o"
+  "CMakeFiles/core_lemma6_test.dir/lemma6_test.cpp.o.d"
+  "core_lemma6_test"
+  "core_lemma6_test.pdb"
+  "core_lemma6_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lemma6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sequence_test.dir/sequence_test.cpp.o"
+  "CMakeFiles/core_sequence_test.dir/sequence_test.cpp.o.d"
+  "core_sequence_test"
+  "core_sequence_test.pdb"
+  "core_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_transcript_test.dir/transcript_test.cpp.o"
+  "CMakeFiles/core_transcript_test.dir/transcript_test.cpp.o.d"
+  "core_transcript_test"
+  "core_transcript_test.pdb"
+  "core_transcript_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_transcript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

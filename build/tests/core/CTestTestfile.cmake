@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_family_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_lemma6_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_lemma8_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_conversions_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_transcript_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_conversions_random_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_cascade_test[1]_include.cmake")

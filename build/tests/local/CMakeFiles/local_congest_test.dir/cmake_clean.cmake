@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_congest_test.dir/congest_test.cpp.o"
+  "CMakeFiles/local_congest_test.dir/congest_test.cpp.o.d"
+  "local_congest_test"
+  "local_congest_test.pdb"
+  "local_congest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_congest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

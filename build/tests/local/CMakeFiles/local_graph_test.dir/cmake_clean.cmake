@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_graph_test.dir/graph_test.cpp.o"
+  "CMakeFiles/local_graph_test.dir/graph_test.cpp.o.d"
+  "local_graph_test"
+  "local_graph_test.pdb"
+  "local_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_halfedge_test.dir/halfedge_test.cpp.o"
+  "CMakeFiles/local_halfedge_test.dir/halfedge_test.cpp.o.d"
+  "local_halfedge_test"
+  "local_halfedge_test.pdb"
+  "local_halfedge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_halfedge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_network_test.dir/network_test.cpp.o"
+  "CMakeFiles/local_network_test.dir/network_test.cpp.o.d"
+  "local_network_test"
+  "local_network_test.pdb"
+  "local_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

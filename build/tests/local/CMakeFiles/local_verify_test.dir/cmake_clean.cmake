@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_verify_test.dir/verify_test.cpp.o"
+  "CMakeFiles/local_verify_test.dir/verify_test.cpp.o.d"
+  "local_verify_test"
+  "local_verify_test.pdb"
+  "local_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_zero_round_gadget_test.dir/zero_round_gadget_test.cpp.o"
+  "CMakeFiles/local_zero_round_gadget_test.dir/zero_round_gadget_test.cpp.o.d"
+  "local_zero_round_gadget_test"
+  "local_zero_round_gadget_test.pdb"
+  "local_zero_round_gadget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_zero_round_gadget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

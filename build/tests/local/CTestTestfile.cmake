@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/local
+# Build directory: /root/repo/build/tests/local
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/local/local_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/local/local_halfedge_test[1]_include.cmake")
+include("/root/repo/build/tests/local/local_verify_test[1]_include.cmake")
+include("/root/repo/build/tests/local/local_network_test[1]_include.cmake")
+include("/root/repo/build/tests/local/local_zero_round_gadget_test[1]_include.cmake")
+include("/root/repo/build/tests/local/local_congest_test[1]_include.cmake")

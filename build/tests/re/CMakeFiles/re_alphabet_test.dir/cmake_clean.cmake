@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_alphabet_test.dir/alphabet_test.cpp.o"
+  "CMakeFiles/re_alphabet_test.dir/alphabet_test.cpp.o.d"
+  "re_alphabet_test"
+  "re_alphabet_test.pdb"
+  "re_alphabet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_alphabet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_autobound_test.dir/autobound_test.cpp.o"
+  "CMakeFiles/re_autobound_test.dir/autobound_test.cpp.o.d"
+  "re_autobound_test"
+  "re_autobound_test.pdb"
+  "re_autobound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_autobound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_configuration_test.dir/configuration_test.cpp.o"
+  "CMakeFiles/re_configuration_test.dir/configuration_test.cpp.o.d"
+  "re_configuration_test"
+  "re_configuration_test.pdb"
+  "re_configuration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_configuration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_constraint_test.dir/constraint_test.cpp.o"
+  "CMakeFiles/re_constraint_test.dir/constraint_test.cpp.o.d"
+  "re_constraint_test"
+  "re_constraint_test.pdb"
+  "re_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_cycle_verifier_test.dir/cycle_verifier_test.cpp.o"
+  "CMakeFiles/re_cycle_verifier_test.dir/cycle_verifier_test.cpp.o.d"
+  "re_cycle_verifier_test"
+  "re_cycle_verifier_test.pdb"
+  "re_cycle_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_cycle_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_diagram_test.dir/diagram_test.cpp.o"
+  "CMakeFiles/re_diagram_test.dir/diagram_test.cpp.o.d"
+  "re_diagram_test"
+  "re_diagram_test.pdb"
+  "re_diagram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_diagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

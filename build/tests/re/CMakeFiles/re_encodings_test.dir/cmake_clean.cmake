@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_encodings_test.dir/encodings_test.cpp.o"
+  "CMakeFiles/re_encodings_test.dir/encodings_test.cpp.o.d"
+  "re_encodings_test"
+  "re_encodings_test.pdb"
+  "re_encodings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_encodings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

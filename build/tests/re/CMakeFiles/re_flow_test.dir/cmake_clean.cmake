@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_flow_test.dir/flow_test.cpp.o"
+  "CMakeFiles/re_flow_test.dir/flow_test.cpp.o.d"
+  "re_flow_test"
+  "re_flow_test.pdb"
+  "re_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_label_set_test.dir/label_set_test.cpp.o"
+  "CMakeFiles/re_label_set_test.dir/label_set_test.cpp.o.d"
+  "re_label_set_test"
+  "re_label_set_test.pdb"
+  "re_label_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_label_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_parser_fuzz_test.dir/parser_fuzz_test.cpp.o"
+  "CMakeFiles/re_parser_fuzz_test.dir/parser_fuzz_test.cpp.o.d"
+  "re_parser_fuzz_test"
+  "re_parser_fuzz_test.pdb"
+  "re_parser_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_parser_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_problem_test.dir/problem_test.cpp.o"
+  "CMakeFiles/re_problem_test.dir/problem_test.cpp.o.d"
+  "re_problem_test"
+  "re_problem_test.pdb"
+  "re_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_random_property_test.dir/random_property_test.cpp.o"
+  "CMakeFiles/re_random_property_test.dir/random_property_test.cpp.o.d"
+  "re_random_property_test"
+  "re_random_property_test.pdb"
+  "re_random_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_random_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_relax_test.dir/relax_test.cpp.o"
+  "CMakeFiles/re_relax_test.dir/relax_test.cpp.o.d"
+  "re_relax_test"
+  "re_relax_test.pdb"
+  "re_relax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_relax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

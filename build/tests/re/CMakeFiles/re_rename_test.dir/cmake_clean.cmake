@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_rename_test.dir/rename_test.cpp.o"
+  "CMakeFiles/re_rename_test.dir/rename_test.cpp.o.d"
+  "re_rename_test"
+  "re_rename_test.pdb"
+  "re_rename_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_rename_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_simplify_test.dir/simplify_test.cpp.o"
+  "CMakeFiles/re_simplify_test.dir/simplify_test.cpp.o.d"
+  "re_simplify_test"
+  "re_simplify_test.pdb"
+  "re_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

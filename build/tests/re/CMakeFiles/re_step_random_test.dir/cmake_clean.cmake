@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_step_random_test.dir/re_step_random_test.cpp.o"
+  "CMakeFiles/re_step_random_test.dir/re_step_random_test.cpp.o.d"
+  "re_step_random_test"
+  "re_step_random_test.pdb"
+  "re_step_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_step_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

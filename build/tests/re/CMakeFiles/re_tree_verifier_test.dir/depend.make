@@ -1,0 +1,2 @@
+# Empty dependencies file for re_tree_verifier_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_zero_round_edge_inputs_random_test.dir/zero_round_edge_inputs_random_test.cpp.o"
+  "CMakeFiles/re_zero_round_edge_inputs_random_test.dir/zero_round_edge_inputs_random_test.cpp.o.d"
+  "re_zero_round_edge_inputs_random_test"
+  "re_zero_round_edge_inputs_random_test.pdb"
+  "re_zero_round_edge_inputs_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_zero_round_edge_inputs_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_zero_round_test.dir/zero_round_test.cpp.o"
+  "CMakeFiles/re_zero_round_test.dir/zero_round_test.cpp.o.d"
+  "re_zero_round_test"
+  "re_zero_round_test.pdb"
+  "re_zero_round_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_zero_round_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/re
+# Build directory: /root/repo/build/tests/re
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/re/re_label_set_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_alphabet_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_configuration_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_problem_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_diagram_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_step_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_zero_round_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_rename_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_random_property_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_encodings_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_autobound_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_step_random_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_relax_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_cycle_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_tree_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_parser_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_simplify_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_autobound_lb_test[1]_include.cmake")
+include("/root/repo/build/tests/re/re_zero_round_edge_inputs_random_test[1]_include.cmake")
