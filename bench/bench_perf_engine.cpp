@@ -1,7 +1,22 @@
-// P1-P3 -- engine microbenchmarks (google-benchmark): the cost of the
-// R operator, the proof-script checks, flow membership, and the exact
-// speedup, across Delta.
+// P1-P3 -- engine microbenchmarks (google-benchmark), in three groups:
+//
+//   * Symbolic-Delta benchmarks: condensed-configuration / proof-script
+//     paths whose cost is independent of Delta; these deliberately take
+//     astronomically large Delta arguments (up to 2^40).
+//   * Exact-engine benchmarks: subset sweeps and packed-word enumerations
+//     whose guards (StepOptions::maxRbarDelta = 8, <= 16 labels, per-label
+//     counts <= 15) bound the feasible Delta.  Arguments stay within those
+//     guards so every registered benchmark actually runs -- huge-Delta
+//     arguments would make applyRbar throw, not measure.
+//   * Serial-vs-parallel benchmarks: the same exact-engine hot paths with
+//     StepOptions::numThreads 1 (serial) vs 0 (one thread per core), across
+//     Delta.  bench/run_bench.sh filters these into BENCH_speedup.json to
+//     track the repo's perf trajectory.  Delta = 7, 8 are feasible but cost
+//     tens of seconds to minutes per iteration; the registered range stops
+//     at 6 to keep full bench runs interactive.
 #include <benchmark/benchmark.h>
+
+#include <random>
 
 #include "core/lemma6.hpp"
 #include "core/lemma8.hpp"
@@ -14,6 +29,10 @@
 namespace {
 
 using namespace relb;
+
+// ---------------------------------------------------------------------------
+// Symbolic-Delta benchmarks (cost independent of Delta; huge Delta welcome).
+// ---------------------------------------------------------------------------
 
 void BM_ApplyR_Family(benchmark::State& state) {
   const re::Count delta = state.range(0);
@@ -45,15 +64,6 @@ BENCHMARK(BM_VerifyLemma8Symbolic)
     ->Arg(1 << 20)
     ->Arg(1 << 30);
 
-void BM_VerifyLemma8Exact(benchmark::State& state) {
-  const re::Count delta = state.range(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::verifyLemma8Exact(delta, delta, 0));
-  }
-}
-BENCHMARK(BM_VerifyLemma8Exact)->Arg(3)->Arg(4)->Arg(5);
-
 void BM_FlowMembership(benchmark::State& state) {
   const re::Count delta = state.range(0);
   const auto pi = core::familyProblem(delta, delta / 2, 7);
@@ -74,23 +84,6 @@ void BM_ExactChain(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactChain)->Arg(1 << 10)->Arg(1 << 20);
 
-void BM_CertifyChain(benchmark::State& state) {
-  const re::Count delta = state.range(0);
-  const auto chain = core::exactChain(delta, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::certifyChain(chain));
-  }
-}
-BENCHMARK(BM_CertifyChain)->Arg(1 << 10)->Arg(1 << 20);
-
-void BM_SpeedupStepMis(benchmark::State& state) {
-  const auto mis = re::misProblem(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(re::speedupStep(mis));
-  }
-}
-BENCHMARK(BM_SpeedupStepMis)->Arg(2)->Arg(3)->Arg(4);
-
 void BM_ZeroRoundCheck(benchmark::State& state) {
   const auto pi = core::familyProblem(state.range(0), state.range(0) / 2, 3);
   for (auto _ : state) {
@@ -98,6 +91,19 @@ void BM_ZeroRoundCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ZeroRoundCheck)->Arg(8)->Arg(1 << 20);
+
+// ---------------------------------------------------------------------------
+// Exact-engine benchmarks (enumeration guards bound the feasible Delta).
+// ---------------------------------------------------------------------------
+
+void BM_VerifyLemma8Exact(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::verifyLemma8Exact(delta, delta, 0));
+  }
+}
+BENCHMARK(BM_VerifyLemma8Exact)->Arg(3)->Arg(4)->Arg(5);
 
 void BM_CycleSolvable(benchmark::State& state) {
   const auto pi = re::misProblem(2);
@@ -116,6 +122,78 @@ void BM_TreeSolvable3(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeSolvable3)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel benchmarks.  Second argument is StepOptions::numThreads
+// (1 = serial reference, 0 = one thread per hardware core); the serial and
+// parallel rows are asserted bit-identical by
+// tests/re/re_step_parallel_test.cpp, so any delta here is pure perf.
+// ---------------------------------------------------------------------------
+
+void BM_SpeedupStepMis(benchmark::State& state) {
+  const auto mis = re::misProblem(state.range(0));
+  re::StepOptions options;
+  options.numThreads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::speedupStep(mis, options));
+  }
+}
+BENCHMARK(BM_SpeedupStepMis)
+    ->ArgsProduct({{2, 3, 4}, {1, 0}});
+
+void BM_SpeedupStepFamily(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto pi = core::familyProblem(delta, delta / 2, 1);
+  re::StepOptions options;
+  options.numThreads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::speedupStep(pi, options));
+  }
+}
+BENCHMARK(BM_SpeedupStepFamily)
+    ->ArgsProduct({{4, 5, 6}, {1, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_MaximalEdgePairs(benchmark::State& state) {
+  // A reproducible dense edge constraint over `labels` labels: the subset
+  // sweep is 2^labels and the maximality filter sees many incomparable
+  // pairs, which is exactly where the antichain prune and the sweep fan-out
+  // matter.
+  const int labels = static_cast<int>(state.range(0));
+  const int numThreads = static_cast<int>(state.range(1));
+  std::mt19937 rng(12345);
+  std::bernoulli_distribution coin(0.35);
+  re::Constraint edge(2, {});
+  for (int a = 0; a < labels; ++a) {
+    for (int b = a; b < labels; ++b) {
+      if (coin(rng)) {
+        edge.add(re::Configuration(
+            {{re::LabelSet{static_cast<re::Label>(a)}, 1},
+             {re::LabelSet{static_cast<re::Label>(b)}, 1}}));
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re::maximalEdgePairs(edge, labels, numThreads));
+  }
+}
+BENCHMARK(BM_MaximalEdgePairs)
+    ->ArgsProduct({{10, 14, 18}, {1, 0}})
+    ->UseRealTime();
+
+void BM_CertifyChain(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const int numThreads = static_cast<int>(state.range(1));
+  const auto chain = core::exactChain(delta, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::certifyChain(chain, numThreads));
+  }
+}
+BENCHMARK(BM_CertifyChain)
+    ->ArgsProduct({{1 << 10, 1 << 20}, {1, 0}})
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Runs the serial-vs-parallel engine benchmarks and writes BENCH_speedup.json
+# (google-benchmark JSON) to the repository root.
+#
+# Usage:  bench/run_bench.sh [build-dir] [extra benchmark flags...]
+#
+#   build-dir   CMake build directory (default: build).  Configured and
+#               built on demand if the benchmark binary is missing.
+#
+# The captured benchmarks are the ones whose second argument is
+# StepOptions::numThreads (1 = serial, 0 = one thread per hardware core):
+# BM_SpeedupStepFamily, BM_SpeedupStepMis, BM_MaximalEdgePairs and
+# BM_CertifyChain.  On a single-core machine numThreads=0 resolves to one
+# lane, so the two rows coincide up to noise; the serial rows still track
+# the antichain-prune baseline against older revisions.
+#
+# Note: the bundled google-benchmark expects --benchmark_min_time as a
+# plain double (seconds), without a unit suffix.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+
+BENCH_BIN="$BUILD_DIR/bench/bench_perf_engine"
+if [ ! -x "$BENCH_BIN" ]; then
+  echo "== $BENCH_BIN missing; configuring and building =="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j --target bench_perf_engine
+fi
+
+OUT="BENCH_speedup.json"
+"$BENCH_BIN" \
+  --benchmark_filter='BM_SpeedupStepFamily|BM_SpeedupStepMis|BM_MaximalEdgePairs|BM_CertifyChain' \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1 \
+  "$@"
+
+echo
+echo "== wrote $OUT =="

@@ -3,13 +3,15 @@
 // 0-round analysis, and iterates the speedup until a fixed point, a
 // 0-round-solvable problem, or a label blow-up.
 //
-//   ./round_eliminator_cli "<node configs>" "<edge configs>" [maxSteps]
+//   ./round_eliminator_cli "<node configs>" "<edge configs>" [maxSteps] [threads]
 //
-// Configurations are separated by ';'.  Examples:
+// Configurations are separated by ';'.  `threads` is the engine fan-out
+// width (0 = one thread per core, the default; results are identical for
+// every value).  Examples:
 //
 //   ./round_eliminator_cli "M^3; P O^2" "M [PO]; O O"         # MIS
 //   ./round_eliminator_cli "O [IO]^2" "I O" 4                 # sinkless or.
-//   ./round_eliminator_cli "M O^2; P^3" "M M; P O; O O"       # matching
+//   ./round_eliminator_cli "M O^2; P^3" "M M; P O; O O" 6 1   # matching, serial
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -34,8 +36,9 @@ int main(int argc, char** argv) {
   using namespace relb;
   if (argc < 3) {
     std::cerr << "usage: " << argv[0]
-              << " \"<node configs>\" \"<edge configs>\" [maxSteps]\n"
-              << "configurations separated by ';', e.g. \"M^3; P O^2\"\n";
+              << " \"<node configs>\" \"<edge configs>\" [maxSteps] [threads]\n"
+              << "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
+              << "threads: 0 = hardware concurrency (default), 1 = serial\n";
     return 2;
   }
   re::Problem p;
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const int maxSteps = argc > 3 ? std::atoi(argv[3]) : 6;
+  const int numThreads = argc > 4 ? std::atoi(argv[4]) : 0;
 
   std::cout << "problem (Delta = " << p.delta() << ", "
             << p.alphabet.size() << " labels):\n"
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   re::IterateOptions options;
   options.maxSteps = maxSteps;
   options.maxLabels = 16;
+  options.stepOptions.numThreads = numThreads;
   const auto trace = re::iterateSpeedup(p, options);
   std::cout << trace.describe() << "\n\n";
   if (trace.last.alphabet.size() <= 16) {
@@ -83,6 +88,7 @@ int main(int argc, char** argv) {
     re::AutoLowerBoundOptions lbOptions;
     lbOptions.maxSteps = maxSteps;
     lbOptions.maxLabels = 10;
+    lbOptions.stepOptions.numThreads = numThreads;
     const auto lb = re::autoLowerBound(p, lbOptions);
     std::cout << "\nautomatic lower bound: >= " << lb.rounds
               << " rounds (deterministic PN, high girth)\n";

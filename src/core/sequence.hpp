@@ -48,7 +48,10 @@ struct Chain {
 /// Lemma 11 move, and every problem in the chain must fail the 0-round
 /// solvability test of Lemma 12 (checked via the zero-round analyzer).
 /// Returns an empty string on success, else a description of the violation.
-[[nodiscard]] std::string certifyChain(const Chain& chain);
+/// The per-step 0-round checks are independent and fan out over `numThreads`
+/// (0 = hardware concurrency, 1 = serial); the reported violation is the
+/// earliest one regardless of thread count.
+[[nodiscard]] std::string certifyChain(const Chain& chain, int numThreads = 1);
 
 /// Lemma 12 for the family: Pi_Delta(a, x) is 0-round solvable on the
 /// symmetric-port family iff a == 0 or x == delta (i.e. some configuration

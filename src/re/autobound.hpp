@@ -56,7 +56,8 @@ struct IterationTrace {
 struct IterateOptions {
   int maxSteps = 8;
   int maxLabels = 12;          // refuse to continue past this alphabet size
-  StepOptions stepOptions;     // forwarded to applyRbar
+  StepOptions stepOptions;     // forwarded to applyR / applyRbar (including
+                               // the numThreads fan-out width)
   /// Check for fixed points (needs isomorphism search; alphabets <= 10).
   bool detectFixedPoint = true;
 };

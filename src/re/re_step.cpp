@@ -7,9 +7,51 @@
 #include <set>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
+
 namespace relb::re {
 
 namespace {
+
+// Candidate indices bucketed by a 32-bit union signature.  In both
+// maximality filters below, "q dominates p" forces union(p) subsetOf
+// union(q), so a candidate only needs to be compared against buckets whose
+// signature is a superset of its own.  This turns the quadratic all-pairs
+// filters into an antichain prune: with U distinct signatures and candidates
+// spread across them, the scan cost drops from O(P^2) domination tests to
+// O(P * U) signature tests plus tests against plausibly-dominating buckets.
+class SignatureBuckets {
+ public:
+  explicit SignatureBuckets(const std::vector<std::uint32_t>& signatures) {
+    std::unordered_map<std::uint32_t, std::size_t> index;
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+      const auto [it, fresh] =
+          index.emplace(signatures[i], signatures_.size());
+      if (fresh) {
+        signatures_.push_back(signatures[i]);
+        members_.emplace_back();
+      }
+      members_[it->second].push_back(i);
+    }
+  }
+
+  /// Applies `visit(j)` to every candidate j whose signature is a superset
+  /// of `sig`, until one returns true; returns whether any did.
+  template <typename Visit>
+  bool anyInSupersetBucket(std::uint32_t sig, Visit&& visit) const {
+    for (std::size_t b = 0; b < signatures_.size(); ++b) {
+      if ((sig & ~signatures_[b]) != 0) continue;
+      for (const std::size_t j : members_[b]) {
+        if (visit(j)) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint32_t> signatures_;
+  std::vector<std::vector<std::size_t>> members_;
+};
 
 // Builds the fresh alphabet for a collection of label sets over the old
 // alphabet.  Singletons keep their old name; larger sets get a parenthesized
@@ -87,10 +129,11 @@ std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
 }
 
 std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
-    const Constraint& edge, int alphabetSize) {
+    const Constraint& edge, int alphabetSize, int numThreads) {
   if (alphabetSize > 20) {
     throw Error("maximalEdgePairs: alphabet too large to enumerate subsets");
   }
+  using Pair = std::pair<LabelSet, LabelSet>;
   const auto compat = edgeCompatibility(edge, alphabetSize);
   // partner(A) = intersection of compat[a] over a in A: the unique largest
   // set pairable with A.  Maximal pairs are the Galois-closed pairs
@@ -100,40 +143,68 @@ std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
     forEachLabel(a, [&](Label l) { out = out & compat[l]; });
     return out;
   };
-  std::set<std::pair<LabelSet, LabelSet>> pairs;
+  // Subset sweep + Galois closure, fanned out over contiguous mask ranges.
+  // Every chunk deduplicates locally; the final sort + unique makes the
+  // result independent of the fan-out width.
   const std::uint32_t count = std::uint32_t{1} << alphabetSize;
-  for (std::uint32_t mask = 1; mask < count; ++mask) {
-    const LabelSet a(mask);
-    const LabelSet b = partner(a);
-    if (b.empty()) continue;
-    const LabelSet closedA = partner(b);
-    assert(partner(closedA) == b);
-    auto p = std::minmax(closedA, b);
-    pairs.emplace(p.first, p.second);
-  }
+  std::vector<Pair> pairs = util::parallel_reduce(
+      numThreads, static_cast<std::size_t>(count) - 1, std::vector<Pair>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<Pair> local;
+        for (std::size_t m = begin; m < end; ++m) {
+          const LabelSet a(static_cast<std::uint32_t>(m) + 1);
+          const LabelSet b = partner(a);
+          if (b.empty()) continue;
+          const LabelSet closedA = partner(b);
+          assert(partner(closedA) == b);
+          const auto p = std::minmax(closedA, b);
+          local.emplace_back(p.first, p.second);
+        }
+        std::sort(local.begin(), local.end());
+        local.erase(std::unique(local.begin(), local.end()), local.end());
+        return local;
+      },
+      [](std::vector<Pair> acc, std::vector<Pair> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
   // Galois-closed pairs are maximal against same-orientation growth by
   // construction, but an unordered configuration can still be dominated in
-  // the swapped orientation; filter those out.
-  std::vector<std::pair<LabelSet, LabelSet>> out;
-  for (const auto& p : pairs) {
-    const bool dominated = std::any_of(
-        pairs.begin(), pairs.end(), [&](const auto& q) {
-          if (q == p) return false;
+  // the swapped orientation; filter those out.  Bucketed by union signature
+  // (domination implies union inclusion) and fanned out per candidate.
+  std::vector<std::uint32_t> signatures(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    signatures[i] = (pairs[i].first | pairs[i].second).bits();
+  }
+  const SignatureBuckets buckets(signatures);
+  std::vector<char> dominated(pairs.size(), 0);
+  util::parallel_for(numThreads, pairs.size(), [&](std::size_t i) {
+    const Pair& p = pairs[i];
+    dominated[i] = buckets.anyInSupersetBucket(
+        signatures[i], [&](std::size_t j) {
+          if (j == i) return false;  // pairs are distinct after unique
+          const Pair& q = pairs[j];
           const bool straight =
               p.first.subsetOf(q.first) && p.second.subsetOf(q.second);
           const bool swapped =
               p.first.subsetOf(q.second) && p.second.subsetOf(q.first);
           return straight || swapped;
         });
-    if (!dominated) out.push_back(p);
+  });
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (!dominated[i]) out.push_back(pairs[i]);
   }
   return out;
 }
 
-StepResult applyR(const Problem& p) {
+StepResult applyR(const Problem& p, const StepOptions& options) {
   p.validate();
   const int n = p.alphabet.size();
-  const auto pairs = maximalEdgePairs(p.edge, n);
+  const auto pairs = maximalEdgePairs(p.edge, n, options.numThreads);
   if (pairs.empty()) {
     throw Error("applyR: empty edge constraint after maximization");
   }
@@ -254,6 +325,66 @@ Configuration slotsToConfiguration(const std::vector<LabelSet>& slots) {
   return Configuration(std::move(groups));
 }
 
+// Enumerates multisets of right-closed sets of size delta (non-decreasing
+// index sequences) with prefix sharing: the level set of distinct partial
+// choice words is extended one slot at a time, and a branch dies as soon as
+// some partial word can no longer be completed to an allowed word.  Each
+// enumerator owns its memo and output, so independent top-level branches can
+// run on separate threads.
+struct RbarEnumerator {
+  const std::vector<LabelSet>& rcSets;
+  const std::vector<PackedWord>& nodeWords;  // sorted
+  const int alphabetSize;
+  const Count delta;
+
+  // The same partial word recurs across many branches; memoize its
+  // completability.
+  std::unordered_map<PackedWord, bool> completable;
+  std::vector<LabelSet> slots;
+  std::vector<std::vector<LabelSet>> valid;
+
+  bool canComplete(PackedWord w) {
+    const auto it = completable.find(w);
+    if (it != completable.end()) return it->second;
+    const bool result = dominatedBySome(w, nodeWords, alphabetSize);
+    completable.emplace(w, result);
+    return result;
+  }
+
+  // One loop iteration of rec: extend `level` by slot set rcSets[i] and
+  // recurse if every resulting partial word is still completable.
+  void descend(std::size_t i, const std::vector<PackedWord>& level) {
+    std::vector<PackedWord> next;
+    next.reserve(level.size() * static_cast<std::size_t>(rcSets[i].size()));
+    for (const PackedWord w : level) {
+      forEachLabel(rcSets[i], [&](Label l) {
+        next.push_back(w + (PackedWord{1} << (4 * l)));
+      });
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    const bool viable = std::all_of(next.begin(), next.end(),
+                                    [&](PackedWord w) { return canComplete(w); });
+    if (!viable) return;
+    slots.push_back(rcSets[i]);
+    rec(i, next);
+    slots.pop_back();
+  }
+
+  void rec(std::size_t minIdx, const std::vector<PackedWord>& level) {
+    if (static_cast<Count>(slots.size()) == delta) {
+      // Completion: every distinct choice word must be allowed.
+      const bool all =
+          std::all_of(level.begin(), level.end(), [&](PackedWord w) {
+            return std::binary_search(nodeWords.begin(), nodeWords.end(), w);
+          });
+      if (all) valid.push_back(slots);
+      return;
+    }
+    for (std::size_t i = minIdx; i < rcSets.size(); ++i) descend(i, level);
+  }
+};
+
 }  // namespace
 
 StepResult applyRbar(const Problem& p, const StepOptions& options) {
@@ -282,72 +413,64 @@ StepResult applyRbar(const Problem& p, const StepOptions& options) {
   for (const Word& w : nodeWordList) nodeWords.push_back(packWord(w));
   std::sort(nodeWords.begin(), nodeWords.end());
 
-  // Enumerate multisets of right-closed sets of size delta (non-decreasing
-  // index sequences) with prefix sharing: the level set of distinct partial
-  // choice words is extended one slot at a time, and a branch dies as soon
-  // as some partial word can no longer be completed to an allowed word.
+  // Multiset enumeration (see RbarEnumerator).  With more than one thread,
+  // the top-level branches fan out: branch i enumerates exactly the
+  // multisets whose smallest chosen set is rcSets[i], and concatenating the
+  // per-branch results in branch order reproduces the serial DFS output
+  // verbatim.  Each branch owns a private memo; the serial path keeps the
+  // single shared memo of the original implementation.
+  const int width = std::min<int>(util::resolveThreadCount(options.numThreads),
+                                  static_cast<int>(rcSets.size()));
   std::vector<std::vector<LabelSet>> valid;
-  std::vector<LabelSet> slots;
-  // The same partial word recurs across many branches; memoize its
-  // completability.
-  std::unordered_map<PackedWord, bool> completable;
-  const auto canComplete = [&](PackedWord w) {
-    const auto it = completable.find(w);
-    if (it != completable.end()) return it->second;
-    const bool result = dominatedBySome(w, nodeWords, n);
-    completable.emplace(w, result);
-    return result;
-  };
-  std::function<void(std::size_t, const std::vector<PackedWord>&)> rec =
-      [&](std::size_t minIdx, const std::vector<PackedWord>& level) {
-        if (static_cast<Count>(slots.size()) == delta) {
-          // Completion: every distinct choice word must be allowed.
-          const bool all = std::all_of(
-              level.begin(), level.end(), [&](PackedWord w) {
-                return std::binary_search(nodeWords.begin(), nodeWords.end(),
-                                          w);
-              });
-          if (all) valid.push_back(slots);
-          return;
-        }
-        for (std::size_t i = minIdx; i < rcSets.size(); ++i) {
-          std::vector<PackedWord> next;
-          next.reserve(level.size() * static_cast<std::size_t>(
-                                          rcSets[i].size()));
-          for (const PackedWord w : level) {
-            forEachLabel(rcSets[i], [&](Label l) {
-              next.push_back(w + (PackedWord{1} << (4 * l)));
-            });
-          }
-          std::sort(next.begin(), next.end());
-          next.erase(std::unique(next.begin(), next.end()), next.end());
-          const bool viable = std::all_of(next.begin(), next.end(),
-                                          canComplete);
-          if (!viable) continue;
-          slots.push_back(rcSets[i]);
-          rec(i, next);
-          slots.pop_back();
-        }
-      };
-  rec(0, std::vector<PackedWord>{0});
+  const std::vector<PackedWord> root{0};
+  if (width <= 1 || delta == 0) {
+    RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
+    enumerator.rec(0, root);
+    valid = std::move(enumerator.valid);
+  } else {
+    std::vector<std::vector<std::vector<LabelSet>>> branchValid(rcSets.size());
+    util::parallel_for(
+        options.numThreads, rcSets.size(), [&](std::size_t i) {
+          RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
+          enumerator.descend(i, root);
+          branchValid[i] = std::move(enumerator.valid);
+        });
+    for (auto& branch : branchValid) {
+      for (auto& v : branch) valid.push_back(std::move(v));
+    }
+  }
   if (valid.empty()) {
     throw Error("applyRbar: node constraint empty after maximization");
   }
 
   // Keep only maximal candidates under the relaxation order.  Candidates
   // are pairwise distinct slot multisets (the DFS emits each once), so
-  // strict domination is `relaxes-to and not equal`.
+  // strict domination is `relaxes-to and not equal`.  A relaxation requires
+  // the slot unions to nest, so the all-pairs scan is bucketed by union
+  // signature and each candidate compared against superset buckets only.
+  std::vector<std::uint32_t> signatures(valid.size());
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    LabelSet u;
+    for (const LabelSet s : valid[i]) u = u | s;
+    signatures[i] = u.bits();
+  }
+  const SignatureBuckets buckets(signatures);
+  std::vector<char> dominated(valid.size(), 0);
+  util::parallel_for(options.numThreads, valid.size(), [&](std::size_t i) {
+    dominated[i] = buckets.anyInSupersetBucket(
+        signatures[i], [&](std::size_t j) {
+          if (j == i) return false;
+          if (!slotsRelaxTo(valid[i], valid[j])) return false;
+          // The reverse relaxation needs union(j) subsetOf union(i); inside
+          // a strictly-larger bucket it is impossible, so domination is
+          // already established.
+          if (signatures[j] != signatures[i]) return true;
+          return !slotsRelaxTo(valid[j], valid[i]);
+        });
+  });
   std::vector<Configuration> maximal;
   for (std::size_t i = 0; i < valid.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < valid.size() && !dominated; ++j) {
-      if (i == j) continue;
-      if (slotsRelaxTo(valid[i], valid[j]) &&
-          !slotsRelaxTo(valid[j], valid[i])) {
-        dominated = true;
-      }
-    }
-    if (!dominated) maximal.push_back(slotsToConfiguration(valid[i]));
+    if (!dominated[i]) maximal.push_back(slotsToConfiguration(valid[i]));
   }
   std::sort(maximal.begin(), maximal.end());
   maximal.erase(std::unique(maximal.begin(), maximal.end()), maximal.end());
@@ -383,7 +506,7 @@ StepResult applyRbar(const Problem& p, const StepOptions& options) {
 }
 
 Problem speedupStep(const Problem& p, const StepOptions& options) {
-  return applyRbar(applyR(p).problem, options).problem;
+  return applyRbar(applyR(p, options).problem, options).problem;
 }
 
 }  // namespace relb::re

@@ -17,6 +17,18 @@
 //     deduplicating all-choices check, which is feasible for small Delta
 //     (the number of distinct choice words is bounded by the number of
 //     multisets, not by |set|^Delta).  Guarded by `options.maxRbarDelta`.
+//
+// Parallelism: the subset sweep of maximalEdgePairs, the top-level branches
+// of the Rbar multiset enumeration, and both maximality filters fan out over
+// a thread pool (see util/thread_pool.hpp) when StepOptions::numThreads
+// resolves to more than one thread.  Partial results are merged in a fixed
+// index order and the domination filters are pure per-candidate predicates,
+// so the output is bit-identical for every thread count; numThreads == 1
+// runs the original serial code paths.  Independently of threading, the
+// quadratic domination filters are pruned by union-signature bucketing:
+// a candidate can only be dominated by one whose label-set union is a
+// superset, so candidates are compared against plausibly-dominating buckets
+// only (an antichain prune that helps even at one thread).
 #pragma once
 
 #include <vector>
@@ -37,10 +49,15 @@ struct StepOptions {
   Count maxRbarDelta = 8;
   /// Word-enumeration cap used for strength computation inside applyRbar.
   std::size_t enumerationLimit = 2'000'000;
+  /// Fan-out width for the parallel sections of applyR / applyRbar:
+  /// 0 = one thread per hardware core, 1 = fully serial, k >= 2 = exactly k
+  /// lanes.  Results are bit-identical for every value.
+  int numThreads = 0;
 };
 
 /// Computes Pi' = R(Pi).  Exact for arbitrary Delta.
-[[nodiscard]] StepResult applyR(const Problem& p);
+[[nodiscard]] StepResult applyR(const Problem& p,
+                                const StepOptions& options = {});
 
 /// Computes Pi'' = Rbar(Pi').  Exact; requires small Delta (see above).
 [[nodiscard]] StepResult applyRbar(const Problem& p,
@@ -57,8 +74,9 @@ struct StepOptions {
 
 /// Helper shared with the symbolic pipeline: the maximal edge configurations
 /// of R(Pi) as unordered pairs of label sets (before renaming).  Exact for
-/// any Delta.
+/// any Delta.  `numThreads` follows the StepOptions::numThreads convention
+/// except that the default is serial (low-level callers opt in).
 [[nodiscard]] std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
-    const Constraint& edge, int alphabetSize);
+    const Constraint& edge, int alphabetSize, int numThreads = 1);
 
 }  // namespace relb::re
