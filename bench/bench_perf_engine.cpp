@@ -21,6 +21,7 @@
 #include "core/lemma6.hpp"
 #include "core/lemma8.hpp"
 #include "core/sequence.hpp"
+#include "re/engine.hpp"
 #include "re/re_step.hpp"
 #include "re/cycle_verifier.hpp"
 #include "re/tree_verifier.hpp"
@@ -192,6 +193,48 @@ void BM_CertifyChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CertifyChain)
+    ->ArgsProduct({{1 << 10, 1 << 20}, {1, 0}})
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Warm-context benchmarks: the same hot paths served from an EngineContext
+// whose caches were warmed once before the timing loop.  The measured cost
+// is hashing + lookup; the delta against the cold rows above is what the
+// cross-layer memoization buys consumers like autobound / certifyChain.
+// ---------------------------------------------------------------------------
+
+void BM_SpeedupStepMisCached(benchmark::State& state) {
+  const auto mis = re::misProblem(state.range(0));
+  re::EngineContext ctx;
+  benchmark::DoNotOptimize(ctx.speedupStep(mis));  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.speedupStep(mis));
+  }
+}
+BENCHMARK(BM_SpeedupStepMisCached)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SpeedupStepFamilyCached(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto pi = core::familyProblem(delta, delta / 2, 1);
+  re::EngineContext ctx;
+  benchmark::DoNotOptimize(ctx.speedupStep(pi));  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.speedupStep(pi));
+  }
+}
+BENCHMARK(BM_SpeedupStepFamilyCached)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_CertifyChainCached(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const int numThreads = static_cast<int>(state.range(1));
+  const auto chain = core::exactChain(delta, 1);
+  re::EngineContext ctx;
+  benchmark::DoNotOptimize(core::certifyChain(chain, ctx, numThreads));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::certifyChain(chain, ctx, numThreads));
+  }
+}
+BENCHMARK(BM_CertifyChainCached)
     ->ArgsProduct({{1 << 10, 1 << 20}, {1, 0}})
     ->UseRealTime();
 

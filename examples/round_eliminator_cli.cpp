@@ -3,21 +3,26 @@
 // 0-round analysis, and iterates the speedup until a fixed point, a
 // 0-round-solvable problem, or a label blow-up.
 //
-//   ./round_eliminator_cli "<node configs>" "<edge configs>" [maxSteps] [threads]
+//   ./round_eliminator_cli [--stats] "<node configs>" "<edge configs>"
+//       [maxSteps] [threads]
 //
 // Configurations are separated by ';'.  `threads` is the engine fan-out
 // width (0 = one thread per core, the default; results are identical for
-// every value).  Examples:
+// every value).  `--stats` runs the speedup through the pass pipeline and
+// prints a per-pass table per step plus the engine cache counters.
+// Examples:
 //
 //   ./round_eliminator_cli "M^3; P O^2" "M [PO]; O O"         # MIS
-//   ./round_eliminator_cli "O [IO]^2" "I O" 4                 # sinkless or.
+//   ./round_eliminator_cli --stats "O [IO]^2" "I O" 4         # sinkless or.
 //   ./round_eliminator_cli "M O^2; P^3" "M M; P O; O O" 6 1   # matching, serial
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "re/autobound.hpp"
 #include "re/diagram.hpp"
+#include "re/engine.hpp"
 #include "re/problem.hpp"
 #include "re/zero_round.hpp"
 
@@ -30,26 +35,48 @@ std::string splitLines(std::string spec) {
   return spec;
 }
 
+void usage(const char* prog) {
+  std::cerr << "usage: " << prog
+            << " [--stats] \"<node configs>\" \"<edge configs>\""
+               " [maxSteps] [threads]\n"
+            << "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
+            << "threads: 0 = hardware concurrency (default), 1 = serial\n"
+            << "--stats: print a per-pass statistics table per speedup step\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace relb;
-  if (argc < 3) {
-    std::cerr << "usage: " << argv[0]
-              << " \"<node configs>\" \"<edge configs>\" [maxSteps] [threads]\n"
-              << "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
-              << "threads: 0 = hardware concurrency (default), 1 = serial\n";
+  bool showStats = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      showStats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    usage(argv[0]);
     return 2;
   }
   re::Problem p;
   try {
-    p = re::Problem::parse(splitLines(argv[1]), splitLines(argv[2]));
+    p = re::Problem::parse(splitLines(positional[0]),
+                           splitLines(positional[1]));
   } catch (const re::Error& e) {
     std::cerr << "parse error: " << e.what() << "\n";
     return 2;
   }
-  const int maxSteps = argc > 3 ? std::atoi(argv[3]) : 6;
-  const int numThreads = argc > 4 ? std::atoi(argv[4]) : 0;
+  const int maxSteps =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 6;
+  const int numThreads =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 0;
 
   std::cout << "problem (Delta = " << p.delta() << ", "
             << p.alphabet.size() << " labels):\n"
@@ -73,10 +100,35 @@ int main(int argc, char** argv) {
             << (re::zeroRoundSolvableWithEdgeInputs(p) ? "yes" : "no")
             << "\n\n";
 
+  re::PassOptions passOptions;
+  passOptions.numThreads = numThreads;
+  re::EngineContext ctx(passOptions);
+
+  if (showStats) {
+    // Drive the speedup through the pass pipeline, one stats table per step.
+    const auto pipeline = re::PassManager::speedupPipeline();
+    re::Problem current = p;
+    for (int step = 1; step <= maxSteps; ++step) {
+      try {
+        auto result = pipeline.run(current, ctx);
+        std::cout << "speedup step " << step << ":\n"
+                  << result.renderStatsTable() << "\n";
+        if (result.stopped) break;
+        current = std::move(result.problem);
+      } catch (const re::Error& e) {
+        std::cout << "speedup step " << step << ": engine guard ("
+                  << e.what() << ")\n\n";
+        break;
+      }
+      if (current.alphabet.size() > 16) break;
+    }
+  }
+
   re::IterateOptions options;
   options.maxSteps = maxSteps;
   options.maxLabels = 16;
   options.stepOptions.numThreads = numThreads;
+  options.context = &ctx;
   const auto trace = re::iterateSpeedup(p, options);
   std::cout << trace.describe() << "\n\n";
   if (trace.last.alphabet.size() <= 16) {
@@ -89,12 +141,17 @@ int main(int argc, char** argv) {
     lbOptions.maxSteps = maxSteps;
     lbOptions.maxLabels = 10;
     lbOptions.stepOptions.numThreads = numThreads;
+    lbOptions.context = &ctx;
     const auto lb = re::autoLowerBound(p, lbOptions);
     std::cout << "\nautomatic lower bound: >= " << lb.rounds
               << " rounds (deterministic PN, high girth)\n";
   } catch (const re::Error& e) {
     std::cout << "\nautomatic lower bound: engine guard (" << e.what()
               << ")\n";
+  }
+
+  if (showStats) {
+    std::cout << "\nengine cache statistics:\n" << ctx.stats().describe();
   }
   return 0;
 }

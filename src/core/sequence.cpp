@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "re/engine.hpp"
 #include "re/zero_round.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,6 +14,55 @@ using re::Count;
 
 bool corollary10Applies(Count a, Count x, Count delta) {
   return 2 * x + 1 <= a && x + 2 <= a && a <= delta;
+}
+
+// Shared body of both certifyChain overloads.  `zeroRoundCheck(i)` decides
+// Lemma 12 for step i; it is invoked from the fan-out workers, so it must be
+// safe to call concurrently.
+template <typename ZeroRoundCheck>
+std::string certifyChainImpl(const Chain& chain, int numThreads,
+                             ZeroRoundCheck&& zeroRoundCheck) {
+  if (chain.steps.empty()) return "empty chain";
+  // The Lemma 12 checks dominate the certification cost and are independent
+  // per step; compute them fanned out, then report violations in step order
+  // so the verdict is identical to the serial scan.  Exceptions (malformed
+  // parameters) are replayed at the step where the serial scan would have
+  // raised them.
+  std::vector<char> zeroRound(chain.steps.size());
+  std::vector<std::exception_ptr> zeroRoundError(chain.steps.size());
+  util::parallel_for(numThreads, chain.steps.size(), [&](std::size_t i) {
+    try {
+      zeroRound[i] = zeroRoundCheck(i);
+    } catch (...) {
+      zeroRoundError[i] = std::current_exception();
+    }
+  });
+  for (std::size_t i = 0; i + 1 < chain.steps.size(); ++i) {
+    const auto& cur = chain.steps[i];
+    const auto& next = chain.steps[i + 1];
+    if (!corollary10Applies(cur.a, cur.x, chain.delta)) {
+      return "step " + std::to_string(i) +
+             ": Corollary 10 preconditions violated";
+    }
+    const FamilyParams sped = speedupParams({chain.delta, cur.a, cur.x});
+    // The next problem must be reachable: exactly the speedup result, or a
+    // Lemma 11 relaxation of it (smaller a, larger-or-equal x).
+    if (!(next.a <= sped.a && next.x >= sped.x)) {
+      return "step " + std::to_string(i) +
+             ": next problem not reachable by Corollary 10 + Lemma 11";
+    }
+    // Every problem except possibly the final one must be non-0-round
+    // solvable, otherwise the speedup chain proves nothing (Lemma 12).
+    if (zeroRoundError[i]) std::rethrow_exception(zeroRoundError[i]);
+    if (zeroRound[i]) {
+      return "step " + std::to_string(i) + ": problem is 0-round solvable";
+    }
+  }
+  if (zeroRoundError.back()) std::rethrow_exception(zeroRoundError.back());
+  if (zeroRound.back()) {
+    return "final problem is 0-round solvable";
+  }
+  return "";
 }
 
 }  // namespace
@@ -58,48 +108,19 @@ bool familyZeroRoundSolvable(Count delta, Count a, Count x) {
 }
 
 std::string certifyChain(const Chain& chain, int numThreads) {
-  if (chain.steps.empty()) return "empty chain";
-  // The Lemma 12 checks dominate the certification cost and are independent
-  // per step; compute them fanned out, then report violations in step order
-  // so the verdict is identical to the serial scan.  Exceptions (malformed
-  // parameters) are replayed at the step where the serial scan would have
-  // raised them.
-  std::vector<char> zeroRound(chain.steps.size());
-  std::vector<std::exception_ptr> zeroRoundError(chain.steps.size());
-  util::parallel_for(numThreads, chain.steps.size(), [&](std::size_t i) {
-    try {
-      zeroRound[i] = familyZeroRoundSolvable(chain.delta, chain.steps[i].a,
-                                             chain.steps[i].x);
-    } catch (...) {
-      zeroRoundError[i] = std::current_exception();
-    }
+  return certifyChainImpl(chain, numThreads, [&](std::size_t i) {
+    return familyZeroRoundSolvable(chain.delta, chain.steps[i].a,
+                                   chain.steps[i].x);
   });
-  for (std::size_t i = 0; i + 1 < chain.steps.size(); ++i) {
-    const auto& cur = chain.steps[i];
-    const auto& next = chain.steps[i + 1];
-    if (!corollary10Applies(cur.a, cur.x, chain.delta)) {
-      return "step " + std::to_string(i) +
-             ": Corollary 10 preconditions violated";
-    }
-    const FamilyParams sped = speedupParams({chain.delta, cur.a, cur.x});
-    // The next problem must be reachable: exactly the speedup result, or a
-    // Lemma 11 relaxation of it (smaller a, larger-or-equal x).
-    if (!(next.a <= sped.a && next.x >= sped.x)) {
-      return "step " + std::to_string(i) +
-             ": next problem not reachable by Corollary 10 + Lemma 11";
-    }
-    // Every problem except possibly the final one must be non-0-round
-    // solvable, otherwise the speedup chain proves nothing (Lemma 12).
-    if (zeroRoundError[i]) std::rethrow_exception(zeroRoundError[i]);
-    if (zeroRound[i]) {
-      return "step " + std::to_string(i) + ": problem is 0-round solvable";
-    }
-  }
-  if (zeroRoundError.back()) std::rethrow_exception(zeroRoundError.back());
-  if (zeroRound.back()) {
-    return "final problem is 0-round solvable";
-  }
-  return "";
+}
+
+std::string certifyChain(const Chain& chain, re::EngineContext& context,
+                         int numThreads) {
+  return certifyChainImpl(chain, numThreads, [&](std::size_t i) {
+    return context.zeroRoundSolvable(
+        familyProblem(chain.delta, chain.steps[i].a, chain.steps[i].x),
+        re::ZeroRoundMode::kSymmetricPorts);
+  });
 }
 
 Count pnLowerBoundRounds(Count delta, Count k) {

@@ -14,6 +14,11 @@
 #include <vector>
 
 #include "core/family.hpp"
+#include "util/thread_pool.hpp"
+
+namespace relb::re {
+class EngineContext;
+}  // namespace relb::re
 
 namespace relb::core {
 
@@ -51,7 +56,16 @@ struct Chain {
 /// The per-step 0-round checks are independent and fan out over `numThreads`
 /// (0 = hardware concurrency, 1 = serial); the reported violation is the
 /// earliest one regardless of thread count.
-[[nodiscard]] std::string certifyChain(const Chain& chain, int numThreads = 1);
+[[nodiscard]] std::string certifyChain(
+    const Chain& chain, int numThreads = util::kDefaultNumThreads);
+
+/// Context-backed overload: the per-step 0-round verdicts are memoized in
+/// `context`, so re-certifying a chain (or certifying overlapping chains)
+/// against a warm context performs zero recomputation.  The verdict is
+/// identical to the context-free overload.
+[[nodiscard]] std::string certifyChain(
+    const Chain& chain, re::EngineContext& context,
+    int numThreads = util::kDefaultNumThreads);
 
 /// Lemma 12 for the family: Pi_Delta(a, x) is 0-round solvable on the
 /// symmetric-port family iff a == 0 or x == delta (i.e. some configuration

@@ -1,5 +1,6 @@
 #include "re/autobound.hpp"
 
+#include "re/engine.hpp"
 #include "re/rename.hpp"
 #include "re/simplify.hpp"
 #include "re/zero_round.hpp"
@@ -10,6 +11,40 @@ namespace {
 
 IterationStep describeProblem(const Problem& p) {
   return {p.alphabet.size(), p.node.size(), p.edge.size()};
+}
+
+// Fixed-point test for two consecutive iterates.  With a context, the
+// syntactic canonical forms are compared first: equal canonical forms prove
+// isomorphism without any permutation search (and the intern table makes
+// the lookup O(1) amortized across the whole iteration).  Unequal canonical
+// forms do NOT disprove *semantic* equivalence (differently condensed but
+// language-equal constraints), so the semantic search still runs as a
+// fallback -- behavior matches the context-free path exactly.
+bool sameUpToRenaming(const Problem& prev, const Problem& next,
+                      EngineContext* ctx) {
+  if (ctx != nullptr) {
+    try {
+      const auto prevInterned = ctx->intern(prev);
+      const auto nextInterned = ctx->intern(next);
+      if (prevInterned.hash == nextInterned.hash &&
+          prevInterned.canonical.problem == nextInterned.canonical.problem) {
+        return true;
+      }
+    } catch (const Error&) {
+      // canonicalize refused (too symmetric / too large); fall through.
+    }
+  }
+  try {
+    return equivalentUpToRenaming(prev, next);
+  } catch (const Error&) {
+    return false;  // isomorphism search refused; keep iterating
+  }
+}
+
+bool zeroRoundWithEdgeInputs(const Problem& p, EngineContext* ctx) {
+  return ctx != nullptr
+             ? ctx->zeroRoundSolvable(p, ZeroRoundMode::kWithEdgeInputs)
+             : zeroRoundSolvableWithEdgeInputs(p);
 }
 
 }  // namespace
@@ -59,14 +94,19 @@ IterationTrace iterateSpeedup(const Problem& start,
   for (int step = 1; step <= options.maxSteps; ++step) {
     Problem next;
     try {
-      next = speedupStep(trace.last, options.stepOptions);
+      next = options.context != nullptr
+                 ? options.context->speedupStep(trace.last)
+                 : speedupStep(trace.last, options.stepOptions);
     } catch (const Error&) {
       trace.reason = StopReason::kEngineLimit;
       return trace;
     }
     trace.steps.push_back(describeProblem(next));
 
-    if (zeroRoundSolvableAdversarialPorts(next)) {
+    if (options.context != nullptr
+            ? options.context->zeroRoundSolvable(
+                  next, ZeroRoundMode::kAdversarialPorts)
+            : zeroRoundSolvableAdversarialPorts(next)) {
       trace.last = std::move(next);
       trace.reason = StopReason::kZeroRoundSolvable;
       trace.zeroRoundAfter = step;
@@ -74,12 +114,7 @@ IterationTrace iterateSpeedup(const Problem& start,
     }
     if (options.detectFixedPoint && next.alphabet.size() <= 10 &&
         trace.last.alphabet.size() == next.alphabet.size()) {
-      bool same = false;
-      try {
-        same = equivalentUpToRenaming(trace.last, next);
-      } catch (const Error&) {
-        same = false;  // isomorphism search refused; keep iterating
-      }
+      const bool same = sameUpToRenaming(trace.last, next, options.context);
       if (same) {
         trace.last = std::move(next);
         trace.reason = StopReason::kFixedPoint;
@@ -104,7 +139,7 @@ AutoLowerBound autoLowerBound(const Problem& start,
   result.labelsPerStep.push_back(current.alphabet.size());
 
   for (int step = 0; step < options.maxSteps; ++step) {
-    if (zeroRoundSolvableWithEdgeInputs(current)) {
+    if (zeroRoundWithEdgeInputs(current, options.context)) {
       result.reason = StopReason::kZeroRoundSolvable;
       return result;
     }
@@ -112,7 +147,9 @@ AutoLowerBound autoLowerBound(const Problem& start,
     result.rounds = step + 1;
     Problem next;
     try {
-      next = speedupStep(current, options.stepOptions);
+      next = options.context != nullptr
+                 ? options.context->speedupStep(current)
+                 : speedupStep(current, options.stepOptions);
     } catch (const Error&) {
       result.reason = StopReason::kEngineLimit;
       return result;
@@ -125,7 +162,7 @@ AutoLowerBound autoLowerBound(const Problem& start,
       for (Label a = 0; a < n && !merged; ++a) {
         for (Label b = a + 1; b < n && !merged; ++b) {
           const Problem candidate = mergeTwoLabels(next, a, b);
-          if (!zeroRoundSolvableWithEdgeInputs(candidate)) {
+          if (!zeroRoundWithEdgeInputs(candidate, options.context)) {
             next = candidate;
             merged = true;
           }

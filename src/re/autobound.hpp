@@ -60,6 +60,13 @@ struct IterateOptions {
                                // the numThreads fan-out width)
   /// Check for fixed points (needs isomorphism search; alphabets <= 10).
   bool detectFixedPoint = true;
+  /// Optional engine context (see engine.hpp).  When set, speedup steps are
+  /// memoized through the context (stepOptions is ignored in favor of the
+  /// context's options) and fixed-point detection first tries the cheap
+  /// canonical-interning route -- "canonical form already interned" -- before
+  /// falling back to the semantic isomorphism search.  Results are identical
+  /// with and without a context.
+  EngineContext* context = nullptr;
 };
 
 /// Runs the speedup iteration and reports what happened.
@@ -95,6 +102,10 @@ struct AutoLowerBoundOptions {
   /// exists.
   int maxLabels = 8;
   StepOptions stepOptions;
+  /// Optional engine context: memoizes speedup steps and the (heavily
+  /// repeated) zero-round solvability checks of the merge search.  Results
+  /// are identical with and without a context.
+  EngineContext* context = nullptr;
 };
 
 /// Fully automatic lower-bound search.

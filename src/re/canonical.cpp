@@ -1,0 +1,261 @@
+#include "re/canonical.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+namespace relb::re {
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x243f6a8885a308d3ULL;  // pi digits
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64-style avalanche of v folded into h.
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return (h ^ v) * 0x2545f4914f6cdd1dULL + 0x632be59bd9b4e019ULL;
+}
+
+std::uint64_t hashString(std::uint64_t h, const std::string& s) {
+  h = mix(h, s.size());
+  for (const char c : s) h = mix(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
+// One configuration under a label relabeling, as comparable data: the sorted
+// list of (mapped set bits, exponent).  An injective map sends distinct group
+// sets to distinct sets, so no groups merge and the encoding is faithful.
+using ConfigKey = std::vector<std::pair<std::uint32_t, Count>>;
+
+ConfigKey encodeConfiguration(const Configuration& c,
+                              const std::vector<Label>& map) {
+  ConfigKey key;
+  key.reserve(c.groups().size());
+  for (const Group& g : c.groups()) {
+    LabelSet mapped;
+    forEachLabel(g.set, [&](Label l) { mapped.insert(map[l]); });
+    key.emplace_back(mapped.bits(), g.count);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+// A constraint under a relabeling: sorted configuration keys (the canonical
+// encoding forgets configuration order, which a renaming cannot change
+// meaningfully anyway).
+using ConstraintKey = std::vector<ConfigKey>;
+
+ConstraintKey encodeConstraint(const Constraint& c,
+                               const std::vector<Label>& map) {
+  ConstraintKey key;
+  key.reserve(c.size());
+  for (const auto& config : c.configurations()) {
+    key.push_back(encodeConfiguration(config, map));
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+std::uint64_t hashConstraintKey(std::uint64_t h, const ConstraintKey& key) {
+  h = mix(h, key.size());
+  for (const ConfigKey& config : key) {
+    h = mix(h, config.size());
+    for (const auto& [bits, count] : config) {
+      h = mix(h, bits);
+      h = mix(h, static_cast<std::uint64_t>(count));
+    }
+  }
+  return h;
+}
+
+// Iterated structural refinement: every label starts with a uniform color
+// and is repeatedly recolored by the multiset of (constraint tag,
+// configuration signature, group signature, exponent) tuples of the groups
+// containing it, where signatures are computed from the current coloring.
+// Everything is aggregated through sorted multisets, so the final colors are
+// invariant under label permutations; labels with different colors are
+// provably non-interchangeable.
+std::vector<std::uint64_t> refineColors(const Problem& p) {
+  const int n = p.alphabet.size();
+  std::vector<std::uint64_t> color(static_cast<std::size_t>(n), kSeed);
+
+  const auto round = [&]() {
+    std::vector<std::vector<std::uint64_t>> incidences(
+        static_cast<std::size_t>(n));
+    const auto scan = [&](const Constraint& constraint, std::uint64_t tag) {
+      for (const auto& config : constraint.configurations()) {
+        // Group signatures from the current coloring.
+        std::vector<std::uint64_t> groupSig;
+        groupSig.reserve(config.groups().size());
+        for (const Group& g : config.groups()) {
+          std::vector<std::uint64_t> member;
+          forEachLabel(g.set, [&](Label l) { member.push_back(color[l]); });
+          std::sort(member.begin(), member.end());
+          std::uint64_t s = mix(tag, static_cast<std::uint64_t>(g.count));
+          for (const std::uint64_t m : member) s = mix(s, m);
+          groupSig.push_back(s);
+        }
+        std::vector<std::uint64_t> sorted = groupSig;
+        std::sort(sorted.begin(), sorted.end());
+        std::uint64_t configSig = mix(tag, sorted.size());
+        for (const std::uint64_t s : sorted) configSig = mix(configSig, s);
+        for (std::size_t gi = 0; gi < config.groups().size(); ++gi) {
+          forEachLabel(config.groups()[gi].set, [&](Label l) {
+            incidences[l].push_back(mix(configSig, groupSig[gi]));
+          });
+        }
+      }
+    };
+    scan(p.node, 1);
+    scan(p.edge, 2);
+    std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+    for (int l = 0; l < n; ++l) {
+      auto& inc = incidences[static_cast<std::size_t>(l)];
+      std::sort(inc.begin(), inc.end());
+      std::uint64_t h = mix(color[static_cast<std::size_t>(l)], inc.size());
+      for (const std::uint64_t v : inc) h = mix(h, v);
+      next[static_cast<std::size_t>(l)] = h;
+    }
+    color = std::move(next);
+  };
+
+  // n rounds always suffice for the partition to stabilize (each round can
+  // only split classes, and there are at most n of them).
+  for (int i = 0; i < n; ++i) round();
+  return color;
+}
+
+Problem applyCanonicalMap(const Problem& p, const std::vector<Label>& map) {
+  const int n = p.alphabet.size();
+  Alphabet fresh;
+  for (int l = 0; l < n; ++l) fresh.add("L" + std::to_string(l));
+
+  const auto mapSet = [&](LabelSet s) {
+    LabelSet out;
+    forEachLabel(s, [&](Label l) { out.insert(map[l]); });
+    return out;
+  };
+  const auto mapConstraint = [&](const Constraint& c) {
+    std::vector<Configuration> configs;
+    configs.reserve(c.size());
+    for (const auto& config : c.configurations()) {
+      configs.push_back(config.mapSets(mapSet));
+    }
+    std::sort(configs.begin(), configs.end());
+    return Constraint(c.degree(), std::move(configs));
+  };
+
+  Problem out;
+  out.alphabet = std::move(fresh);
+  out.node = mapConstraint(p.node);
+  out.edge = mapConstraint(p.edge);
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t structuralHash(const Constraint& c) {
+  std::uint64_t h = mix(kSeed, static_cast<std::uint64_t>(c.degree()));
+  h = mix(h, c.size());
+  // Configuration order is part of the exact key: consumers of a cached
+  // result must see the bit-identical output the uncached call produced,
+  // and that output can depend on the order configurations were added.
+  for (const auto& config : c.configurations()) {
+    h = mix(h, config.groups().size());
+    for (const Group& g : config.groups()) {
+      h = mix(h, g.set.bits());
+      h = mix(h, static_cast<std::uint64_t>(g.count));
+    }
+  }
+  return h;
+}
+
+std::uint64_t structuralHash(const Problem& p) {
+  const int n = p.alphabet.size();
+  std::uint64_t h = mix(kSeed, static_cast<std::uint64_t>(n));
+  for (const std::string& name : p.alphabet.names()) h = hashString(h, name);
+  h = mix(h, structuralHash(p.node));
+  h = mix(h, structuralHash(p.edge));
+  return h;
+}
+
+CanonicalForm canonicalize(const Problem& p, std::size_t permutationBudget) {
+  p.validate();
+  const int n = p.alphabet.size();
+  if (n > 16) throw Error("canonicalize: alphabet too large (> 16 labels)");
+
+  const auto colors = refineColors(p);
+
+  // Sort labels by color; equal colors form tie classes.
+  std::vector<Label> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](Label a, Label b) {
+    if (colors[a] != colors[b]) return colors[a] < colors[b];
+    return a < b;
+  });
+  std::vector<std::pair<std::size_t, std::size_t>> classes;  // [begin, end)
+  std::size_t budget = 1;
+  for (std::size_t i = 0; i < order.size();) {
+    std::size_t j = i + 1;
+    while (j < order.size() && colors[order[j]] == colors[order[i]]) ++j;
+    classes.emplace_back(i, j);
+    for (std::size_t k = 2; k <= j - i; ++k) {
+      budget *= k;
+      if (budget > permutationBudget) {
+        throw Error("canonicalize: symmetry class too large for budget");
+      }
+    }
+    i = j;
+  }
+
+  // Try every combination of within-class permutations of `order` and keep
+  // the lexicographically smallest (node, edge) encoding.  The class
+  // boundaries are permutation-invariant, so the winner is canonical.
+  std::vector<Label> best;
+  ConstraintKey bestNode, bestEdge;
+  std::vector<Label> current = order;
+  const std::function<void(std::size_t)> sweep = [&](std::size_t ci) {
+    if (ci == classes.size()) {
+      // current[i] = the label placed at canonical position i; invert.
+      std::vector<Label> map(static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        map[current[i]] = static_cast<Label>(i);
+      }
+      ConstraintKey nodeKey = encodeConstraint(p.node, map);
+      ConstraintKey edgeKey = encodeConstraint(p.edge, map);
+      if (best.empty() || std::tie(nodeKey, edgeKey) <
+                              std::tie(bestNode, bestEdge)) {
+        best = map;
+        bestNode = std::move(nodeKey);
+        bestEdge = std::move(edgeKey);
+      }
+      return;
+    }
+    const auto [beginIdx, endIdx] = classes[ci];
+    const auto first = current.begin() + static_cast<std::ptrdiff_t>(beginIdx);
+    const auto last = current.begin() + static_cast<std::ptrdiff_t>(endIdx);
+    std::sort(first, last);
+    do {
+      sweep(ci + 1);
+    } while (std::next_permutation(first, last));
+  };
+  sweep(0);
+
+  CanonicalForm result;
+  result.map = best;
+  result.problem = applyCanonicalMap(p, best);
+  std::uint64_t h = mix(kSeed, static_cast<std::uint64_t>(n));
+  h = mix(h, static_cast<std::uint64_t>(p.node.degree()));
+  h = hashConstraintKey(h, bestNode);
+  h = hashConstraintKey(h, bestEdge);
+  result.hash = h;
+  return result;
+}
+
+}  // namespace relb::re

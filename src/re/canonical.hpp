@@ -1,0 +1,61 @@
+// Canonical forms and structural hashing of problems.
+//
+// Two problems that differ only by a label permutation describe the same
+// LCL; the engine's caches and the fixed-point detector need a
+// representative that is *identical* (not merely isomorphic) for all members
+// of such an orbit.  canonicalize() produces that representative: labels are
+// reordered by an iterated structural refinement (a Weisfeiler-Leman-style
+// coloring over the condensed configurations); ties are broken by trying
+// every permutation inside a tie class and keeping the lexicographically
+// smallest encoding.  The canonical problem carries synthetic label names
+// ("L0", "L1", ...), so the form is independent of the input's names.
+//
+// Two hashes with different contracts:
+//   * structuralHash(p)        — syntactic: sensitive to label order,
+//     configuration order, and label names.  Used as the exact memoization
+//     key (a cache hit must return a bit-identical result).
+//   * canonicalize(p).hash     — isomorphism-invariant: equal for any two
+//     problems that are label permutations of each other.  Used for
+//     interning and cheap fixed-point detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+
+struct CanonicalForm {
+  /// The canonical representative (synthetic names "L0", "L1", ...).
+  Problem problem;
+  /// Input label -> canonical label.
+  std::vector<Label> map;
+  /// Permutation-invariant structure hash of the canonical problem.
+  std::uint64_t hash = 0;
+};
+
+/// Order- and name-sensitive 64-bit hash of a problem exactly as
+/// represented.  Collisions are possible (callers must confirm equality
+/// before trusting a match); equal problems always hash equal.
+[[nodiscard]] std::uint64_t structuralHash(const Problem& p);
+
+/// Same contract, for a single constraint (degree + configurations, in
+/// stored order).
+[[nodiscard]] std::uint64_t structuralHash(const Constraint& c);
+
+/// Computes the canonical form.  `permutationBudget` bounds the number of
+/// tie-breaking permutations tried (the product of the factorials of the
+/// refinement classes); throws Error if the problem is too symmetric for
+/// that budget or has more than 16 labels.
+///
+/// Guarantees (tested in tests/re/canonical_test.cpp):
+///   * idempotence: canonicalize(canonicalize(p).problem).problem ==
+///     canonicalize(p).problem;
+///   * invariance: for every label permutation q of p,
+///     canonicalize(q).problem == canonicalize(p).problem (and the hashes
+///     agree), regardless of q's label names.
+[[nodiscard]] CanonicalForm canonicalize(const Problem& p,
+                                         std::size_t permutationBudget = 40'320);
+
+}  // namespace relb::re

@@ -163,53 +163,13 @@ bool Configuration::containsAllWordsOf(const Configuration& other) const {
   return all;
 }
 
-namespace {
-
-// Enumerates multisets of size `count` from `labels`, invoking fn with the
-// count vector delta for the group.
-void forEachMultiset(const std::vector<Label>& labels, Count count, Word& acc,
-                     std::size_t idx, const std::function<void()>& fn) {
-  if (idx + 1 == labels.size()) {
-    acc[labels[idx]] += count;
-    fn();
-    acc[labels[idx]] -= count;
-    return;
-  }
-  for (Count take = 0; take <= count; ++take) {
-    acc[labels[idx]] += take;
-    forEachMultiset(labels, count - take, acc, idx + 1, fn);
-    acc[labels[idx]] -= take;
-  }
-}
-
-}  // namespace
-
 void Configuration::forEachWord(int alphabetSize,
                                 const std::function<void(const Word&)>& fn,
                                 std::size_t limit) const {
-  if (!support().subsetOf(LabelSet::full(alphabetSize))) {
-    throw Error("forEachWord: configuration mentions labels outside alphabet");
-  }
-  std::set<Word> seen;
-  Word acc(static_cast<std::size_t>(alphabetSize), 0);
-  std::function<void(std::size_t)> rec = [&](std::size_t groupIdx) {
-    if (groupIdx == groups_.size()) {
-      if (seen.insert(acc).second) {
-        if (seen.size() > limit) {
-          throw Error("forEachWord: word count exceeds limit");
-        }
-        fn(acc);
-      }
-      return;
-    }
-    const Group& g = groups_[groupIdx];
-    const auto labels = g.set.toVector();
-    if (g.count > 1'000'000) {
-      throw Error("forEachWord: exponent too large to enumerate");
-    }
-    forEachMultiset(labels, g.count, acc, 0, [&] { rec(groupIdx + 1); });
-  };
-  rec(0);
+  // Delegates to the template overload; kept out of line so ABI-stable
+  // callers holding an erased callback keep a non-inline entry point.
+  forEachWord(
+      alphabetSize, [&fn](const Word& w) { fn(w); }, limit);
 }
 
 std::size_t Configuration::countWords(int alphabetSize,

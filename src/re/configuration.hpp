@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -99,8 +100,16 @@ class Configuration {
   /// Enumerates every word denoted by this configuration, invoking
   /// `fn(const Word&)` once per distinct word.  Throws Error if the number of
   /// words would exceed `limit`.
-  void forEachWord(int alphabetSize, const std::function<void(const Word&)>& fn,
+  ///
+  /// The template overload binds the callback statically -- no per-word
+  /// type erasure on the enumeration hot paths (strength computation, R-bar
+  /// word checks).  The std::function overload remains out-of-line for
+  /// ABI-stable callers holding an erased callback.
+  template <typename Fn>
+  void forEachWord(int alphabetSize, Fn&& fn,
                    std::size_t limit = 5'000'000) const;
+  void forEachWord(int alphabetSize, const std::function<void(const Word&)>& fn,
+                   std::size_t limit) const;
 
   /// Number of distinct words denoted (capped at `limit`).
   [[nodiscard]] std::size_t countWords(int alphabetSize,
@@ -122,5 +131,56 @@ class Configuration {
   std::vector<Group> groups_;
   Count degree_ = 0;
 };
+
+namespace detail {
+
+/// Enumerates multisets of size `count` from `labels`, accumulating the
+/// per-label counts into `acc` and invoking `fn()` per completed multiset.
+template <typename Fn>
+void forEachMultiset(const std::vector<Label>& labels, Count count, Word& acc,
+                     std::size_t idx, Fn&& fn) {
+  if (idx + 1 == labels.size()) {
+    acc[labels[idx]] += count;
+    fn();
+    acc[labels[idx]] -= count;
+    return;
+  }
+  for (Count take = 0; take <= count; ++take) {
+    acc[labels[idx]] += take;
+    forEachMultiset(labels, count - take, acc, idx + 1, fn);
+    acc[labels[idx]] -= take;
+  }
+}
+
+}  // namespace detail
+
+template <typename Fn>
+void Configuration::forEachWord(int alphabetSize, Fn&& fn,
+                                std::size_t limit) const {
+  if (!support().subsetOf(LabelSet::full(alphabetSize))) {
+    throw Error("forEachWord: configuration mentions labels outside alphabet");
+  }
+  std::set<Word> seen;
+  Word acc(static_cast<std::size_t>(alphabetSize), 0);
+  const auto rec = [&](const auto& self, std::size_t groupIdx) -> void {
+    if (groupIdx == groups_.size()) {
+      if (seen.insert(acc).second) {
+        if (seen.size() > limit) {
+          throw Error("forEachWord: word count exceeds limit");
+        }
+        fn(acc);
+      }
+      return;
+    }
+    const Group& g = groups_[groupIdx];
+    const auto labels = g.set.toVector();
+    if (g.count > 1'000'000) {
+      throw Error("forEachWord: exponent too large to enumerate");
+    }
+    detail::forEachMultiset(labels, g.count, acc, 0,
+                            [&] { self(self, groupIdx + 1); });
+  };
+  rec(rec, 0);
+}
 
 }  // namespace relb::re

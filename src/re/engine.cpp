@@ -1,0 +1,502 @@
+#include "re/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "re/zero_round.hpp"
+
+namespace relb::re {
+
+namespace {
+
+std::uint64_t mixKey(std::uint64_t h, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (v ^ (v >> 31));
+}
+
+}  // namespace
+
+std::string CacheStats::describe() const {
+  const auto line = [](const char* name, std::size_t hits,
+                       std::size_t misses) {
+    return std::string(name) + ": " + std::to_string(hits) + " hits / " +
+           std::to_string(misses) + " misses\n";
+  };
+  std::string out;
+  out += line("speedup steps", stepHits, stepMisses);
+  out += line("edge compatibility", edgeCompatHits, edgeCompatMisses);
+  out += line("strength diagrams", strengthHits, strengthMisses);
+  out += line("right-closed families", rightClosedHits, rightClosedMisses);
+  out += line("zero-round analyses", zeroRoundHits, zeroRoundMisses);
+  out += line("canonical forms", canonicalHits, canonicalMisses);
+  out += "interned problems: " + std::to_string(internedProblems) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EngineContext
+// ---------------------------------------------------------------------------
+
+struct EngineContext::Impl {
+  // Every cache follows the same discipline: buckets keyed by a 64-bit
+  // structural hash, entries carrying the full key for exact comparison (a
+  // hash collision degrades to a miss-like scan, never to a wrong answer).
+  struct StepEntry {
+    int kind;  // 0 = R, 1 = Rbar
+    Problem input;
+    Count maxRbarDelta;
+    std::size_t enumerationLimit;
+    StepResult result;
+  };
+  struct EdgeCompatEntry {
+    Constraint edge;
+    int alphabetSize;
+    std::vector<LabelSet> compat;
+  };
+  struct StrengthEntry {
+    Constraint constraint;
+    int alphabetSize;
+    std::size_t limit;
+    StrengthRelation relation{0};
+  };
+  struct RightClosedEntry {
+    Constraint constraint;
+    int alphabetSize;
+    LabelSet universe;
+    std::size_t limit;
+    std::vector<LabelSet> sets;
+  };
+  struct ZeroRoundEntry {
+    Problem input;
+    ZeroRoundMode mode;
+    bool solvable;
+  };
+  struct CanonicalEntry {
+    Problem input;
+    CanonicalForm form;
+  };
+
+  mutable std::mutex mutex;
+  std::unordered_map<std::uint64_t, std::vector<StepEntry>> steps;
+  std::unordered_map<std::uint64_t, std::vector<EdgeCompatEntry>> edgeCompat;
+  std::unordered_map<std::uint64_t, std::vector<StrengthEntry>> strengths;
+  std::unordered_map<std::uint64_t, std::vector<RightClosedEntry>> rightClosed;
+  std::unordered_map<std::uint64_t, std::vector<ZeroRoundEntry>> zeroRound;
+  std::unordered_map<std::uint64_t, std::vector<CanonicalEntry>> canonicals;
+  std::unordered_map<std::uint64_t, std::vector<Problem>> interned;
+  CacheStats stats;
+};
+
+EngineContext::EngineContext(PassOptions options)
+    : options_(options), impl_(std::make_unique<Impl>()) {}
+
+EngineContext::~EngineContext() = default;
+
+StepResult EngineContext::applyR(const Problem& p) {
+  const std::uint64_t key = mixKey(0, structuralHash(p));
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->steps.find(key);
+    if (it != impl_->steps.end()) {
+      for (const auto& e : it->second) {
+        if (e.kind == 0 && e.input == p) {
+          ++impl_->stats.stepHits;
+          return e.result;
+        }
+      }
+    }
+  }
+  StepResult result = detail::applyRImpl(p, options_, this);
+  std::lock_guard lock(impl_->mutex);
+  ++impl_->stats.stepMisses;
+  impl_->steps[key].push_back(
+      {0, p, options_.maxRbarDelta, options_.enumerationLimit, result});
+  return result;
+}
+
+StepResult EngineContext::applyRbar(const Problem& p) {
+  const std::uint64_t key = mixKey(1, structuralHash(p));
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->steps.find(key);
+    if (it != impl_->steps.end()) {
+      for (const auto& e : it->second) {
+        if (e.kind == 1 && e.input == p &&
+            e.maxRbarDelta == options_.maxRbarDelta &&
+            e.enumerationLimit == options_.enumerationLimit) {
+          ++impl_->stats.stepHits;
+          return e.result;
+        }
+      }
+    }
+  }
+  StepResult result = detail::applyRbarImpl(p, options_, this);
+  std::lock_guard lock(impl_->mutex);
+  ++impl_->stats.stepMisses;
+  impl_->steps[key].push_back(
+      {1, p, options_.maxRbarDelta, options_.enumerationLimit, result});
+  return result;
+}
+
+Problem EngineContext::speedupStep(const Problem& p) {
+  return applyRbar(applyR(p).problem).problem;
+}
+
+std::vector<LabelSet> EngineContext::edgeCompatibility(const Constraint& edge,
+                                                       int alphabetSize) {
+  const std::uint64_t key =
+      mixKey(structuralHash(edge), static_cast<std::uint64_t>(alphabetSize));
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->edgeCompat.find(key);
+    if (it != impl_->edgeCompat.end()) {
+      for (const auto& e : it->second) {
+        if (e.alphabetSize == alphabetSize && e.edge == edge) {
+          ++impl_->stats.edgeCompatHits;
+          return e.compat;
+        }
+      }
+    }
+  }
+  std::vector<LabelSet> compat = re::edgeCompatibility(edge, alphabetSize);
+  std::lock_guard lock(impl_->mutex);
+  ++impl_->stats.edgeCompatMisses;
+  impl_->edgeCompat[key].push_back({edge, alphabetSize, compat});
+  return compat;
+}
+
+StrengthRelation EngineContext::strength(const Constraint& constraint,
+                                         int alphabetSize,
+                                         std::size_t enumerationLimit) {
+  const std::uint64_t key = mixKey(
+      mixKey(structuralHash(constraint),
+             static_cast<std::uint64_t>(alphabetSize)),
+      enumerationLimit);
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->strengths.find(key);
+    if (it != impl_->strengths.end()) {
+      for (const auto& e : it->second) {
+        if (e.alphabetSize == alphabetSize && e.limit == enumerationLimit &&
+            e.constraint == constraint) {
+          ++impl_->stats.strengthHits;
+          return e.relation;
+        }
+      }
+    }
+  }
+  StrengthRelation relation =
+      computeStrength(constraint, alphabetSize, enumerationLimit);
+  std::lock_guard lock(impl_->mutex);
+  ++impl_->stats.strengthMisses;
+  impl_->strengths[key].push_back(
+      {constraint, alphabetSize, enumerationLimit, relation});
+  return relation;
+}
+
+std::vector<LabelSet> EngineContext::rightClosedSets(
+    const Constraint& constraint, int alphabetSize, LabelSet universe,
+    std::size_t enumerationLimit) {
+  const std::uint64_t key = mixKey(
+      mixKey(mixKey(structuralHash(constraint),
+                    static_cast<std::uint64_t>(alphabetSize)),
+             universe.bits()),
+      enumerationLimit);
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->rightClosed.find(key);
+    if (it != impl_->rightClosed.end()) {
+      for (const auto& e : it->second) {
+        if (e.alphabetSize == alphabetSize && e.universe == universe &&
+            e.limit == enumerationLimit && e.constraint == constraint) {
+          ++impl_->stats.rightClosedHits;
+          return e.sets;
+        }
+      }
+    }
+  }
+  std::vector<LabelSet> sets =
+      strength(constraint, alphabetSize, enumerationLimit)
+          .allRightClosedSets(universe);
+  std::lock_guard lock(impl_->mutex);
+  ++impl_->stats.rightClosedMisses;
+  impl_->rightClosed[key].push_back(
+      {constraint, alphabetSize, universe, enumerationLimit, sets});
+  return sets;
+}
+
+bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
+  const std::uint64_t key =
+      mixKey(static_cast<std::uint64_t>(mode) + 7, structuralHash(p));
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->zeroRound.find(key);
+    if (it != impl_->zeroRound.end()) {
+      for (const auto& e : it->second) {
+        if (e.mode == mode && e.input == p) {
+          ++impl_->stats.zeroRoundHits;
+          return e.solvable;
+        }
+      }
+    }
+  }
+  bool solvable = false;
+  switch (mode) {
+    case ZeroRoundMode::kSymmetricPorts:
+      solvable = zeroRoundSolvableSymmetricPorts(p);
+      break;
+    case ZeroRoundMode::kAdversarialPorts:
+      solvable = zeroRoundSolvableAdversarialPorts(p);
+      break;
+    case ZeroRoundMode::kWithEdgeInputs:
+      solvable = zeroRoundSolvableWithEdgeInputs(p);
+      break;
+  }
+  std::lock_guard lock(impl_->mutex);
+  ++impl_->stats.zeroRoundMisses;
+  impl_->zeroRound[key].push_back({p, mode, solvable});
+  return solvable;
+}
+
+EngineContext::InternResult EngineContext::intern(const Problem& p) {
+  const std::uint64_t exactKey = structuralHash(p);
+  std::optional<CanonicalForm> form;
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->canonicals.find(exactKey);
+    if (it != impl_->canonicals.end()) {
+      for (const auto& e : it->second) {
+        if (e.input == p) {
+          ++impl_->stats.canonicalHits;
+          form = e.form;
+          break;
+        }
+      }
+    }
+  }
+  if (!form) {
+    form = canonicalize(p);
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.canonicalMisses;
+    impl_->canonicals[exactKey].push_back({p, *form});
+  }
+
+  InternResult result;
+  result.hash = form->hash;
+  result.canonical = std::move(*form);
+  std::lock_guard lock(impl_->mutex);
+  auto& orbit = impl_->interned[result.hash];
+  result.alreadyInterned =
+      std::any_of(orbit.begin(), orbit.end(), [&](const Problem& q) {
+        return q == result.canonical.problem;
+      });
+  if (!result.alreadyInterned) {
+    orbit.push_back(result.canonical.problem);
+    ++impl_->stats.internedProblems;
+  }
+  return result;
+}
+
+CacheStats EngineContext::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stats;
+}
+
+void EngineContext::resetStats() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->stats = CacheStats{};
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ApplyRPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ApplyR"; }
+  [[nodiscard]] PassOutput run(const PassInput& in) override {
+    StepResult r = in.context.applyR(in.problem);
+    PassOutput out;
+    out.problem = std::move(r.problem);
+    out.meaning = std::move(r.meaning);
+    return out;
+  }
+};
+
+class ApplyRbarPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ApplyRbar"; }
+  [[nodiscard]] PassOutput run(const PassInput& in) override {
+    StepResult r = in.context.applyRbar(in.problem);
+    PassOutput out;
+    out.problem = std::move(r.problem);
+    out.meaning = std::move(r.meaning);
+    return out;
+  }
+};
+
+class RenamePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Rename"; }
+  [[nodiscard]] PassOutput run(const PassInput& in) override {
+    auto interned = in.context.intern(in.problem);
+    PassOutput out;
+    out.problem = std::move(interned.canonical.problem);
+    out.note = interned.alreadyInterned ? "canonical form already interned"
+                                        : "fresh canonical form";
+    return out;
+  }
+};
+
+class RelaxPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Relax"; }
+  [[nodiscard]] PassOutput run(const PassInput& in) override {
+    PassOutput out;
+    out.problem = in.problem;
+    const std::size_t nodeBefore = out.problem.node.size();
+    const std::size_t edgeBefore = out.problem.edge.size();
+    out.problem.node.removeDominatedConfigurations();
+    out.problem.edge.removeDominatedConfigurations();
+    out.note = "dropped " +
+               std::to_string((nodeBefore - out.problem.node.size()) +
+                              (edgeBefore - out.problem.edge.size())) +
+               " dominated configuration(s)";
+    return out;
+  }
+};
+
+class ZeroRoundCheckPass final : public Pass {
+ public:
+  explicit ZeroRoundCheckPass(ZeroRoundMode mode) : mode_(mode) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "ZeroRoundCheck";
+  }
+  [[nodiscard]] PassOutput run(const PassInput& in) override {
+    PassOutput out;
+    out.problem = in.problem;
+    const bool solvable = in.context.zeroRoundSolvable(in.problem, mode_);
+    out.stop = solvable;
+    out.note = solvable ? "0-round solvable; pipeline stopped"
+                        : "not 0-round solvable";
+    return out;
+  }
+
+ private:
+  ZeroRoundMode mode_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> makeApplyRPass() {
+  return std::make_unique<ApplyRPass>();
+}
+std::unique_ptr<Pass> makeApplyRbarPass() {
+  return std::make_unique<ApplyRbarPass>();
+}
+std::unique_ptr<Pass> makeRenamePass() {
+  return std::make_unique<RenamePass>();
+}
+std::unique_ptr<Pass> makeRelaxPass() {
+  return std::make_unique<RelaxPass>();
+}
+std::unique_ptr<Pass> makeZeroRoundCheckPass(ZeroRoundMode mode) {
+  return std::make_unique<ZeroRoundCheckPass>(mode);
+}
+
+// ---------------------------------------------------------------------------
+// PassManager
+// ---------------------------------------------------------------------------
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager PassManager::speedupPipeline() {
+  PassManager pm;
+  pm.add(makeApplyRPass());
+  pm.add(makeApplyRbarPass());
+  return pm;
+}
+
+PipelineResult PassManager::run(const Problem& p, EngineContext& ctx) const {
+  PipelineResult out;
+  Problem current = p;
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    Pass& pass = *passes_[i];
+    PassStats st;
+    st.name = std::string(pass.name());
+    st.labelsIn = current.alphabet.size();
+    st.nodeConfigsIn = current.node.size();
+    st.edgeConfigsIn = current.edge.size();
+    const CacheStats before = ctx.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    PassOutput po = pass.run({current, ctx, ctx.options()});
+    const auto t1 = std::chrono::steady_clock::now();
+    const CacheStats after = ctx.stats();
+    st.wallMicros =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+    st.fromCache = after.stepHits > before.stepHits &&
+                   after.stepMisses == before.stepMisses;
+    current = std::move(po.problem);
+    st.labelsOut = current.alphabet.size();
+    st.nodeConfigsOut = current.node.size();
+    st.edgeConfigsOut = current.edge.size();
+    st.note = std::move(po.note);
+    out.passes.push_back(std::move(st));
+    if (po.stop) {
+      out.stopped = true;
+      out.stoppedAt = i;
+      break;
+    }
+  }
+  out.problem = std::move(current);
+  return out;
+}
+
+std::string PipelineResult::renderStatsTable() const {
+  // Column layout:  pass | wall us | labels in->out | node cfgs | edge cfgs
+  //                 | cache | note
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"pass", "wall(us)", "labels", "node cfgs", "edge cfgs",
+                  "cache", "note"});
+  for (const PassStats& s : passes) {
+    rows.push_back({s.name, std::to_string(s.wallMicros),
+                    std::to_string(s.labelsIn) + "->" +
+                        std::to_string(s.labelsOut),
+                    std::to_string(s.nodeConfigsIn) + "->" +
+                        std::to_string(s.nodeConfigsOut),
+                    std::to_string(s.edgeConfigsIn) + "->" +
+                        std::to_string(s.edgeConfigsOut),
+                    s.fromCache ? "hit" : "miss", s.note});
+  }
+  std::vector<std::size_t> width(rows.front().size(), 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  }
+  if (stopped) {
+    out += "(pipeline stopped at pass " + std::to_string(stoppedAt) + ": " +
+           passes[stoppedAt].name + ")\n";
+  }
+  return out;
+}
+
+}  // namespace relb::re

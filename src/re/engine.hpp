@@ -1,0 +1,222 @@
+// The pass-based engine core: EngineContext + PassManager.
+//
+// EngineContext owns every cache the speedup machinery can share:
+//   * a step memo (applyR / applyRbar / speedupStep results keyed by the
+//     exact structural hash of the input problem -- cache hits return
+//     bit-identical results, asserted by tests/re/engine_test.cpp);
+//   * per-context caches for edge-compatibility matrices, strength
+//     diagrams, and right-closed-set families (the sub-results every
+//     consumer used to recompute from scratch);
+//   * zero-round solvability caches for the three port models;
+//   * a canonical-problem intern table (see canonical.hpp): fixed-point
+//     detection reduces to "canonical form already interned".
+//
+// The speedup step itself is decomposed into composable passes with a
+// uniform run(PassInput) -> PassOutput interface; PassManager chains them
+// and records per-pass statistics (wall time, configurations in/out, labels
+// in/out, cache provenance).  The default pipeline ApplyR -> ApplyRbar is
+// bit-identical to the legacy free functions applyR/applyRbar/speedupStep
+// in re_step.hpp, which remain as thin uncached wrappers.
+//
+// Thread-safety: an EngineContext may be shared by the deterministic
+// fan-out helpers in util/thread_pool.hpp.  Lookups and insertions are
+// mutex-protected; a computation happens outside the lock, so two threads
+// missing the same key concurrently may both compute it (the first insert
+// wins and the results are identical anyway).  Statistics counters are
+// updated under the same mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "re/canonical.hpp"
+#include "re/diagram.hpp"
+#include "re/re_step.hpp"
+
+namespace relb::re {
+
+/// The pipeline's option block.  StepOptions carries exactly the knobs the
+/// passes need (enumeration guards + fan-out width), so it *is* the pass
+/// option type; the alias is the refactor seam promised in docs.
+using PassOptions = StepOptions;
+
+/// Counters for every per-context cache.  `hits + misses` is the number of
+/// lookups; `misses` is the number of times the underlying computation ran.
+struct CacheStats {
+  std::size_t stepHits = 0, stepMisses = 0;
+  std::size_t edgeCompatHits = 0, edgeCompatMisses = 0;
+  std::size_t strengthHits = 0, strengthMisses = 0;
+  std::size_t rightClosedHits = 0, rightClosedMisses = 0;
+  std::size_t zeroRoundHits = 0, zeroRoundMisses = 0;
+  std::size_t canonicalHits = 0, canonicalMisses = 0;
+  /// Distinct canonical forms interned so far.
+  std::size_t internedProblems = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Which zero-round analysis a cached verdict belongs to.
+enum class ZeroRoundMode {
+  kSymmetricPorts,
+  kAdversarialPorts,
+  kWithEdgeInputs,
+};
+
+class EngineContext {
+ public:
+  explicit EngineContext(PassOptions options = {});
+  ~EngineContext();
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  [[nodiscard]] const PassOptions& options() const { return options_; }
+
+  // -- Memoized speedup operators (bit-identical to the free functions) ----
+
+  [[nodiscard]] StepResult applyR(const Problem& p);
+  [[nodiscard]] StepResult applyRbar(const Problem& p);
+  [[nodiscard]] Problem speedupStep(const Problem& p);
+
+  // -- Cached sub-results --------------------------------------------------
+
+  /// Degree-2 compatibility matrix of an edge constraint (see re_step.hpp).
+  [[nodiscard]] std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
+                                                        int alphabetSize);
+
+  /// Strength relation of a constraint (see diagram.hpp); keyed by the
+  /// constraint's structure and the enumeration limit.
+  [[nodiscard]] StrengthRelation strength(const Constraint& constraint,
+                                          int alphabetSize,
+                                          std::size_t enumerationLimit);
+
+  /// Non-empty right-closed subsets of `universe` under the strength
+  /// relation of `constraint`.
+  [[nodiscard]] std::vector<LabelSet> rightClosedSets(
+      const Constraint& constraint, int alphabetSize, LabelSet universe,
+      std::size_t enumerationLimit);
+
+  // -- Cached zero-round analyses ------------------------------------------
+
+  [[nodiscard]] bool zeroRoundSolvable(const Problem& p, ZeroRoundMode mode);
+
+  // -- Canonical interning -------------------------------------------------
+
+  struct InternResult {
+    std::uint64_t hash = 0;
+    /// True iff an identical canonical form was interned before this call.
+    bool alreadyInterned = false;
+    CanonicalForm canonical;
+  };
+
+  /// Canonicalizes `p` (memoized by exact structure) and interns the
+  /// canonical form.  Two problems equal up to label renaming intern to the
+  /// same entry.  Throws Error when canonicalization refuses (see
+  /// canonical.hpp); callers needing a fallback should catch it.
+  [[nodiscard]] InternResult intern(const Problem& p);
+
+  // -- Statistics ----------------------------------------------------------
+
+  [[nodiscard]] CacheStats stats() const;
+  void resetStats();
+
+ private:
+  struct Impl;
+  PassOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass pipeline
+// ---------------------------------------------------------------------------
+
+struct PassInput {
+  const Problem& problem;
+  EngineContext& context;
+  const PassOptions& options;
+};
+
+struct PassOutput {
+  Problem problem;
+  /// Set by the R / Rbar passes: meaning[newLabel] = set of input labels.
+  std::optional<std::vector<LabelSet>> meaning;
+  /// A pass may stop the pipeline (e.g. ZeroRoundCheck on a solvable
+  /// problem); the manager records the stop and skips the remaining passes.
+  bool stop = false;
+  /// Free-form annotation copied into the pass's stats row.
+  std::string note;
+};
+
+/// Per-pass observability record, filled by PassManager.
+struct PassStats {
+  std::string name;
+  std::int64_t wallMicros = 0;
+  int labelsIn = 0;
+  int labelsOut = 0;
+  std::size_t nodeConfigsIn = 0;
+  std::size_t nodeConfigsOut = 0;
+  std::size_t edgeConfigsIn = 0;
+  std::size_t edgeConfigsOut = 0;
+  /// True iff the pass was served from the context's step memo.
+  bool fromCache = false;
+  std::string note;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual PassOutput run(const PassInput& in) = 0;
+};
+
+struct PipelineResult {
+  Problem problem;
+  std::vector<PassStats> passes;
+  /// True iff some pass requested a stop; `stoppedAt` is its index.
+  bool stopped = false;
+  std::size_t stoppedAt = 0;
+
+  /// Renders the per-pass table printed by `round_eliminator_cli --stats`.
+  [[nodiscard]] std::string renderStatsTable() const;
+};
+
+class PassManager {
+ public:
+  PassManager() = default;
+  PassManager(PassManager&&) = default;
+  PassManager& operator=(PassManager&&) = default;
+
+  PassManager& add(std::unique_ptr<Pass> pass);
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
+
+  /// Runs the pipeline on `p`, using (and warming) the context's caches.
+  [[nodiscard]] PipelineResult run(const Problem& p, EngineContext& ctx) const;
+
+  /// The default speedup pipeline ApplyR -> ApplyRbar: bit-identical to
+  /// re_step.hpp's speedupStep.
+  [[nodiscard]] static PassManager speedupPipeline();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// Built-in pass factories.
+[[nodiscard]] std::unique_ptr<Pass> makeApplyRPass();
+[[nodiscard]] std::unique_ptr<Pass> makeApplyRbarPass();
+/// Renames the problem to its canonical form (synthetic label names).
+[[nodiscard]] std::unique_ptr<Pass> makeRenamePass();
+/// Drops configurations dominated by another configuration of the same
+/// constraint (language unchanged).
+[[nodiscard]] std::unique_ptr<Pass> makeRelaxPass();
+/// Annotates zero-round solvability (cached); stops the pipeline when the
+/// problem is solvable in the given model.
+[[nodiscard]] std::unique_ptr<Pass> makeZeroRoundCheckPass(
+    ZeroRoundMode mode = ZeroRoundMode::kAdversarialPorts);
+
+}  // namespace relb::re

@@ -42,6 +42,13 @@ struct Problem {
 
   /// Renders the problem in the text format above.
   [[nodiscard]] std::string render() const;
+
+  /// Syntactic equality: same label names in the same order, identical
+  /// constraint representations (configuration lists compare elementwise).
+  /// Language-equal but differently written problems compare unequal; use
+  /// rename.hpp's equivalentUpToRenaming or canonical.hpp for semantic
+  /// comparisons.
+  friend bool operator==(const Problem&, const Problem&) = default;
 };
 
 /// Parses a single configuration line against (and extending) `alphabet`.

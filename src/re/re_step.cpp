@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "re/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace relb::re {
@@ -128,13 +129,14 @@ std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
   return compat;
 }
 
-std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
-    const Constraint& edge, int alphabetSize, int numThreads) {
+namespace {
+
+std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairsFromCompat(
+    const std::vector<LabelSet>& compat, int alphabetSize, int numThreads) {
   if (alphabetSize > 20) {
     throw Error("maximalEdgePairs: alphabet too large to enumerate subsets");
   }
   using Pair = std::pair<LabelSet, LabelSet>;
-  const auto compat = edgeCompatibility(edge, alphabetSize);
   // partner(A) = intersection of compat[a] over a in A: the unique largest
   // set pairable with A.  Maximal pairs are the Galois-closed pairs
   // (A, partner(A)) with A = partner(partner(A)).
@@ -201,10 +203,22 @@ std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
   return out;
 }
 
-StepResult applyR(const Problem& p, const StepOptions& options) {
+}  // namespace
+
+std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
+    const Constraint& edge, int alphabetSize, int numThreads) {
+  return maximalEdgePairsFromCompat(edgeCompatibility(edge, alphabetSize),
+                                    alphabetSize, numThreads);
+}
+
+StepResult detail::applyRImpl(const Problem& p, const StepOptions& options,
+                              EngineContext* ctx) {
   p.validate();
   const int n = p.alphabet.size();
-  const auto pairs = maximalEdgePairs(p.edge, n, options.numThreads);
+  const auto compat = ctx != nullptr ? ctx->edgeCompatibility(p.edge, n)
+                                     : edgeCompatibility(p.edge, n);
+  const auto pairs =
+      maximalEdgePairsFromCompat(compat, n, options.numThreads);
   if (pairs.empty()) {
     throw Error("applyR: empty edge constraint after maximization");
   }
@@ -241,6 +255,10 @@ StepResult applyR(const Problem& p, const StepOptions& options) {
   result.problem.node = replaceConstraint(p.node, result.meaning);
   result.problem.validate();
   return result;
+}
+
+StepResult applyR(const Problem& p, const StepOptions& options) {
+  return detail::applyRImpl(p, options, nullptr);
 }
 
 namespace {
@@ -387,7 +405,8 @@ struct RbarEnumerator {
 
 }  // namespace
 
-StepResult applyRbar(const Problem& p, const StepOptions& options) {
+StepResult detail::applyRbarImpl(const Problem& p, const StepOptions& options,
+                                 EngineContext* ctx) {
   p.validate();
   const int n = p.alphabet.size();
   const Count delta = p.delta();
@@ -398,9 +417,12 @@ StepResult applyRbar(const Problem& p, const StepOptions& options) {
   // Strength relation w.r.t. the node constraint -> right-closed candidate
   // slot sets (Observation 4 plus the up-closure argument documented in
   // re_step.hpp).
-  const auto strength =
-      computeStrength(p.node, n, options.enumerationLimit);
-  const auto rcSets = strength.allRightClosedSets(p.alphabet.all());
+  const auto rcSets =
+      ctx != nullptr
+          ? ctx->rightClosedSets(p.node, n, p.alphabet.all(),
+                                 options.enumerationLimit)
+          : computeStrength(p.node, n, options.enumerationLimit)
+                .allRightClosedSets(p.alphabet.all());
 
   if (n > 16 || delta > 15) {
     throw Error("applyRbar: packed-word enumeration needs <= 16 labels and "
@@ -503,6 +525,10 @@ StepResult applyRbar(const Problem& p, const StepOptions& options) {
   result.problem.edge = replaceConstraint(p.edge, result.meaning);
   result.problem.validate();
   return result;
+}
+
+StepResult applyRbar(const Problem& p, const StepOptions& options) {
+  return detail::applyRbarImpl(p, options, nullptr);
 }
 
 Problem speedupStep(const Problem& p, const StepOptions& options) {

@@ -35,8 +35,11 @@
 
 #include "re/diagram.hpp"
 #include "re/problem.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relb::re {
+
+class EngineContext;
 
 struct StepResult {
   Problem problem;
@@ -52,7 +55,7 @@ struct StepOptions {
   /// Fan-out width for the parallel sections of applyR / applyRbar:
   /// 0 = one thread per hardware core, 1 = fully serial, k >= 2 = exactly k
   /// lanes.  Results are bit-identical for every value.
-  int numThreads = 0;
+  int numThreads = util::kDefaultNumThreads;
 };
 
 /// Computes Pi' = R(Pi).  Exact for arbitrary Delta.
@@ -74,9 +77,27 @@ struct StepOptions {
 
 /// Helper shared with the symbolic pipeline: the maximal edge configurations
 /// of R(Pi) as unordered pairs of label sets (before renaming).  Exact for
-/// any Delta.  `numThreads` follows the StepOptions::numThreads convention
-/// except that the default is serial (low-level callers opt in).
+/// any Delta.  `numThreads` follows the engine-wide convention of
+/// util::kDefaultNumThreads (0 = one thread per core), the same default the
+/// pipeline uses; results are bit-identical for every width.
 [[nodiscard]] std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
-    const Constraint& edge, int alphabetSize, int numThreads = 1);
+    const Constraint& edge, int alphabetSize,
+    int numThreads = util::kDefaultNumThreads);
+
+namespace detail {
+
+/// Context-aware implementations behind both the free functions (ctx ==
+/// nullptr: compute everything locally) and EngineContext (ctx != nullptr:
+/// sub-results -- edge compatibility, strength diagrams, right-closed
+/// families -- are fetched through the context's caches).  The produced
+/// StepResult is bit-identical either way.
+[[nodiscard]] StepResult applyRImpl(const Problem& p,
+                                    const StepOptions& options,
+                                    EngineContext* ctx);
+[[nodiscard]] StepResult applyRbarImpl(const Problem& p,
+                                       const StepOptions& options,
+                                       EngineContext* ctx);
+
+}  // namespace detail
 
 }  // namespace relb::re

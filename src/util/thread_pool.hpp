@@ -29,6 +29,15 @@
 
 namespace relb::util {
 
+/// The engine-wide default for every user-facing thread-count knob
+/// (StepOptions::numThreads, maximalEdgePairs, certifyChain, ...): one
+/// thread per hardware core.  All defaults route through this constant so
+/// low-level helpers and the pass pipeline agree; pass kSerial to opt out.
+inline constexpr int kDefaultNumThreads = 0;
+
+/// Fully serial execution (the pool is never touched).
+inline constexpr int kSerialNumThreads = 1;
+
 /// Resolves a user-facing thread-count option: 0 means "hardware
 /// concurrency"; anything else is clamped to at least 1.
 [[nodiscard]] int resolveThreadCount(int requested);

@@ -1,0 +1,129 @@
+// Canonical forms (canonical.hpp): idempotence, invariance under random
+// label permutations (with arbitrary renamed alphabets), and agreement
+// between the canonical hash and the isomorphism decision procedure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "re/canonical.hpp"
+#include "re/encodings.hpp"
+#include "re/problem.hpp"
+#include "re/rename.hpp"
+
+namespace relb::re {
+namespace {
+
+// A random permutation of p's labels with fresh synthetic names, exercising
+// both the order-invariance and the name-invariance of canonicalize().
+Problem randomPermutation(const Problem& p, std::mt19937& rng) {
+  const int n = p.alphabet.size();
+  std::vector<Label> map(static_cast<std::size_t>(n));
+  std::iota(map.begin(), map.end(), Label{0});
+  std::shuffle(map.begin(), map.end(), rng);
+  Alphabet fresh;
+  for (int l = 0; l < n; ++l) {
+    fresh.add("q" + std::to_string(rng() % 1000) + "_" + std::to_string(l));
+  }
+  return renameProblem(p, map, fresh);
+}
+
+std::vector<Problem> testbed() {
+  return {
+      misProblem(3),
+      misProblem(4),
+      sinklessOrientationProblem(3),
+      maximalMatchingProblem(4),
+      weakColoringProblem(3, 2),
+      cColoringProblem(3, 3),
+      Problem::parse("M^3\nP O^2", "M [PO]\nO O"),
+  };
+}
+
+TEST(Canonical, IdempotentOnTestbed) {
+  for (const Problem& p : testbed()) {
+    const CanonicalForm once = canonicalize(p);
+    const CanonicalForm twice = canonicalize(once.problem);
+    EXPECT_EQ(once.problem, twice.problem) << p.render();
+    EXPECT_EQ(once.hash, twice.hash) << p.render();
+  }
+}
+
+TEST(Canonical, InvariantUnderRandomLabelPermutations) {
+  std::mt19937 rng(20210715);
+  for (const Problem& p : testbed()) {
+    const CanonicalForm base = canonicalize(p);
+    for (int trial = 0; trial < 12; ++trial) {
+      const Problem q = randomPermutation(p, rng);
+      const CanonicalForm perm = canonicalize(q);
+      EXPECT_EQ(base.problem, perm.problem)
+          << p.render() << "\nvs permuted\n"
+          << q.render();
+      EXPECT_EQ(base.hash, perm.hash);
+    }
+  }
+}
+
+TEST(Canonical, MapSendsInputToCanonical) {
+  // Configuration *order* is part of the canonical form but not preserved by
+  // renameProblem, so compare the constraints as sorted configuration sets.
+  const auto sortedConfigs = [](const Constraint& c) {
+    std::vector<Configuration> configs = c.configurations();
+    std::sort(configs.begin(), configs.end());
+    return configs;
+  };
+  for (const Problem& p : testbed()) {
+    const CanonicalForm form = canonicalize(p);
+    ASSERT_EQ(form.map.size(),
+              static_cast<std::size_t>(p.alphabet.size()));
+    const Problem mapped =
+        renameProblem(p, form.map, form.problem.alphabet);
+    EXPECT_EQ(sortedConfigs(mapped.node), sortedConfigs(form.problem.node));
+    EXPECT_EQ(sortedConfigs(mapped.edge), sortedConfigs(form.problem.edge));
+  }
+}
+
+TEST(Canonical, DistinguishesNonIsomorphicProblems) {
+  // Same label counts, different structure: MIS(3) vs sinkless orientation
+  // padded... simplest: MIS(3) vs maximal matching(3) have different
+  // alphabet sizes; use two genuinely different 2-label problems instead.
+  const Problem a = Problem::parse("A^2\nB^2", "A B");
+  const Problem b = Problem::parse("A^2\nB^2", "A A\nB B");
+  EXPECT_NE(canonicalize(a).hash, canonicalize(b).hash);
+  EXPECT_NE(canonicalize(a).problem, canonicalize(b).problem);
+}
+
+TEST(Canonical, StructuralHashSensitiveToNamesAndOrder) {
+  const Problem a = Problem::parse("A^2\nB^2", "A B");
+  // Same language, different configuration order.
+  const Problem b = Problem::parse("B^2\nA^2", "A B");
+  EXPECT_NE(structuralHash(a), structuralHash(b));
+  EXPECT_EQ(structuralHash(a), structuralHash(a));
+  // Canonical hash ignores the order difference (it is a label permutation
+  // of... actually the identity: same problem, configurations reordered).
+  EXPECT_EQ(canonicalize(a).hash, canonicalize(b).hash);
+}
+
+TEST(Canonical, AgreesWithIsomorphismSearchOnRandomPairs) {
+  std::mt19937 rng(99);
+  for (const Problem& p : testbed()) {
+    if (p.alphabet.size() > 10) continue;  // findIsomorphism guard
+    const Problem q = randomPermutation(p, rng);
+    EXPECT_TRUE(equivalentUpToRenaming(p, q));
+    EXPECT_EQ(canonicalize(p).hash, canonicalize(q).hash);
+  }
+}
+
+TEST(Canonical, ThrowsBeyondPermutationBudget) {
+  // A fully symmetric 6-label problem: every label interchangeable, so the
+  // refinement cannot split anything and the tie class is all 6! orders.
+  Problem p = Problem::parse("A B C D E F", "A A\nB B\nC C\nD D\nE E\nF F");
+  EXPECT_THROW((void)canonicalize(p, 10), Error);
+  EXPECT_NO_THROW((void)canonicalize(p, 720));
+}
+
+}  // namespace
+}  // namespace relb::re

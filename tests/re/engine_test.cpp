@@ -1,0 +1,294 @@
+// The pass-based engine core (engine.hpp): cache hits are bit-identical to
+// cold runs, per-pass statistics are consistent across the pipeline, warm
+// contexts perform zero recomputation for certifyChain / the speedup
+// iteration, and canonical interning detects renamed duplicates.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/family.hpp"
+#include "core/sequence.hpp"
+#include "re/autobound.hpp"
+#include "re/engine.hpp"
+#include "re/problem.hpp"
+#include "re/rename.hpp"
+#include "re/zero_round.hpp"
+#include "util/thread_pool.hpp"
+
+namespace relb::re {
+namespace {
+
+void expectProblemsBitIdentical(const Problem& a, const Problem& b,
+                                const std::string& what) {
+  EXPECT_EQ(a.alphabet.names(), b.alphabet.names()) << what;
+  EXPECT_EQ(a.node, b.node) << what;
+  EXPECT_EQ(a.edge, b.edge) << what;
+}
+
+std::vector<std::pair<std::string, Problem>> speedupTestbed() {
+  std::vector<std::pair<std::string, Problem>> out;
+  for (Count delta = 3; delta <= 6; ++delta) {
+    out.emplace_back("family(" + std::to_string(delta) + ")",
+                     core::familyProblem(delta, delta / 2, 1));
+    out.emplace_back("sinkless(" + std::to_string(delta) + ")",
+                     sinklessOrientationProblem(delta));
+    if (delta <= 4) {
+      // MIS speedups beyond Delta = 4 exceed the engine's enumeration
+      // guards / a unit test's time budget; the bit-identity contract is
+      // degree-independent, so the small degrees carry the coverage.
+      out.emplace_back("mis(" + std::to_string(delta) + ")",
+                       misProblem(delta));
+    }
+  }
+  return out;
+}
+
+TEST(EngineContext, CacheHitIsBitIdenticalToColdRun) {
+  for (const auto& [name, p] : speedupTestbed()) {
+    const Problem cold = speedupStep(p);  // uncached free function
+    EngineContext ctx;
+    const Problem first = ctx.speedupStep(p);
+    const CacheStats afterFirst = ctx.stats();
+    EXPECT_EQ(afterFirst.stepHits, 0u) << name;
+    EXPECT_EQ(afterFirst.stepMisses, 2u) << name;  // applyR + applyRbar
+    const Problem second = ctx.speedupStep(p);
+    const CacheStats afterSecond = ctx.stats();
+    EXPECT_EQ(afterSecond.stepHits, 2u) << name;
+    EXPECT_EQ(afterSecond.stepMisses, 2u) << name;  // nothing recomputed
+    expectProblemsBitIdentical(cold, first, name + " cold vs ctx");
+    expectProblemsBitIdentical(first, second, name + " miss vs hit");
+  }
+}
+
+TEST(EngineContext, ApplyRApplyRbarMatchFreeFunctions) {
+  for (const auto& [name, p] : speedupTestbed()) {
+    EngineContext ctx;
+    const StepResult coldR = applyR(p);
+    const StepResult ctxR = ctx.applyR(p);
+    expectProblemsBitIdentical(coldR.problem, ctxR.problem, name + " R");
+    EXPECT_EQ(coldR.meaning, ctxR.meaning) << name;
+    const StepResult coldRbar = applyRbar(coldR.problem);
+    const StepResult ctxRbar = ctx.applyRbar(ctxR.problem);
+    expectProblemsBitIdentical(coldRbar.problem, ctxRbar.problem,
+                               name + " Rbar");
+    EXPECT_EQ(coldRbar.meaning, ctxRbar.meaning) << name;
+  }
+}
+
+TEST(PassPipeline, MatchesSpeedupStepAndStatsAreConsistent) {
+  for (const auto& [name, p] : speedupTestbed()) {
+    EngineContext ctx;
+    const PassManager pipeline = PassManager::speedupPipeline();
+    const PipelineResult result = pipeline.run(p, ctx);
+    expectProblemsBitIdentical(speedupStep(p), result.problem, name);
+    ASSERT_EQ(result.passes.size(), 2u) << name;
+    // Boundary consistency: what leaves pass k enters pass k+1.
+    for (std::size_t k = 0; k + 1 < result.passes.size(); ++k) {
+      EXPECT_EQ(result.passes[k].labelsOut, result.passes[k + 1].labelsIn)
+          << name << " pass " << k;
+      EXPECT_EQ(result.passes[k].nodeConfigsOut,
+                result.passes[k + 1].nodeConfigsIn)
+          << name << " pass " << k;
+      EXPECT_EQ(result.passes[k].edgeConfigsOut,
+                result.passes[k + 1].edgeConfigsIn)
+          << name << " pass " << k;
+    }
+    // The first pass sees the input problem; the last emits the result.
+    EXPECT_EQ(result.passes.front().labelsIn, p.alphabet.size()) << name;
+    EXPECT_EQ(result.passes.front().nodeConfigsIn, p.node.size()) << name;
+    EXPECT_EQ(result.passes.back().labelsOut,
+              result.problem.alphabet.size())
+        << name;
+    EXPECT_EQ(result.passes.back().nodeConfigsOut, result.problem.node.size())
+        << name;
+    EXPECT_FALSE(result.passes[0].fromCache) << name;
+    // A second pipeline run over the warm context is served from the memo.
+    const PipelineResult warm = pipeline.run(p, ctx);
+    expectProblemsBitIdentical(result.problem, warm.problem, name + " warm");
+    EXPECT_TRUE(warm.passes[0].fromCache) << name;
+    EXPECT_TRUE(warm.passes[1].fromCache) << name;
+  }
+}
+
+TEST(PassPipeline, ZeroRoundCheckStopsOnSolvableProblem) {
+  // Every node may output A everywhere: trivially 0-round solvable.
+  const Problem trivial = Problem::parse("A^3", "A A");
+  EngineContext ctx;
+  PassManager pm;
+  pm.add(makeZeroRoundCheckPass(ZeroRoundMode::kAdversarialPorts));
+  pm.add(makeApplyRPass());
+  const PipelineResult result = pm.run(trivial, ctx);
+  EXPECT_TRUE(result.stopped);
+  EXPECT_EQ(result.stoppedAt, 0u);
+  // The stop short-circuits: only the zero-round pass has a stats row.
+  ASSERT_EQ(result.passes.size(), 1u);
+  expectProblemsBitIdentical(trivial, result.problem, "stopped pipeline");
+}
+
+TEST(PassPipeline, RenameAndRelaxPreserveEquivalence) {
+  const Problem mis = misProblem(3);
+  EngineContext ctx;
+  PassManager pm;
+  pm.add(makeApplyRPass());
+  pm.add(makeApplyRbarPass());
+  pm.add(makeRelaxPass());
+  pm.add(makeRenamePass());
+  const PipelineResult result = pm.run(mis, ctx);
+  const Problem plain = speedupStep(mis);
+  // Relax + Rename keep the language: same zero-round verdicts and the
+  // renamed problem is isomorphic to the plain speedup when small enough.
+  EXPECT_EQ(zeroRoundSolvableAdversarialPorts(plain),
+            zeroRoundSolvableAdversarialPorts(result.problem));
+  if (plain.alphabet.size() <= 10 &&
+      plain.alphabet.size() == result.problem.alphabet.size()) {
+    EXPECT_TRUE(equivalentUpToRenaming(plain, result.problem));
+  }
+}
+
+TEST(EngineContext, CertifyChainWarmRerunRecomputesNothing) {
+  const core::Chain chain = core::exactChain(1 << 10, 1);
+  ASSERT_GT(chain.steps.size(), 3u);
+  EngineContext ctx;
+  const std::string coldVerdict = core::certifyChain(chain, ctx);
+  EXPECT_EQ(coldVerdict, core::certifyChain(chain));  // same as context-free
+  const CacheStats cold = ctx.stats();
+  EXPECT_EQ(cold.zeroRoundMisses, chain.steps.size());
+  const std::string warmVerdict = core::certifyChain(chain, ctx);
+  EXPECT_EQ(warmVerdict, coldVerdict);
+  const CacheStats warm = ctx.stats();
+  EXPECT_EQ(warm.zeroRoundMisses, cold.zeroRoundMisses)
+      << "warm certifyChain recomputed a zero-round verdict";
+  EXPECT_EQ(warm.zeroRoundHits, cold.zeroRoundHits + chain.steps.size());
+}
+
+TEST(EngineContext, IterateSpeedupWarmRerunRecomputesNothing) {
+  const Problem mis = misProblem(3);
+  IterateOptions options;
+  options.maxSteps = 2;
+  options.maxLabels = 32;
+  const IterationTrace plain = iterateSpeedup(mis, options);
+
+  EngineContext ctx;
+  options.context = &ctx;
+  const IterationTrace cold = iterateSpeedup(mis, options);
+  const CacheStats afterCold = ctx.stats();
+  EXPECT_GT(afterCold.stepMisses, 0u);
+  const IterationTrace warm = iterateSpeedup(mis, options);
+  const CacheStats afterWarm = ctx.stats();
+  EXPECT_EQ(afterWarm.stepMisses, afterCold.stepMisses)
+      << "warm iteration recomputed a speedup step";
+  EXPECT_GT(afterWarm.stepHits, afterCold.stepHits);
+
+  // Context and context-free traces are identical.
+  for (const IterationTrace* t : {&cold, &warm}) {
+    EXPECT_EQ(plain.reason, t->reason);
+    ASSERT_EQ(plain.steps.size(), t->steps.size());
+    for (std::size_t i = 0; i < plain.steps.size(); ++i) {
+      EXPECT_EQ(plain.steps[i].labels, t->steps[i].labels);
+    }
+    expectProblemsBitIdentical(plain.last, t->last, "iterate trace");
+  }
+}
+
+TEST(EngineContext, FixedPointDetectionAgreesWithAndWithoutContext) {
+  for (Count delta = 3; delta <= 5; ++delta) {
+    const Problem so = sinklessOrientationProblem(delta);
+    IterateOptions options;
+    options.maxSteps = 4;
+    const IterationTrace plain = iterateSpeedup(so, options);
+    EngineContext ctx;
+    options.context = &ctx;
+    const IterationTrace withCtx = iterateSpeedup(so, options);
+    EXPECT_EQ(plain.reason, withCtx.reason) << delta;
+    EXPECT_EQ(plain.fixedPointAt, withCtx.fixedPointAt) << delta;
+    EXPECT_EQ(plain.zeroRoundAfter, withCtx.zeroRoundAfter) << delta;
+    expectProblemsBitIdentical(plain.last, withCtx.last, "fixed point");
+  }
+}
+
+TEST(EngineContext, AutoLowerBoundAgreesWithAndWithoutContext) {
+  for (const Problem& p : {misProblem(3), sinklessOrientationProblem(3)}) {
+    AutoLowerBoundOptions options;
+    options.maxSteps = 3;
+    const AutoLowerBound plain = autoLowerBound(p, options);
+    EngineContext ctx;
+    options.context = &ctx;
+    const AutoLowerBound withCtx = autoLowerBound(p, options);
+    EXPECT_EQ(plain.rounds, withCtx.rounds);
+    EXPECT_EQ(plain.reason, withCtx.reason);
+    EXPECT_EQ(plain.labelsPerStep, withCtx.labelsPerStep);
+  }
+}
+
+TEST(EngineContext, InternDetectsRenamedDuplicates) {
+  EngineContext ctx;
+  const Problem mis = misProblem(3);
+  const auto first = ctx.intern(mis);
+  EXPECT_FALSE(first.alreadyInterned);
+  const auto again = ctx.intern(mis);
+  EXPECT_TRUE(again.alreadyInterned);
+  EXPECT_EQ(first.hash, again.hash);
+
+  // A renamed copy (relabeled + different names) interns to the same entry.
+  Alphabet fresh;
+  fresh.add("zz");
+  fresh.add("yy");
+  fresh.add("xx");
+  const Problem renamed = renameProblem(mis, {2, 0, 1}, fresh);
+  const auto permuted = ctx.intern(renamed);
+  EXPECT_TRUE(permuted.alreadyInterned);
+  EXPECT_EQ(permuted.hash, first.hash);
+  EXPECT_EQ(permuted.canonical.problem, first.canonical.problem);
+  EXPECT_EQ(ctx.stats().internedProblems, 1u);
+
+  // A structurally different problem interns separately.
+  const auto other = ctx.intern(sinklessOrientationProblem(3));
+  EXPECT_FALSE(other.alreadyInterned);
+  EXPECT_NE(other.hash, first.hash);
+  EXPECT_EQ(ctx.stats().internedProblems, 2u);
+}
+
+TEST(EngineContext, SharedAcrossThreadsStaysConsistent) {
+  // One context, eight lanes, every lane hammering the same three problems:
+  // concurrent cold misses may duplicate work, but every returned problem
+  // must equal the serial reference (this test is a ThreadSanitizer target).
+  const std::vector<Problem> problems = {
+      misProblem(3), sinklessOrientationProblem(3),
+      core::familyProblem(4, 2, 1)};
+  std::vector<Problem> reference;
+  for (const Problem& p : problems) reference.push_back(speedupStep(p));
+
+  EngineContext ctx;
+  constexpr std::size_t kTasks = 24;
+  std::vector<Problem> results(kTasks);
+  util::parallel_for(8, kTasks, [&](std::size_t i) {
+    results[i] = ctx.speedupStep(problems[i % problems.size()]);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expectProblemsBitIdentical(reference[i % problems.size()], results[i],
+                               "shared context task " + std::to_string(i));
+  }
+  const CacheStats stats = ctx.stats();
+  EXPECT_EQ(stats.stepHits + stats.stepMisses, 2 * kTasks);
+}
+
+TEST(EngineContext, SharedSubResultsAreCached) {
+  const Problem p = core::familyProblem(5, 2, 1);
+  EngineContext ctx;
+  const auto compat1 = ctx.edgeCompatibility(p.edge, p.alphabet.size());
+  const auto compat2 = ctx.edgeCompatibility(p.edge, p.alphabet.size());
+  EXPECT_EQ(compat1, compat2);
+  EXPECT_EQ(ctx.stats().edgeCompatMisses, 1u);
+  EXPECT_EQ(ctx.stats().edgeCompatHits, 1u);
+
+  const auto rc1 = ctx.rightClosedSets(p.node, p.alphabet.size(),
+                                       p.alphabet.all(), 5'000'000);
+  const auto rc2 = ctx.rightClosedSets(p.node, p.alphabet.size(),
+                                       p.alphabet.all(), 5'000'000);
+  EXPECT_EQ(rc1, rc2);
+  EXPECT_EQ(ctx.stats().rightClosedMisses, 1u);
+  EXPECT_EQ(ctx.stats().rightClosedHits, 1u);
+}
+
+}  // namespace
+}  // namespace relb::re
