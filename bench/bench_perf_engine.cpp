@@ -16,6 +16,8 @@
 //     at 6 to keep full bench runs interactive.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <memory>
 #include <random>
 
 #include "core/lemma6.hpp"
@@ -26,6 +28,7 @@
 #include "re/cycle_verifier.hpp"
 #include "re/tree_verifier.hpp"
 #include "re/zero_round.hpp"
+#include "store/step_store.hpp"
 
 namespace {
 
@@ -236,6 +239,62 @@ void BM_CertifyChainCached(benchmark::State& state) {
 }
 BENCHMARK(BM_CertifyChainCached)
     ->ArgsProduct({{1 << 10, 1 << 20}, {1, 0}})
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Disk-store benchmarks: certifyChain backed by the content-addressed step
+// store (src/store).  Cold = empty store, every step computed and written
+// through; warm = a fresh context over a fully populated store, every step
+// loaded and checksum-verified from disk with zero recomputation.  The gap
+// between the warm row and BM_CertifyChainCached is the price of disk
+// persistence over the in-memory memo.
+// ---------------------------------------------------------------------------
+
+std::filesystem::path benchStoreDir() {
+  return std::filesystem::temp_directory_path() / "relb-bench-store";
+}
+
+void BM_CertifyChainColdStore(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto chain = core::exactChain(delta, 1);
+  const auto dir = benchStoreDir();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<store::DiskStepStore>(dir));
+    benchmark::DoNotOptimize(core::certifyChain(chain, ctx, 1));
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CertifyChainColdStore)
+    ->Arg(1 << 10)
+    ->Arg(1 << 20)
+    ->UseRealTime();
+
+void BM_CertifyChainWarmStore(benchmark::State& state) {
+  const re::Count delta = state.range(0);
+  const auto chain = core::exactChain(delta, 1);
+  const auto dir = benchStoreDir();
+  std::filesystem::remove_all(dir);
+  {
+    re::EngineContext warmup;
+    warmup.attachStore(std::make_shared<store::DiskStepStore>(dir));
+    benchmark::DoNotOptimize(core::certifyChain(chain, warmup, 1));
+  }
+  for (auto _ : state) {
+    // Fresh context and store handle each iteration: everything is served
+    // from disk, nothing from the in-memory memo.
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<store::DiskStepStore>(dir));
+    benchmark::DoNotOptimize(core::certifyChain(chain, ctx, 1));
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CertifyChainWarmStore)
+    ->Arg(1 << 10)
+    ->Arg(1 << 20)
     ->UseRealTime();
 
 }  // namespace

@@ -1,0 +1,62 @@
+// Standalone certificate verifier.
+//
+//   ./certificate_verifier [--verbose] <certificate.json> ...
+//
+// Loads each certificate (rejecting any checksum / format violation) and
+// re-verifies every claim it makes using only the low-level constraint
+// machinery -- this binary links relb_io and relb_re_base but NOT the
+// speedup engine (engine.cpp, re_step.cpp), so it cannot inherit an engine
+// bug.  See io/verify.hpp for the exact per-kind contract.
+//
+// Exit codes: 0 = every certificate verified, 1 = at least one rejected or
+// unreadable, 2 = usage error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/certificate.hpp"
+#include "io/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace relb;
+  bool verbose = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: " << argv[0]
+                << " [--verbose] <certificate.json> ...\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: " << argv[0]
+              << " [--verbose] <certificate.json> ...\n";
+    return 2;
+  }
+
+  bool allOk = true;
+  for (const std::string& path : paths) {
+    std::cout << path << ": ";
+    try {
+      const io::Certificate cert = io::loadCertificate(path);
+      const io::VerifyReport report = io::verifyCertificate(cert);
+      std::cout << cert.kind << ", " << cert.steps.size() << " step(s)\n"
+                << report.describe() << "\n";
+      if (verbose) {
+        for (const std::string& check : report.checks) {
+          std::cout << "  ok: " << check << "\n";
+        }
+      }
+      allOk = allOk && report.ok;
+    } catch (const re::Error& e) {
+      std::cout << "REJECTED (unreadable)\n" << e.what() << "\n";
+      allOk = false;
+    }
+  }
+  return allOk ? 0 : 1;
+}

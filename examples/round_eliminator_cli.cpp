@@ -3,28 +3,53 @@
 // 0-round analysis, and iterates the speedup until a fixed point, a
 // 0-round-solvable problem, or a label blow-up.
 //
-//   ./round_eliminator_cli [--stats] "<node configs>" "<edge configs>"
+//   ./round_eliminator_cli [flags] "<node configs>" "<edge configs>"
 //       [maxSteps] [threads]
+//   ./round_eliminator_cli [flags] --chain DELTA [--x0 K]
+//   ./round_eliminator_cli --verify-cert FILE
 //
 // Configurations are separated by ';'.  `threads` is the engine fan-out
 // width (0 = one thread per core, the default; results are identical for
-// every value).  `--stats` runs the speedup through the pass pipeline and
-// prints a per-pass table per step plus the engine cache counters.
+// every value).  Flags:
+//
+//   --stats            print per-pass tables and the engine cache counters
+//   --store DIR        attach the on-disk step store at DIR (created on
+//                      first use); results persist across runs
+//   --resume           require an existing store at --store DIR (refuses to
+//                      start cold; use for "continue where I left off")
+//   --chain DELTA      family-chain mode: build and certify the exact
+//                      Lemma 13 chain for Pi_DELTA(DELTA, x0)
+//   --x0 K             chain start parameter (default 1)
+//   --save-cert FILE   write a certificate: the certified family chain in
+//                      --chain mode, a speedup trace otherwise
+//   --verify-cert FILE load and re-verify a certificate, print the report
+//
+// Exit codes: 0 = success, 1 = step/certification/verification failure,
+// 2 = usage or parse error.
+//
 // Examples:
 //
 //   ./round_eliminator_cli "M^3; P O^2" "M [PO]; O O"         # MIS
 //   ./round_eliminator_cli --stats "O [IO]^2" "I O" 4         # sinkless or.
-//   ./round_eliminator_cli "M O^2; P^3" "M M; P O; O O" 6 1   # matching, serial
+//   ./round_eliminator_cli --chain 32 --store /tmp/relb-store
+//       --save-cert chain32.json --stats
+//   ./round_eliminator_cli --verify-cert chain32.json
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/sequence.hpp"
+#include "io/certificate.hpp"
+#include "io/verify.hpp"
 #include "re/autobound.hpp"
 #include "re/diagram.hpp"
 #include "re/engine.hpp"
 #include "re/problem.hpp"
 #include "re/zero_round.hpp"
+#include "store/step_store.hpp"
 
 namespace {
 
@@ -36,12 +61,51 @@ std::string splitLines(std::string spec) {
 }
 
 void usage(const char* prog) {
-  std::cerr << "usage: " << prog
-            << " [--stats] \"<node configs>\" \"<edge configs>\""
-               " [maxSteps] [threads]\n"
-            << "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
-            << "threads: 0 = hardware concurrency (default), 1 = serial\n"
-            << "--stats: print a per-pass statistics table per speedup step\n";
+  std::cerr
+      << "usage: " << prog
+      << " [flags] \"<node configs>\" \"<edge configs>\" [maxSteps] [threads]\n"
+      << "       " << prog << " [flags] --chain DELTA [--x0 K]\n"
+      << "       " << prog << " --verify-cert FILE\n"
+      << "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
+      << "threads: 0 = hardware concurrency (default), 1 = serial\n"
+      << "flags: --stats --store DIR --resume --save-cert FILE\n"
+      << "       --verify-cert FILE --chain DELTA --x0 K\n";
+}
+
+// Drives maxSteps of R / Rbar through the context, recording every operator,
+// renaming map, and zero-round verdict as a "speedup-trace" certificate.
+relb::io::Certificate buildTraceCertificate(const relb::re::Problem& start,
+                                            relb::re::EngineContext& ctx,
+                                            int maxSteps, int maxLabels) {
+  using namespace relb;
+  io::Certificate cert;
+  cert.kind = "speedup-trace";
+  cert.engineInfo.emplace_back("generator", "relb");
+
+  const auto record = [&](const std::string& op, re::Problem problem,
+                          std::optional<std::vector<re::LabelSet>> meaning) {
+    io::CertificateStep step;
+    step.op = op;
+    step.meaning = std::move(meaning);
+    step.zeroRoundSolvable = ctx.zeroRoundSolvable(
+        problem, re::ZeroRoundMode::kSymmetricPorts);
+    step.problem = std::move(problem);
+    const bool stop = step.zeroRoundSolvable;
+    cert.steps.push_back(std::move(step));
+    return stop;
+  };
+
+  if (record("input", start, std::nullopt)) return cert;
+  re::Problem current = start;
+  for (int i = 0; i < maxSteps; ++i) {
+    re::StepResult r = ctx.applyR(current);
+    if (record("R", r.problem, r.meaning)) return cert;
+    re::StepResult rbar = ctx.applyRbar(r.problem);
+    if (record("Rbar", rbar.problem, rbar.meaning)) return cert;
+    current = std::move(rbar.problem);
+    if (current.alphabet.size() > maxLabels) return cert;
+  }
+  return cert;
 }
 
 }  // namespace
@@ -49,11 +113,36 @@ void usage(const char* prog) {
 int main(int argc, char** argv) {
   using namespace relb;
   bool showStats = false;
+  bool resume = false;
+  std::string storeDir, saveCert, verifyCert;
+  long chainDelta = -1;
+  long x0 = 1;
   std::vector<std::string> positional;
+
+  const auto flagValue = [&](int& i, const std::string& flag) {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " requires a value\n";
+      usage(argv[0]);
+      std::exit(2);
+    }
+    return std::string(argv[++i]);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stats") {
       showStats = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--store") {
+      storeDir = flagValue(i, arg);
+    } else if (arg == "--save-cert") {
+      saveCert = flagValue(i, arg);
+    } else if (arg == "--verify-cert") {
+      verifyCert = flagValue(i, arg);
+    } else if (arg == "--chain") {
+      chainDelta = std::atol(flagValue(i, arg).c_str());
+    } else if (arg == "--x0") {
+      x0 = std::atol(flagValue(i, arg).c_str());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 2;
@@ -61,6 +150,84 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+
+  // --verify-cert stands alone: load, re-verify, report.
+  if (!verifyCert.empty()) {
+    try {
+      const io::Certificate cert = io::loadCertificate(verifyCert);
+      const io::VerifyReport report = io::verifyCertificate(cert);
+      std::cout << report.describe() << "\n";
+      return report.ok ? 0 : 1;
+    } catch (const re::Error& e) {
+      std::cerr << "verify error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (resume && storeDir.empty()) {
+    std::cerr << "--resume requires --store DIR\n";
+    usage(argv[0]);
+    return 2;
+  }
+  std::shared_ptr<store::DiskStepStore> stepStore;
+  if (!storeDir.empty()) {
+    if (resume &&
+        !std::filesystem::exists(std::filesystem::path(storeDir) / "FORMAT")) {
+      std::cerr << "--resume: no step store at '" << storeDir << "'\n";
+      return 2;
+    }
+    try {
+      stepStore = std::make_shared<store::DiskStepStore>(storeDir);
+    } catch (const re::Error& e) {
+      std::cerr << "store error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  // In --chain mode the problem text is implied, so [maxSteps] [threads]
+  // shift to the front of the positional list.
+  const std::size_t stepsIdx = chainDelta >= 0 ? 0 : 2;
+  const int maxSteps = positional.size() > stepsIdx
+                           ? std::atoi(positional[stepsIdx].c_str())
+                           : 6;
+  const int numThreads = positional.size() > stepsIdx + 1
+                             ? std::atoi(positional[stepsIdx + 1].c_str())
+                             : 0;
+
+  re::PassOptions passOptions;
+  passOptions.numThreads = numThreads;
+  re::EngineContext ctx(passOptions);
+  if (stepStore != nullptr) ctx.attachStore(stepStore);
+
+  // --chain DELTA: build, certify, and optionally persist the family chain.
+  if (chainDelta >= 0) {
+    try {
+      const core::Chain chain = core::exactChain(chainDelta, x0);
+      std::cout << "exact chain for Pi_" << chainDelta << "(a, x), x0 = "
+                << x0 << ":\n";
+      for (std::size_t i = 0; i < chain.steps.size(); ++i) {
+        std::cout << "  step " << i << ": a = " << chain.steps[i].a
+                  << ", x = " << chain.steps[i].x << "\n";
+      }
+      const io::Certificate cert =
+          core::buildChainCertificate(chain, &ctx, numThreads);
+      std::cout << "chain certified: >= " << cert.claimedRounds()
+                << " rounds (deterministic PN model)\n";
+      if (!saveCert.empty()) {
+        io::saveCertificate(saveCert, cert);
+        std::cout << "certificate written to " << saveCert << "\n";
+      }
+      if (showStats) {
+        std::cout << "\nengine cache statistics:\n" << ctx.stats().describe();
+        if (stepStore != nullptr) std::cout << stepStore->stats().describe();
+      }
+      return 0;
+    } catch (const re::Error& e) {
+      std::cerr << "chain error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   if (positional.size() < 2) {
     usage(argv[0]);
     return 2;
@@ -73,85 +240,92 @@ int main(int argc, char** argv) {
     std::cerr << "parse error: " << e.what() << "\n";
     return 2;
   }
-  const int maxSteps =
-      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 6;
-  const int numThreads =
-      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 0;
 
   std::cout << "problem (Delta = " << p.delta() << ", "
             << p.alphabet.size() << " labels):\n"
             << p.render() << "\n";
 
-  const auto edgeRel = re::computeStrength(p.edge, p.alphabet.size());
-  std::cout << "edge diagram:\n" << edgeRel.renderDiagram(p.alphabet);
   try {
-    const auto nodeRel = re::computeStrengthScalable(p.node,
-                                                     p.alphabet.size());
-    std::cout << "node diagram:\n" << nodeRel.renderDiagram(p.alphabet);
-  } catch (const re::Error&) {
-    std::cout << "node diagram: (undecided at this size)\n";
-  }
-
-  std::cout << "\n0-round solvable: symmetric ports "
-            << (re::zeroRoundSolvableSymmetricPorts(p) ? "yes" : "no")
-            << ", adversarial ports "
-            << (re::zeroRoundSolvableAdversarialPorts(p) ? "yes" : "no")
-            << ", with edge-port inputs "
-            << (re::zeroRoundSolvableWithEdgeInputs(p) ? "yes" : "no")
-            << "\n\n";
-
-  re::PassOptions passOptions;
-  passOptions.numThreads = numThreads;
-  re::EngineContext ctx(passOptions);
-
-  if (showStats) {
-    // Drive the speedup through the pass pipeline, one stats table per step.
-    const auto pipeline = re::PassManager::speedupPipeline();
-    re::Problem current = p;
-    for (int step = 1; step <= maxSteps; ++step) {
-      try {
-        auto result = pipeline.run(current, ctx);
-        std::cout << "speedup step " << step << ":\n"
-                  << result.renderStatsTable() << "\n";
-        if (result.stopped) break;
-        current = std::move(result.problem);
-      } catch (const re::Error& e) {
-        std::cout << "speedup step " << step << ": engine guard ("
-                  << e.what() << ")\n\n";
-        break;
-      }
-      if (current.alphabet.size() > 16) break;
+    const auto edgeRel = re::computeStrength(p.edge, p.alphabet.size());
+    std::cout << "edge diagram:\n" << edgeRel.renderDiagram(p.alphabet);
+    try {
+      const auto nodeRel = re::computeStrengthScalable(p.node,
+                                                       p.alphabet.size());
+      std::cout << "node diagram:\n" << nodeRel.renderDiagram(p.alphabet);
+    } catch (const re::Error&) {
+      std::cout << "node diagram: (undecided at this size)\n";
     }
-  }
 
-  re::IterateOptions options;
-  options.maxSteps = maxSteps;
-  options.maxLabels = 16;
-  options.stepOptions.numThreads = numThreads;
-  options.context = &ctx;
-  const auto trace = re::iterateSpeedup(p, options);
-  std::cout << trace.describe() << "\n\n";
-  if (trace.last.alphabet.size() <= 16) {
-    std::cout << "last problem reached:\n" << trace.last.render();
-  }
+    std::cout << "\n0-round solvable: symmetric ports "
+              << (re::zeroRoundSolvableSymmetricPorts(p) ? "yes" : "no")
+              << ", adversarial ports "
+              << (re::zeroRoundSolvableAdversarialPorts(p) ? "yes" : "no")
+              << ", with edge-port inputs "
+              << (re::zeroRoundSolvableWithEdgeInputs(p) ? "yes" : "no")
+              << "\n\n";
 
-  // Automatic lower bound: speedup + hardness-preserving label merging.
-  try {
-    re::AutoLowerBoundOptions lbOptions;
-    lbOptions.maxSteps = maxSteps;
-    lbOptions.maxLabels = 10;
-    lbOptions.stepOptions.numThreads = numThreads;
-    lbOptions.context = &ctx;
-    const auto lb = re::autoLowerBound(p, lbOptions);
-    std::cout << "\nautomatic lower bound: >= " << lb.rounds
-              << " rounds (deterministic PN, high girth)\n";
+    if (showStats) {
+      // Drive the speedup through the pass pipeline, one stats table per
+      // step.
+      const auto pipeline = re::PassManager::speedupPipeline();
+      re::Problem current = p;
+      for (int step = 1; step <= maxSteps; ++step) {
+        try {
+          auto result = pipeline.run(current, ctx);
+          std::cout << "speedup step " << step << ":\n"
+                    << result.renderStatsTable() << "\n";
+          if (result.stopped) break;
+          current = std::move(result.problem);
+        } catch (const re::Error& e) {
+          std::cout << "speedup step " << step << ": engine guard ("
+                    << e.what() << ")\n\n";
+          break;
+        }
+        if (current.alphabet.size() > 16) break;
+      }
+    }
+
+    re::IterateOptions options;
+    options.maxSteps = maxSteps;
+    options.maxLabels = 16;
+    options.stepOptions.numThreads = numThreads;
+    options.context = &ctx;
+    const auto trace = re::iterateSpeedup(p, options);
+    std::cout << trace.describe() << "\n\n";
+    if (trace.last.alphabet.size() <= 16) {
+      std::cout << "last problem reached:\n" << trace.last.render();
+    }
+
+    if (!saveCert.empty()) {
+      const io::Certificate cert =
+          buildTraceCertificate(p, ctx, maxSteps, 16);
+      io::saveCertificate(saveCert, cert);
+      std::cout << "\nspeedup-trace certificate (" << cert.steps.size()
+                << " steps) written to " << saveCert << "\n";
+    }
+
+    // Automatic lower bound: speedup + hardness-preserving label merging.
+    try {
+      re::AutoLowerBoundOptions lbOptions;
+      lbOptions.maxSteps = maxSteps;
+      lbOptions.maxLabels = 10;
+      lbOptions.stepOptions.numThreads = numThreads;
+      lbOptions.context = &ctx;
+      const auto lb = re::autoLowerBound(p, lbOptions);
+      std::cout << "\nautomatic lower bound: >= " << lb.rounds
+                << " rounds (deterministic PN, high girth)\n";
+    } catch (const re::Error& e) {
+      std::cout << "\nautomatic lower bound: engine guard (" << e.what()
+                << ")\n";
+    }
   } catch (const re::Error& e) {
-    std::cout << "\nautomatic lower bound: engine guard (" << e.what()
-              << ")\n";
+    std::cerr << "step error: " << e.what() << "\n";
+    return 1;
   }
 
   if (showStats) {
     std::cout << "\nengine cache statistics:\n" << ctx.stats().describe();
+    if (stepStore != nullptr) std::cout << stepStore->stats().describe();
   }
   return 0;
 }

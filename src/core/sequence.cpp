@@ -123,6 +123,41 @@ std::string certifyChain(const Chain& chain, re::EngineContext& context,
   });
 }
 
+io::Certificate buildChainCertificate(const Chain& chain,
+                                      re::EngineContext* context,
+                                      int numThreads) {
+  const std::string violation =
+      context != nullptr ? certifyChain(chain, *context, numThreads)
+                         : certifyChain(chain, numThreads);
+  if (!violation.empty()) {
+    throw re::Error("buildChainCertificate: chain does not certify: " +
+                    violation);
+  }
+  io::Certificate cert;
+  cert.kind = "family-chain";
+  cert.delta = chain.delta;
+  cert.x0 = chain.steps.front().x;
+  cert.engineInfo.emplace_back("generator", "relb");
+  cert.engineInfo.emplace_back("chain_length",
+                               std::to_string(chain.length()));
+  for (const ChainStep& step : chain.steps) {
+    io::CertificateStep out;
+    out.a = step.a;
+    out.x = step.x;
+    out.problem = familyProblem(chain.delta, step.a, step.x);
+    // certifyChain established non-solvability for every step; the verdicts
+    // below are therefore all false (and served from the context's cache
+    // when one is given).
+    out.zeroRoundSolvable =
+        context != nullptr
+            ? context->zeroRoundSolvable(out.problem,
+                                         re::ZeroRoundMode::kSymmetricPorts)
+            : re::zeroRoundSolvableSymmetricPorts(out.problem);
+    cert.steps.push_back(std::move(out));
+  }
+  return cert;
+}
+
 Count pnLowerBoundRounds(Count delta, Count k) {
   // Lemma 5: solving Pi_Delta(a, k) takes one round given a k-outdegree
   // dominating set, so LB(k-outdegree DS) >= chain length - 1 ... in fact

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/family.hpp"
+#include "io/certificate.hpp"
 #include "util/thread_pool.hpp"
 
 namespace relb::re {
@@ -65,6 +66,18 @@ struct Chain {
 /// identical to the context-free overload.
 [[nodiscard]] std::string certifyChain(
     const Chain& chain, re::EngineContext& context,
+    int numThreads = util::kDefaultNumThreads);
+
+/// Builds the durable "family-chain" certificate for `chain`: per step the
+/// parameters, the fully expanded problem, and the zero-round verdict
+/// (recomputed here; memoized in `context` when one is given, so a warm
+/// context or attached store performs zero recomputation).  The certificate
+/// is deterministic -- the same chain always serializes to the same bytes --
+/// and io::verifyCertificate re-checks every claim without the engine.
+/// Throws re::Error if the chain does not certify (the certificate would be
+/// rejected anyway; the error carries certifyChain's violation text).
+[[nodiscard]] io::Certificate buildChainCertificate(
+    const Chain& chain, re::EngineContext* context = nullptr,
     int numThreads = util::kDefaultNumThreads);
 
 /// Lemma 12 for the family: Pi_Delta(a, x) is 0-round solvable on the

@@ -1,0 +1,218 @@
+#include "io/serialize.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace relb::io {
+
+using re::Alphabet;
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Error;
+using re::Group;
+using re::Label;
+using re::LabelSet;
+using re::Problem;
+
+namespace {
+
+void requireFormat(const Json& j, std::string_view format) {
+  if (j.at("format").asString() != format) {
+    throw Error("serialize: expected format '" + std::string(format) +
+                "', have '" + j.at("format").asString() + "'");
+  }
+  const std::int64_t version = j.at("version").asInt();
+  if (version != kFormatVersion) {
+    throw Error("serialize: unsupported " + std::string(format) +
+                " version " + std::to_string(version) + " (supported: " +
+                std::to_string(kFormatVersion) + ")");
+  }
+}
+
+Json constraintToJson(const Constraint& c) {
+  Json out = Json::array();
+  for (const Configuration& config : c.configurations()) {
+    out.push(configurationToJson(config));
+  }
+  return out;
+}
+
+Constraint constraintFromJson(const Json& j, Count degree, int alphabetSize) {
+  std::vector<Configuration> configs;
+  for (const Json& config : j.asArray()) {
+    configs.push_back(configurationFromJson(config, alphabetSize));
+    if (configs.back().degree() != degree) {
+      throw Error("serialize: configuration degree " +
+                  std::to_string(configs.back().degree()) +
+                  " does not match constraint degree " +
+                  std::to_string(degree));
+    }
+  }
+  return Constraint(degree, std::move(configs));
+}
+
+}  // namespace
+
+Json labelSetToJson(LabelSet s) {
+  Json out = Json::array();
+  for (const Label l : s.toVector()) out.push(static_cast<std::int64_t>(l));
+  return out;
+}
+
+LabelSet labelSetFromJson(const Json& j, int alphabetSize) {
+  LabelSet out;
+  for (const Json& entry : j.asArray()) {
+    const std::int64_t l = entry.asInt();
+    if (l < 0 || l >= alphabetSize) {
+      throw Error("serialize: label index " + std::to_string(l) +
+                  " outside alphabet of size " + std::to_string(alphabetSize));
+    }
+    out.insert(static_cast<Label>(l));
+  }
+  return out;
+}
+
+Json configurationToJson(const Configuration& c) {
+  Json out = Json::array();
+  for (const Group& g : c.groups()) {
+    Json group = Json::object();
+    group.set("set", labelSetToJson(g.set));
+    group.set("count", static_cast<std::int64_t>(g.count));
+    out.push(std::move(group));
+  }
+  return out;
+}
+
+Configuration configurationFromJson(const Json& j, int alphabetSize) {
+  std::vector<Group> groups;
+  for (const Json& group : j.asArray()) {
+    const LabelSet set = labelSetFromJson(group.at("set"), alphabetSize);
+    const std::int64_t count = group.at("count").asInt();
+    if (set.empty()) throw Error("serialize: empty group set");
+    if (count < 1) {
+      throw Error("serialize: group count must be >= 1, have " +
+                  std::to_string(count));
+    }
+    groups.push_back({set, count});
+  }
+  if (groups.empty()) throw Error("serialize: empty configuration");
+  return Configuration(std::move(groups));
+}
+
+Json problemToJson(const Problem& p) {
+  Json out = Json::object();
+  out.set("format", "relb-problem");
+  out.set("version", kFormatVersion);
+  Json alphabet = Json::array();
+  for (const std::string& name : p.alphabet.names()) alphabet.push(name);
+  out.set("alphabet", std::move(alphabet));
+  out.set("delta", static_cast<std::int64_t>(p.delta()));
+  out.set("node", constraintToJson(p.node));
+  out.set("edge", constraintToJson(p.edge));
+  return out;
+}
+
+Problem problemFromJson(const Json& j) {
+  requireFormat(j, "relb-problem");
+  Problem p;
+  std::vector<std::string> names;
+  for (const Json& name : j.at("alphabet").asArray()) {
+    names.push_back(name.asString());
+  }
+  p.alphabet = Alphabet(std::move(names));
+  const Count delta = j.at("delta").asInt();
+  if (delta < 1) throw Error("serialize: delta must be >= 1");
+  p.node = constraintFromJson(j.at("node"), delta, p.alphabet.size());
+  p.edge = constraintFromJson(j.at("edge"), 2, p.alphabet.size());
+  p.validate();
+  return p;
+}
+
+std::string renderProblemText(const Problem& p) {
+  std::string header = "# alphabet:";
+  for (const std::string& name : p.alphabet.names()) {
+    for (const char ch : name) {
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        throw Error("renderProblemText: label name '" + name +
+                    "' contains whitespace; use the JSON format");
+      }
+    }
+    header += ' ';
+    header += name;
+  }
+  return header + "\n" + p.render();
+}
+
+Problem parseProblemText(std::string_view text) {
+  // Peel off an optional "# alphabet:" header.
+  std::istringstream iss{std::string(text)};
+  std::string line;
+  std::vector<std::string> headerNames;
+  std::string body;
+  bool sawHeader = false;
+  bool firstContent = true;
+  while (std::getline(iss, line)) {
+    if (firstContent && line.starts_with("# alphabet:")) {
+      std::istringstream names{line.substr(std::string("# alphabet:").size())};
+      std::string name;
+      while (names >> name) headerNames.push_back(name);
+      sawHeader = true;
+      firstContent = false;
+      continue;
+    }
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      firstContent = false;
+    }
+    body += line;
+    body += '\n';
+  }
+
+  // Split the body into the node and edge sections at the first blank-line
+  // run that separates two non-empty sections (Problem::render emits exactly
+  // one).
+  std::istringstream sections{body};
+  std::string nodeText;
+  std::string edgeText;
+  bool inEdge = false;
+  bool nodeSeen = false;
+  while (std::getline(sections, line)) {
+    const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (!inEdge && blank && nodeSeen) {
+      inEdge = true;
+      continue;
+    }
+    if (!blank && !line.starts_with('#')) {
+      (inEdge ? edgeText : nodeText) += line + "\n";
+      nodeSeen = nodeSeen || !inEdge;
+    }
+  }
+
+  if (!sawHeader) return Problem::parse(nodeText, edgeText);
+
+  Problem p = Problem::parse(nodeText, edgeText);
+  // Re-parse against the declared alphabet so label order matches the
+  // header exactly; reject labels the header does not declare.
+  Problem seeded;
+  seeded.alphabet = Alphabet(headerNames);
+  const int declared = seeded.alphabet.size();
+  auto reparse = [&](const Constraint& c, Count degree) {
+    std::vector<Configuration> configs;
+    for (const Configuration& config : c.configurations()) {
+      configs.push_back(
+          re::parseConfiguration(config.render(p.alphabet), seeded.alphabet));
+    }
+    if (seeded.alphabet.size() != declared) {
+      throw Error("parseProblemText: configuration mentions label '" +
+                  seeded.alphabet.names().back() +
+                  "' not declared in the alphabet header");
+    }
+    return Constraint(degree, std::move(configs));
+  };
+  seeded.node = reparse(p.node, p.node.degree());
+  seeded.edge = reparse(p.edge, 2);
+  seeded.validate();
+  return seeded;
+}
+
+}  // namespace relb::io

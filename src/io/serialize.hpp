@@ -1,0 +1,60 @@
+// Versioned serialization of problems (and their building blocks) in two
+// formats, both specified in docs/formats.md:
+//
+//   * JSON: self-describing and fully structural (alphabet as a name array,
+//     configurations as explicit (label-index-set, exponent) groups).  The
+//     strict round-trip guarantee problemFromJson(problemToJson(p)) == p
+//     holds for every valid problem, including syntactic details the text
+//     format cannot carry (label registration order).
+//   * Text: the round-eliminator-compatible format of re/problem.hpp, plus
+//     a "# alphabet: ..." header line that pins the label order.  Standard
+//     round-eliminator tooling ignores the header (it is a comment); with
+//     the header present, parseProblemText guarantees the same round-trip
+//     identity.  Refuses label names containing whitespace (they cannot be
+//     tokenized back); use JSON for machine-generated alphabets.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/json.hpp"
+#include "re/problem.hpp"
+
+namespace relb::io {
+
+/// Version stamped into every problem/certificate/store document this
+/// library writes.  Parsers accept exactly this version; bump it on any
+/// schema change (rules in docs/formats.md).
+inline constexpr int kFormatVersion = 1;
+
+// -- JSON ------------------------------------------------------------------
+
+/// {"format":"relb-problem","version":1,"alphabet":[...],"delta":...,
+///  "node":[[{"set":[...],"count":...},...],...],"edge":[...]}
+[[nodiscard]] Json problemToJson(const re::Problem& p);
+
+/// Inverse of problemToJson.  Validates format/version, label indices,
+/// degrees, and Problem::validate(); throws re::Error on any mismatch.
+[[nodiscard]] re::Problem problemFromJson(const Json& j);
+
+/// A label set as a JSON array of label indices (ascending).
+[[nodiscard]] Json labelSetToJson(re::LabelSet s);
+[[nodiscard]] re::LabelSet labelSetFromJson(const Json& j, int alphabetSize);
+
+[[nodiscard]] Json configurationToJson(const re::Configuration& c);
+[[nodiscard]] re::Configuration configurationFromJson(const Json& j,
+                                                      int alphabetSize);
+
+// -- Text ------------------------------------------------------------------
+
+/// "# alphabet: M P O A X\n<node configs>\n\n<edge configs>\n".
+/// Throws re::Error if a label name contains whitespace.
+[[nodiscard]] std::string renderProblemText(const re::Problem& p);
+
+/// Parses the text form.  With a "# alphabet:" header, labels are
+/// pre-registered in header order and configurations may not mention labels
+/// outside it; without one, this is exactly Problem::parse on the two
+/// sections (labels registered in order of first appearance).
+[[nodiscard]] re::Problem parseProblemText(std::string_view text);
+
+}  // namespace relb::io

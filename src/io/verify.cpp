@@ -1,0 +1,221 @@
+#include "io/verify.hpp"
+
+#include "re/zero_round.hpp"
+
+namespace relb::io {
+
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Error;
+using re::Label;
+using re::LabelSet;
+using re::Problem;
+
+namespace {
+
+// Reporting helpers: every check lands in exactly one of the two lists.
+struct Checker {
+  VerifyReport report;
+
+  void pass(std::string what) { report.checks.push_back(std::move(what)); }
+  void fail(std::string what) { report.errors.push_back(std::move(what)); }
+  void check(bool ok, const std::string& what) {
+    ok ? pass(what) : fail(what);
+  }
+};
+
+bool corollary10Applies(Count a, Count x, Count delta) {
+  return 2 * x + 1 <= a && x + 2 <= a && a <= delta;
+}
+
+// Labels of the new problem replaced by the union of their meanings; the
+// decoded configuration denotes exactly the old-alphabet words reachable by
+// choosing a new label per slot and then an old label from its meaning.
+Configuration decodeThroughMeaning(const Configuration& c,
+                                   const std::vector<LabelSet>& meaning) {
+  return c.mapSets([&](LabelSet s) {
+    LabelSet out;
+    re::forEachLabel(s, [&](Label l) { out = out | meaning[l]; });
+    return out;
+  });
+}
+
+void verifyFamilyChain(const Certificate& cert, Checker& c) {
+  if (cert.delta < 1) {
+    c.fail("delta must be >= 1, have " + std::to_string(cert.delta));
+    return;
+  }
+  if (!cert.steps.empty()) {
+    const CertificateStep& first = cert.steps.front();
+    c.check(first.x == cert.x0,
+            "step 0 starts at x0 = " + std::to_string(cert.x0));
+  }
+  for (std::size_t i = 0; i < cert.steps.size(); ++i) {
+    const CertificateStep& step = cert.steps[i];
+    const std::string tag = "step " + std::to_string(i);
+
+    Problem expected;
+    try {
+      expected = reconstructFamilyProblem(cert.delta, step.a, step.x);
+    } catch (const Error& e) {
+      c.fail(tag + ": invalid family parameters (a = " +
+             std::to_string(step.a) + ", x = " + std::to_string(step.x) +
+             "): " + e.what());
+      continue;
+    }
+    c.check(step.problem == expected,
+            tag + ": recorded problem equals the reconstruction of Pi_" +
+                std::to_string(cert.delta) + "(" + std::to_string(step.a) +
+                ", " + std::to_string(step.x) + ")");
+
+    const bool solvable = re::zeroRoundSolvableSymmetricPorts(step.problem);
+    c.check(!solvable, tag + ": problem is not 0-round solvable (Lemma 12)");
+    c.check(step.zeroRoundSolvable == solvable,
+            tag + ": recorded zero-round verdict matches recomputation");
+
+    if (i + 1 < cert.steps.size()) {
+      const CertificateStep& next = cert.steps[i + 1];
+      c.check(corollary10Applies(step.a, step.x, cert.delta),
+              tag + ": Corollary 10 preconditions hold");
+      const Count spedA = (step.a - 2 * step.x - 1) / 2;
+      const Count spedX = step.x + 1;
+      c.check(next.a <= spedA && next.x >= spedX,
+              tag + ": step " + std::to_string(i + 1) +
+                  " reachable by Corollary 10 + Lemma 11");
+    }
+  }
+  if (c.report.errors.empty()) {
+    c.report.provenRounds = cert.claimedRounds();
+  }
+}
+
+void verifySpeedupTrace(const Certificate& cert, Checker& c) {
+  for (std::size_t i = 0; i < cert.steps.size(); ++i) {
+    const CertificateStep& step = cert.steps[i];
+    const std::string tag = "step " + std::to_string(i);
+
+    if (i == 0) {
+      c.check(step.op == "input" && !step.meaning.has_value(),
+              "step 0 is the input problem");
+    } else {
+      const Problem& prev = cert.steps[i - 1].problem;
+      const int prevSize = prev.alphabet.size();
+
+      if (step.op != "R" && step.op != "Rbar") {
+        c.fail(tag + ": operator must be R or Rbar, have '" + step.op + "'");
+        continue;
+      }
+      if (!step.meaning.has_value()) {
+        c.fail(tag + ": missing renaming map");
+        continue;
+      }
+      const std::vector<LabelSet>& meaning = *step.meaning;
+      bool meaningOk =
+          static_cast<int>(meaning.size()) == step.problem.alphabet.size();
+      for (const LabelSet s : meaning) {
+        meaningOk = meaningOk && !s.empty() &&
+                    s.subsetOf(LabelSet::full(prevSize));
+      }
+      c.check(meaningOk,
+              tag + ": renaming map covers the alphabet with non-empty "
+                    "subsets of the previous alphabet");
+      if (!meaningOk) continue;
+
+      // Soundness of the universal side: R maximizes the edge constraint
+      // (every decoded edge configuration must already be allowed), Rbar
+      // the node constraint.
+      const bool isR = step.op == "R";
+      const Constraint& oldSide = isR ? prev.edge : prev.node;
+      const Constraint& newSide =
+          isR ? step.problem.edge : step.problem.node;
+      bool sound = true;
+      std::string firstBad;
+      for (const Configuration& config : newSide.configurations()) {
+        const Configuration decoded = decodeThroughMeaning(config, meaning);
+        if (!oldSide.containsAllWordsOf(decoded, prevSize)) {
+          sound = false;
+          if (firstBad.empty()) firstBad = config.render(step.problem.alphabet);
+          break;
+        }
+      }
+      c.check(sound, tag + ": " + step.op + " " +
+                         (isR ? "edge" : "node") +
+                         " constraint is sound w.r.t. the previous problem" +
+                         (sound ? "" : " (violated by " + firstBad + ")"));
+    }
+
+    const bool solvable = re::zeroRoundSolvableSymmetricPorts(step.problem);
+    c.check(step.zeroRoundSolvable == solvable,
+            tag + ": recorded zero-round verdict matches recomputation");
+  }
+}
+
+}  // namespace
+
+re::Problem reconstructFamilyProblem(Count delta, Count a, Count x) {
+  // Section 3.1, written out from the paper rather than shared with
+  // core::familyProblem (see the header).
+  if (delta < 1 || a < 0 || a > delta || x < 0 || x > delta) {
+    throw Error("reconstructFamilyProblem: need 0 <= a, x <= delta");
+  }
+  Problem p;
+  p.alphabet = re::Alphabet({"M", "P", "O", "A", "X"});
+  const Label m = p.alphabet.at("M");
+  const Label pp = p.alphabet.at("P");
+  const Label o = p.alphabet.at("O");
+  const Label aa = p.alphabet.at("A");
+  const Label xx = p.alphabet.at("X");
+
+  // node:  M^{Delta-x} X^x  |  A^a X^{Delta-a}  |  P O^{Delta-1}
+  Constraint node(delta, {});
+  node.add(Configuration({{LabelSet{m}, delta - x}, {LabelSet{xx}, x}}));
+  node.add(Configuration({{LabelSet{aa}, a}, {LabelSet{xx}, delta - a}}));
+  node.add(Configuration({{LabelSet{pp}, 1}, {LabelSet{o}, delta - 1}}));
+  p.node = std::move(node);
+
+  // edge:  M[PAOX]  O[MAOX]  P[MX]  A[MOX]  X[MPAOX]
+  Constraint edge(2, {});
+  const auto pairUp = [&](Label l, LabelSet others) {
+    edge.add(Configuration({{LabelSet{l}, 1}, {others, 1}}));
+  };
+  pairUp(m, LabelSet{pp, aa, o, xx});
+  pairUp(o, LabelSet{m, aa, o, xx});
+  pairUp(pp, LabelSet{m, xx});
+  pairUp(aa, LabelSet{m, o, xx});
+  pairUp(xx, LabelSet{m, pp, aa, o, xx});
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+VerifyReport verifyCertificate(const Certificate& cert) {
+  Checker c;
+  if (cert.steps.empty()) {
+    c.fail("certificate has no steps");
+  } else if (cert.kind == "family-chain") {
+    verifyFamilyChain(cert, c);
+  } else if (cert.kind == "speedup-trace") {
+    verifySpeedupTrace(cert, c);
+  } else {
+    throw Error("verifyCertificate: unknown kind '" + cert.kind + "'");
+  }
+  c.report.ok = c.report.errors.empty();
+  return c.report;
+}
+
+std::string VerifyReport::describe() const {
+  std::string out;
+  out += ok ? "VERIFIED" : "REJECTED";
+  out += " (" + std::to_string(checks.size()) + " checks passed, " +
+         std::to_string(errors.size()) + " failed)";
+  if (ok && provenRounds > 0) {
+    out += "\nproven lower bound: " + std::to_string(provenRounds) +
+           " rounds (deterministic PN model)";
+  }
+  for (const std::string& e : errors) out += "\nFAIL: " + e;
+  return out;
+}
+
+}  // namespace relb::io

@@ -1,0 +1,67 @@
+// Independent certificate verification.
+//
+// This module deliberately links only the low-level problem machinery
+// (relb_re_base: problems, constraints, zero-round analysis) and NOT the
+// speedup engine -- a bug in engine.cpp / re_step.cpp cannot hide a bug in
+// itself.  The family problems are reconstructed here from the paper's
+// definition, independently of core::familyProblem (the tests cross-check
+// the two constructions against each other).
+//
+// What is verified, per certificate kind:
+//
+//   "family-chain" (fully verified):
+//     * every step's problem equals the independent reconstruction of
+//       Pi_Delta(a_i, x_i) from its recorded parameters;
+//     * every consecutive pair satisfies the Corollary 10 preconditions
+//       (2x+1 <= a, x+2 <= a, a <= Delta) and the Lemma 11 reachability
+//       condition (a_{i+1} <= floor((a_i - 2x_i - 1)/2), x_{i+1} >= x_i+1);
+//     * every step's problem is re-checked NOT 0-round solvable on the
+//       symmetric-port family (Lemma 12), and the recorded verdict matches.
+//     On success the certificate proves: Pi_Delta(delta, x0) needs at least
+//     `steps - 1` rounds in the deterministic PN model (Lemma 13).
+//
+//   "speedup-trace" (soundness side only):
+//     * step 0 is the input; each later step records R or Rbar plus the
+//       renaming map `meaning` over the previous step's alphabet;
+//     * for R, the new edge constraint is checked sound: every decoded edge
+//       configuration (labels replaced by their meanings) is contained in
+//       the previous edge constraint;
+//     * for Rbar, the same check runs against the node constraint;
+//     * every step's recorded zero-round verdict is recomputed.
+//     NOT checked: maximality of the chosen sets and the exists-side
+//     ("replacement") constraint -- certifying those would re-run the
+//     engine.  A passing trace therefore shows each step permits only
+//     correct outputs, not that it is exactly R / Rbar.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/certificate.hpp"
+
+namespace relb::io {
+
+struct VerifyReport {
+  bool ok = false;
+  /// Failed checks, in step order.  Empty iff ok.
+  std::vector<std::string> errors;
+  /// Passed checks, human-readable (for --verbose output and the tests).
+  std::vector<std::string> checks;
+  /// family-chain only: the round lower bound the verified chain proves.
+  re::Count provenRounds = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs every check applicable to `cert.kind` (see the contract above).
+/// Never throws on a *failed check* -- failures land in `errors`; throws
+/// re::Error only on structurally impossible input (e.g. an unknown kind,
+/// which certificateFromJson already rejects).
+[[nodiscard]] VerifyReport verifyCertificate(const Certificate& cert);
+
+/// The verifier's own reconstruction of Pi_Delta(a, x) from the paper
+/// (Section 3.1).  Intentionally independent of core::familyProblem.
+[[nodiscard]] re::Problem reconstructFamilyProblem(re::Count delta,
+                                                   re::Count a, re::Count x);
+
+}  // namespace relb::io

@@ -1,0 +1,107 @@
+#include "re/edge_compat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "re/antichain.hpp"
+
+namespace relb::re {
+
+std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
+                                        int alphabetSize) {
+  if (edge.degree() != 2) throw Error("edgeCompatibility: degree != 2");
+  std::vector<LabelSet> compat(static_cast<std::size_t>(alphabetSize));
+  for (int a = 0; a < alphabetSize; ++a) {
+    for (int b = a; b < alphabetSize; ++b) {
+      Word w(static_cast<std::size_t>(alphabetSize), 0);
+      ++w[static_cast<std::size_t>(a)];
+      ++w[static_cast<std::size_t>(b)];
+      if (edge.containsWord(w)) {
+        compat[static_cast<std::size_t>(a)].insert(static_cast<Label>(b));
+        compat[static_cast<std::size_t>(b)].insert(static_cast<Label>(a));
+      }
+    }
+  }
+  return compat;
+}
+
+std::vector<std::pair<LabelSet, LabelSet>> detail::maximalEdgePairsFromCompat(
+    const std::vector<LabelSet>& compat, int alphabetSize, int numThreads) {
+  if (alphabetSize > 20) {
+    throw Error("maximalEdgePairs: alphabet too large to enumerate subsets");
+  }
+  using Pair = std::pair<LabelSet, LabelSet>;
+  // partner(A) = intersection of compat[a] over a in A: the unique largest
+  // set pairable with A.  Maximal pairs are the Galois-closed pairs
+  // (A, partner(A)) with A = partner(partner(A)).
+  const auto partner = [&](LabelSet a) {
+    LabelSet out = LabelSet::full(alphabetSize);
+    forEachLabel(a, [&](Label l) { out = out & compat[l]; });
+    return out;
+  };
+  // Subset sweep + Galois closure, fanned out over contiguous mask ranges.
+  // Every chunk deduplicates locally; the final sort + unique makes the
+  // result independent of the fan-out width.
+  const std::uint32_t count = std::uint32_t{1} << alphabetSize;
+  std::vector<Pair> pairs = util::parallel_reduce(
+      numThreads, static_cast<std::size_t>(count) - 1, std::vector<Pair>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<Pair> local;
+        for (std::size_t m = begin; m < end; ++m) {
+          const LabelSet a(static_cast<std::uint32_t>(m) + 1);
+          const LabelSet b = partner(a);
+          if (b.empty()) continue;
+          const LabelSet closedA = partner(b);
+          assert(partner(closedA) == b);
+          const auto p = std::minmax(closedA, b);
+          local.emplace_back(p.first, p.second);
+        }
+        std::sort(local.begin(), local.end());
+        local.erase(std::unique(local.begin(), local.end()), local.end());
+        return local;
+      },
+      [](std::vector<Pair> acc, std::vector<Pair> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  // Galois-closed pairs are maximal against same-orientation growth by
+  // construction, but an unordered configuration can still be dominated in
+  // the swapped orientation; filter those out.  Bucketed by union signature
+  // (domination implies union inclusion) and fanned out per candidate.
+  std::vector<std::uint32_t> signatures(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    signatures[i] = (pairs[i].first | pairs[i].second).bits();
+  }
+  const detail::SignatureBuckets buckets(signatures);
+  std::vector<char> dominated(pairs.size(), 0);
+  util::parallel_for(numThreads, pairs.size(), [&](std::size_t i) {
+    const Pair& p = pairs[i];
+    dominated[i] = buckets.anyInSupersetBucket(
+        signatures[i], [&](std::size_t j) {
+          if (j == i) return false;  // pairs are distinct after unique
+          const Pair& q = pairs[j];
+          const bool straight =
+              p.first.subsetOf(q.first) && p.second.subsetOf(q.second);
+          const bool swapped =
+              p.first.subsetOf(q.second) && p.second.subsetOf(q.first);
+          return straight || swapped;
+        });
+  });
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (!dominated[i]) out.push_back(pairs[i]);
+  }
+  return out;
+}
+
+std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
+    const Constraint& edge, int alphabetSize, int numThreads) {
+  return detail::maximalEdgePairsFromCompat(
+      edgeCompatibility(edge, alphabetSize), alphabetSize, numThreads);
+}
+
+}  // namespace relb::re

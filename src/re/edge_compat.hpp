@@ -1,0 +1,43 @@
+// Low-level edge-constraint analyses: the degree-2 compatibility matrix and
+// the maximal compatible pairs (the edge side of the R operator, but also a
+// plain combinatorial fact about an edge constraint).
+//
+// These live below the speedup engine: zero-round analysis (zero_round.cpp)
+// and the independent certificate verifier link them without pulling in
+// re_step.cpp / engine.cpp.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "re/constraint.hpp"
+#include "util/thread_pool.hpp"
+
+namespace relb::re {
+
+/// The degree-2 compatibility matrix of an edge constraint:
+/// compat[a] = set of labels b such that the word {a, b} is allowed.
+[[nodiscard]] std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
+                                                      int alphabetSize);
+
+/// The maximal edge configurations of R(Pi) as unordered pairs of label sets
+/// (before renaming): the Galois-closed pairs (A, B) with A x B
+/// edge-compatible, filtered for swapped-orientation domination.  Exact for
+/// any Delta.  `numThreads` follows the engine-wide convention of
+/// util::kDefaultNumThreads (0 = one thread per core); results are
+/// bit-identical for every width.
+[[nodiscard]] std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
+    const Constraint& edge, int alphabetSize,
+    int numThreads = util::kDefaultNumThreads);
+
+namespace detail {
+
+/// Body of maximalEdgePairs on a precomputed compatibility matrix; shared
+/// with applyR, whose engine context may have the matrix cached.
+[[nodiscard]] std::vector<std::pair<LabelSet, LabelSet>>
+maximalEdgePairsFromCompat(const std::vector<LabelSet>& compat,
+                           int alphabetSize, int numThreads);
+
+}  // namespace detail
+
+}  // namespace relb::re

@@ -33,6 +33,9 @@ std::string CacheStats::describe() const {
   out += line("zero-round analyses", zeroRoundHits, zeroRoundMisses);
   out += line("canonical forms", canonicalHits, canonicalMisses);
   out += "interned problems: " + std::to_string(internedProblems) + "\n";
+  out += "step store: " + std::to_string(storeHits) + " hits / " +
+         std::to_string(storeMisses) + " misses / " +
+         std::to_string(storeWrites) + " writes\n";
   return out;
 }
 
@@ -88,6 +91,9 @@ struct EngineContext::Impl {
   std::unordered_map<std::uint64_t, std::vector<CanonicalEntry>> canonicals;
   std::unordered_map<std::uint64_t, std::vector<Problem>> interned;
   CacheStats stats;
+  /// Durable write-through backing; consulted on memo misses.  Load/store
+  /// calls run OUTSIDE the mutex (the storage is thread-safe by contract).
+  std::shared_ptr<StepStorage> storage;
 };
 
 EngineContext::EngineContext(PassOptions options)
@@ -95,8 +101,15 @@ EngineContext::EngineContext(PassOptions options)
 
 EngineContext::~EngineContext() = default;
 
+void EngineContext::attachStore(std::shared_ptr<StepStorage> store) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->storage = std::move(store);
+}
+
 StepResult EngineContext::applyR(const Problem& p) {
-  const std::uint64_t key = mixKey(0, structuralHash(p));
+  const std::uint64_t hash = structuralHash(p);
+  const std::uint64_t key = mixKey(0, hash);
+  std::shared_ptr<StepStorage> storage;
   {
     std::lock_guard lock(impl_->mutex);
     const auto it = impl_->steps.find(key);
@@ -108,17 +121,38 @@ StepResult EngineContext::applyR(const Problem& p) {
         }
       }
     }
+    storage = impl_->storage;
+  }
+  if (storage != nullptr) {
+    if (auto loaded = storage->loadStep(0, p, hash, options_)) {
+      std::lock_guard lock(impl_->mutex);
+      ++impl_->stats.storeHits;
+      impl_->steps[key].push_back({0, p, options_.maxRbarDelta,
+                                   options_.enumerationLimit, *loaded});
+      return *std::move(loaded);
+    }
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.storeMisses;
   }
   StepResult result = detail::applyRImpl(p, options_, this);
-  std::lock_guard lock(impl_->mutex);
-  ++impl_->stats.stepMisses;
-  impl_->steps[key].push_back(
-      {0, p, options_.maxRbarDelta, options_.enumerationLimit, result});
+  {
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.stepMisses;
+    impl_->steps[key].push_back(
+        {0, p, options_.maxRbarDelta, options_.enumerationLimit, result});
+  }
+  if (storage != nullptr) {
+    storage->storeStep(0, p, hash, options_, result);
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.storeWrites;
+  }
   return result;
 }
 
 StepResult EngineContext::applyRbar(const Problem& p) {
-  const std::uint64_t key = mixKey(1, structuralHash(p));
+  const std::uint64_t hash = structuralHash(p);
+  const std::uint64_t key = mixKey(1, hash);
+  std::shared_ptr<StepStorage> storage;
   {
     std::lock_guard lock(impl_->mutex);
     const auto it = impl_->steps.find(key);
@@ -132,12 +166,31 @@ StepResult EngineContext::applyRbar(const Problem& p) {
         }
       }
     }
+    storage = impl_->storage;
+  }
+  if (storage != nullptr) {
+    if (auto loaded = storage->loadStep(1, p, hash, options_)) {
+      std::lock_guard lock(impl_->mutex);
+      ++impl_->stats.storeHits;
+      impl_->steps[key].push_back({1, p, options_.maxRbarDelta,
+                                   options_.enumerationLimit, *loaded});
+      return *std::move(loaded);
+    }
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.storeMisses;
   }
   StepResult result = detail::applyRbarImpl(p, options_, this);
-  std::lock_guard lock(impl_->mutex);
-  ++impl_->stats.stepMisses;
-  impl_->steps[key].push_back(
-      {1, p, options_.maxRbarDelta, options_.enumerationLimit, result});
+  {
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.stepMisses;
+    impl_->steps[key].push_back(
+        {1, p, options_.maxRbarDelta, options_.enumerationLimit, result});
+  }
+  if (storage != nullptr) {
+    storage->storeStep(1, p, hash, options_, result);
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.storeWrites;
+  }
   return result;
 }
 
@@ -229,8 +282,10 @@ std::vector<LabelSet> EngineContext::rightClosedSets(
 }
 
 bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
+  const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key =
-      mixKey(static_cast<std::uint64_t>(mode) + 7, structuralHash(p));
+      mixKey(static_cast<std::uint64_t>(mode) + 7, hash);
+  std::shared_ptr<StepStorage> storage;
   {
     std::lock_guard lock(impl_->mutex);
     const auto it = impl_->zeroRound.find(key);
@@ -242,6 +297,17 @@ bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
         }
       }
     }
+    storage = impl_->storage;
+  }
+  if (storage != nullptr) {
+    if (const auto loaded = storage->loadZeroRound(mode, p, hash)) {
+      std::lock_guard lock(impl_->mutex);
+      ++impl_->stats.storeHits;
+      impl_->zeroRound[key].push_back({p, mode, *loaded});
+      return *loaded;
+    }
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.storeMisses;
   }
   bool solvable = false;
   switch (mode) {
@@ -255,9 +321,16 @@ bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
       solvable = zeroRoundSolvableWithEdgeInputs(p);
       break;
   }
-  std::lock_guard lock(impl_->mutex);
-  ++impl_->stats.zeroRoundMisses;
-  impl_->zeroRound[key].push_back({p, mode, solvable});
+  {
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.zeroRoundMisses;
+    impl_->zeroRound[key].push_back({p, mode, solvable});
+  }
+  if (storage != nullptr) {
+    storage->storeZeroRound(mode, p, hash, solvable);
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.storeWrites;
+  }
   return solvable;
 }
 

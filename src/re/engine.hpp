@@ -57,6 +57,10 @@ struct CacheStats {
   std::size_t canonicalHits = 0, canonicalMisses = 0;
   /// Distinct canonical forms interned so far.
   std::size_t internedProblems = 0;
+  /// Attached-store traffic (zero when no store is attached).  A store hit
+  /// fills the in-memory memo *without* counting a miss: "0 misses" in a
+  /// warm-store run means zero recomputations.
+  std::size_t storeHits = 0, storeMisses = 0, storeWrites = 0;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -68,6 +72,39 @@ enum class ZeroRoundMode {
   kWithEdgeInputs,
 };
 
+/// Durable backing for the step memo and the zero-round cache.  An attached
+/// storage is consulted on every in-memory miss and written through on every
+/// computation, making results survive across processes (see
+/// store/step_store.hpp for the on-disk implementation).
+///
+/// Contract:
+///   * `hash` is structuralHash(input); implementations key on it but MUST
+///     confirm equality against the stored input before reporting a hit (a
+///     collision must degrade to a miss, never to a wrong answer).
+///   * loadStep must only report a hit when the result is valid for
+///     `options` (for Rbar: equal maxRbarDelta and enumerationLimit;
+///     numThreads never affects results and must be ignored).
+///   * All methods may be called concurrently from engine worker threads.
+///   * A load returning std::nullopt means "recompute"; corrupt entries
+///     must not throw out of loads.
+class StepStorage {
+ public:
+  virtual ~StepStorage() = default;
+
+  /// `kind` is 0 for R, 1 for Rbar (matching the in-memory memo).
+  [[nodiscard]] virtual std::optional<StepResult> loadStep(
+      int kind, const Problem& input, std::uint64_t hash,
+      const StepOptions& options) = 0;
+  virtual void storeStep(int kind, const Problem& input, std::uint64_t hash,
+                         const StepOptions& options,
+                         const StepResult& result) = 0;
+
+  [[nodiscard]] virtual std::optional<bool> loadZeroRound(
+      ZeroRoundMode mode, const Problem& input, std::uint64_t hash) = 0;
+  virtual void storeZeroRound(ZeroRoundMode mode, const Problem& input,
+                              std::uint64_t hash, bool solvable) = 0;
+};
+
 class EngineContext {
  public:
   explicit EngineContext(PassOptions options = {});
@@ -77,6 +114,12 @@ class EngineContext {
   EngineContext& operator=(const EngineContext&) = delete;
 
   [[nodiscard]] const PassOptions& options() const { return options_; }
+
+  /// Attaches (or, with nullptr, detaches) a durable step store.  Attaching
+  /// is transparent to every consumer: results are bit-identical with and
+  /// without a store; only the stats change.  Safe to call at any time, but
+  /// results cached in memory before attachment are not written back.
+  void attachStore(std::shared_ptr<StepStorage> store);
 
   // -- Memoized speedup operators (bit-identical to the free functions) ----
 

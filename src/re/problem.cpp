@@ -7,10 +7,27 @@ namespace relb::re {
 
 namespace {
 
+// Every diagnostic carries where (context = "<section> line N" from
+// Problem::parse, empty for direct parseConfiguration calls), the 1-based
+// column, and the offending token, e.g.
+//   parse: node constraint line 2, column 5: bad exponent 'x' in 'O^x'
+[[noreturn]] void parseFail(std::string_view context, std::size_t column,
+                            const std::string& what) {
+  std::string msg = "parse: ";
+  if (!context.empty()) msg += std::string(context) + ", ";
+  msg += "column " + std::to_string(column) + ": " + what;
+  throw Error(msg);
+}
+
+struct Token {
+  std::string text;
+  std::size_t column;  // 1-based position within the line
+};
+
 // Splits a line into whitespace-separated raw tokens, keeping bracketed
 // disjunctions (which may contain spaces) together.
-std::vector<std::string> tokenize(std::string_view line) {
-  std::vector<std::string> tokens;
+std::vector<Token> tokenize(std::string_view line, std::string_view context) {
+  std::vector<Token> tokens;
   std::size_t i = 0;
   while (i < line.size()) {
     if (std::isspace(static_cast<unsigned char>(line[i]))) {
@@ -20,7 +37,7 @@ std::vector<std::string> tokenize(std::string_view line) {
     std::size_t j = i;
     if (line[i] == '[') {
       while (j < line.size() && line[j] != ']') ++j;
-      if (j == line.size()) throw Error("parse: unterminated '['");
+      if (j == line.size()) parseFail(context, i + 1, "unterminated '['");
       ++j;  // include ']'
       // Optional exponent suffix.
       while (j < line.size() &&
@@ -33,40 +50,48 @@ std::vector<std::string> tokenize(std::string_view line) {
         ++j;
       }
     }
-    tokens.emplace_back(line.substr(i, j - i));
+    tokens.push_back({std::string(line.substr(i, j - i)), i + 1});
     i = j;
   }
   return tokens;
 }
 
-Count parseExponent(std::string_view text) {
-  if (text.empty()) throw Error("parse: empty exponent");
+Count parseExponent(std::string_view text, std::string_view context,
+                    const Token& token) {
+  if (text.empty()) {
+    parseFail(context, token.column, "empty exponent in '" + token.text + "'");
+  }
   Count value = 0;
   for (char ch : text) {
     if (!std::isdigit(static_cast<unsigned char>(ch))) {
-      throw Error("parse: bad exponent '" + std::string(text) + "'");
+      parseFail(context, token.column,
+                "bad exponent '" + std::string(text) + "' in '" + token.text +
+                    "'");
     }
     value = value * 10 + (ch - '0');
-    if (value > (Count{1} << 62)) throw Error("parse: exponent too large");
+    if (value > (Count{1} << 62)) {
+      parseFail(context, token.column,
+                "exponent too large in '" + token.text + "'");
+    }
   }
   return value;
 }
 
-}  // namespace
-
-Configuration parseConfiguration(std::string_view line, Alphabet& alphabet) {
+Configuration parseConfigurationImpl(std::string_view line, Alphabet& alphabet,
+                                     std::string_view context) {
   std::vector<Group> groups;
-  for (const std::string& token : tokenize(line)) {
-    std::string_view body = token;
+  for (const Token& token : tokenize(line, context)) {
+    std::string_view body = token.text;
     Count count = 1;
     if (auto caret = body.rfind('^'); caret != std::string_view::npos) {
-      count = parseExponent(body.substr(caret + 1));
+      count = parseExponent(body.substr(caret + 1), context, token);
       body = body.substr(0, caret);
     }
     LabelSet set;
     if (!body.empty() && body.front() == '[') {
       if (body.size() < 2 || body.back() != ']') {
-        throw Error("parse: malformed disjunction '" + token + "'");
+        parseFail(context, token.column,
+                  "malformed disjunction '" + token.text + "'");
       }
       const std::string_view inner = body.substr(1, body.size() - 2);
       if (inner.find(' ') != std::string_view::npos) {
@@ -80,14 +105,27 @@ Configuration parseConfiguration(std::string_view line, Alphabet& alphabet) {
         }
       }
     } else {
-      if (body.empty()) throw Error("parse: empty token");
+      if (body.empty()) {
+        parseFail(context, token.column, "empty token '" + token.text + "'");
+      }
       set.insert(alphabet.getOrAdd(body));
     }
-    if (set.empty()) throw Error("parse: empty disjunction in '" + token + "'");
+    if (set.empty()) {
+      parseFail(context, token.column,
+                "empty disjunction in '" + token.text + "'");
+    }
     groups.push_back({set, count});
   }
-  if (groups.empty()) throw Error("parse: empty configuration line");
+  if (groups.empty()) {
+    parseFail(context, 1, "empty configuration line");
+  }
   return Configuration(std::move(groups));
+}
+
+}  // namespace
+
+Configuration parseConfiguration(std::string_view line, Alphabet& alphabet) {
+  return parseConfigurationImpl(line, alphabet, {});
 }
 
 void Problem::validate() const {
@@ -102,19 +140,30 @@ void Problem::validate() const {
 Problem Problem::parse(std::string_view nodeConstraint,
                        std::string_view edgeConstraint) {
   Problem p;
-  auto parseLines = [&](std::string_view text) {
+  auto parseLines = [&](std::string_view text, const char* section) {
     std::vector<Configuration> configs;
     std::istringstream iss{std::string(text)};
     std::string line;
+    std::size_t lineNo = 0;
     while (std::getline(iss, line)) {
+      ++lineNo;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       if (line.starts_with('#')) continue;
-      configs.push_back(parseConfiguration(line, p.alphabet));
+      const std::string context =
+          std::string(section) + " line " + std::to_string(lineNo);
+      configs.push_back(parseConfigurationImpl(line, p.alphabet, context));
+      if (configs.size() > 1 &&
+          configs.back().degree() != configs.front().degree()) {
+        throw Error("parse: " + context + ": configuration degree " +
+                    std::to_string(configs.back().degree()) +
+                    " differs from the section's first configuration (" +
+                    std::to_string(configs.front().degree()) + ")");
+      }
     }
     return configs;
   };
-  auto nodeConfigs = parseLines(nodeConstraint);
-  auto edgeConfigs = parseLines(edgeConstraint);
+  auto nodeConfigs = parseLines(nodeConstraint, "node constraint");
+  auto edgeConfigs = parseLines(edgeConstraint, "edge constraint");
   if (nodeConfigs.empty()) throw Error("parse: no node configurations");
   if (edgeConfigs.empty()) throw Error("parse: no edge configurations");
   const Count delta = nodeConfigs.front().degree();

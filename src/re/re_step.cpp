@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "re/antichain.hpp"
 #include "re/engine.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,45 +15,7 @@ namespace relb::re {
 
 namespace {
 
-// Candidate indices bucketed by a 32-bit union signature.  In both
-// maximality filters below, "q dominates p" forces union(p) subsetOf
-// union(q), so a candidate only needs to be compared against buckets whose
-// signature is a superset of its own.  This turns the quadratic all-pairs
-// filters into an antichain prune: with U distinct signatures and candidates
-// spread across them, the scan cost drops from O(P^2) domination tests to
-// O(P * U) signature tests plus tests against plausibly-dominating buckets.
-class SignatureBuckets {
- public:
-  explicit SignatureBuckets(const std::vector<std::uint32_t>& signatures) {
-    std::unordered_map<std::uint32_t, std::size_t> index;
-    for (std::size_t i = 0; i < signatures.size(); ++i) {
-      const auto [it, fresh] =
-          index.emplace(signatures[i], signatures_.size());
-      if (fresh) {
-        signatures_.push_back(signatures[i]);
-        members_.emplace_back();
-      }
-      members_[it->second].push_back(i);
-    }
-  }
-
-  /// Applies `visit(j)` to every candidate j whose signature is a superset
-  /// of `sig`, until one returns true; returns whether any did.
-  template <typename Visit>
-  bool anyInSupersetBucket(std::uint32_t sig, Visit&& visit) const {
-    for (std::size_t b = 0; b < signatures_.size(); ++b) {
-      if ((sig & ~signatures_[b]) != 0) continue;
-      for (const std::size_t j : members_[b]) {
-        if (visit(j)) return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  std::vector<std::uint32_t> signatures_;
-  std::vector<std::vector<std::size_t>> members_;
-};
+using detail::SignatureBuckets;
 
 // Builds the fresh alphabet for a collection of label sets over the old
 // alphabet.  Singletons keep their old name; larger sets get a parenthesized
@@ -111,106 +74,6 @@ Constraint replaceConstraint(const Constraint& constraint,
 
 }  // namespace
 
-std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
-                                        int alphabetSize) {
-  if (edge.degree() != 2) throw Error("edgeCompatibility: degree != 2");
-  std::vector<LabelSet> compat(static_cast<std::size_t>(alphabetSize));
-  for (int a = 0; a < alphabetSize; ++a) {
-    for (int b = a; b < alphabetSize; ++b) {
-      Word w(static_cast<std::size_t>(alphabetSize), 0);
-      ++w[static_cast<std::size_t>(a)];
-      ++w[static_cast<std::size_t>(b)];
-      if (edge.containsWord(w)) {
-        compat[static_cast<std::size_t>(a)].insert(static_cast<Label>(b));
-        compat[static_cast<std::size_t>(b)].insert(static_cast<Label>(a));
-      }
-    }
-  }
-  return compat;
-}
-
-namespace {
-
-std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairsFromCompat(
-    const std::vector<LabelSet>& compat, int alphabetSize, int numThreads) {
-  if (alphabetSize > 20) {
-    throw Error("maximalEdgePairs: alphabet too large to enumerate subsets");
-  }
-  using Pair = std::pair<LabelSet, LabelSet>;
-  // partner(A) = intersection of compat[a] over a in A: the unique largest
-  // set pairable with A.  Maximal pairs are the Galois-closed pairs
-  // (A, partner(A)) with A = partner(partner(A)).
-  const auto partner = [&](LabelSet a) {
-    LabelSet out = LabelSet::full(alphabetSize);
-    forEachLabel(a, [&](Label l) { out = out & compat[l]; });
-    return out;
-  };
-  // Subset sweep + Galois closure, fanned out over contiguous mask ranges.
-  // Every chunk deduplicates locally; the final sort + unique makes the
-  // result independent of the fan-out width.
-  const std::uint32_t count = std::uint32_t{1} << alphabetSize;
-  std::vector<Pair> pairs = util::parallel_reduce(
-      numThreads, static_cast<std::size_t>(count) - 1, std::vector<Pair>{},
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<Pair> local;
-        for (std::size_t m = begin; m < end; ++m) {
-          const LabelSet a(static_cast<std::uint32_t>(m) + 1);
-          const LabelSet b = partner(a);
-          if (b.empty()) continue;
-          const LabelSet closedA = partner(b);
-          assert(partner(closedA) == b);
-          const auto p = std::minmax(closedA, b);
-          local.emplace_back(p.first, p.second);
-        }
-        std::sort(local.begin(), local.end());
-        local.erase(std::unique(local.begin(), local.end()), local.end());
-        return local;
-      },
-      [](std::vector<Pair> acc, std::vector<Pair> part) {
-        acc.insert(acc.end(), part.begin(), part.end());
-        return acc;
-      });
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-
-  // Galois-closed pairs are maximal against same-orientation growth by
-  // construction, but an unordered configuration can still be dominated in
-  // the swapped orientation; filter those out.  Bucketed by union signature
-  // (domination implies union inclusion) and fanned out per candidate.
-  std::vector<std::uint32_t> signatures(pairs.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    signatures[i] = (pairs[i].first | pairs[i].second).bits();
-  }
-  const SignatureBuckets buckets(signatures);
-  std::vector<char> dominated(pairs.size(), 0);
-  util::parallel_for(numThreads, pairs.size(), [&](std::size_t i) {
-    const Pair& p = pairs[i];
-    dominated[i] = buckets.anyInSupersetBucket(
-        signatures[i], [&](std::size_t j) {
-          if (j == i) return false;  // pairs are distinct after unique
-          const Pair& q = pairs[j];
-          const bool straight =
-              p.first.subsetOf(q.first) && p.second.subsetOf(q.second);
-          const bool swapped =
-              p.first.subsetOf(q.second) && p.second.subsetOf(q.first);
-          return straight || swapped;
-        });
-  });
-  std::vector<Pair> out;
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (!dominated[i]) out.push_back(pairs[i]);
-  }
-  return out;
-}
-
-}  // namespace
-
-std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
-    const Constraint& edge, int alphabetSize, int numThreads) {
-  return maximalEdgePairsFromCompat(edgeCompatibility(edge, alphabetSize),
-                                    alphabetSize, numThreads);
-}
-
 StepResult detail::applyRImpl(const Problem& p, const StepOptions& options,
                               EngineContext* ctx) {
   p.validate();
@@ -218,7 +81,7 @@ StepResult detail::applyRImpl(const Problem& p, const StepOptions& options,
   const auto compat = ctx != nullptr ? ctx->edgeCompatibility(p.edge, n)
                                      : edgeCompatibility(p.edge, n);
   const auto pairs =
-      maximalEdgePairsFromCompat(compat, n, options.numThreads);
+      detail::maximalEdgePairsFromCompat(compat, n, options.numThreads);
   if (pairs.empty()) {
     throw Error("applyR: empty edge constraint after maximization");
   }

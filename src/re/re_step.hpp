@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "re/diagram.hpp"
+#include "re/edge_compat.hpp"
 #include "re/problem.hpp"
 #include "util/thread_pool.hpp"
 
@@ -70,19 +71,10 @@ struct StepOptions {
 [[nodiscard]] Problem speedupStep(const Problem& p,
                                   const StepOptions& options = {});
 
-/// The degree-2 compatibility matrix of an edge constraint:
-/// compat[a] = set of labels b such that the word {a, b} is allowed.
-[[nodiscard]] std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
-                                                      int alphabetSize);
-
-/// Helper shared with the symbolic pipeline: the maximal edge configurations
-/// of R(Pi) as unordered pairs of label sets (before renaming).  Exact for
-/// any Delta.  `numThreads` follows the engine-wide convention of
-/// util::kDefaultNumThreads (0 = one thread per core), the same default the
-/// pipeline uses; results are bit-identical for every width.
-[[nodiscard]] std::vector<std::pair<LabelSet, LabelSet>> maximalEdgePairs(
-    const Constraint& edge, int alphabetSize,
-    int numThreads = util::kDefaultNumThreads);
+// edgeCompatibility and maximalEdgePairs moved to re/edge_compat.hpp
+// (included above): they are plain combinatorial facts about an edge
+// constraint, usable by consumers -- zero-round analysis, the certificate
+// verifier -- that must not link the speedup engine.
 
 namespace detail {
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "re/re_step.hpp"
+#include "re/edge_compat.hpp"
 
 namespace relb::re {
 

@@ -1,0 +1,99 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "re/types.hpp"
+
+namespace relb::io {
+namespace {
+
+TEST(Json, DumpParseRoundTrip) {
+  Json obj = Json::object();
+  obj.set("name", "relb");
+  obj.set("count", std::int64_t{42});
+  obj.set("negative", std::int64_t{-7});
+  obj.set("flag", true);
+  obj.set("nothing", nullptr);
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push(2);
+  arr.push("three");
+  obj.set("items", std::move(arr));
+
+  const std::string compact = obj.dump();
+  EXPECT_EQ(Json::parse(compact), obj);
+  // Pretty form parses back to the same value too.
+  EXPECT_EQ(Json::parse(obj.dumpPretty()), obj);
+  // Determinism: dumping the reparsed value reproduces the bytes.
+  EXPECT_EQ(Json::parse(compact).dump(), compact);
+}
+
+TEST(Json, ObjectOrderIsPreserved) {
+  const Json j = Json::parse(R"({"z":1,"a":2,"m":3})");
+  EXPECT_EQ(j.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, StringEscapes) {
+  Json s("line\nbreak\ttab \"quote\" back\\slash");
+  EXPECT_EQ(Json::parse(s.dump()), s);
+  Json ctrl(std::string("\x01\x02", 2));
+  EXPECT_EQ(Json::parse(ctrl.dump()), ctrl);
+}
+
+TEST(Json, CheckedAccessorsThrow) {
+  const Json j(std::int64_t{1});
+  EXPECT_THROW((void)j.asString(), re::Error);
+  EXPECT_THROW((void)j.asArray(), re::Error);
+  EXPECT_EQ(j.asInt(), 1);
+}
+
+TEST(Json, MissingMemberThrows) {
+  const Json j = Json::parse(R"({"a":1})");
+  EXPECT_NE(j.find("a"), nullptr);
+  EXPECT_EQ(j.find("b"), nullptr);
+  EXPECT_THROW((void)j.at("b"), re::Error);
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    (void)Json::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "expected duplicate-key error";
+  } catch (const re::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+  try {
+    (void)Json::parse("[1, 2,\n 3, oops]");
+    FAIL() << "expected literal error";
+  } catch (const re::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, RejectsNonIntegerNumbers) {
+  EXPECT_THROW((void)Json::parse("1.5"), re::Error);
+  EXPECT_THROW((void)Json::parse("1e3"), re::Error);
+  EXPECT_THROW((void)Json::parse("9223372036854775808"), re::Error);
+  EXPECT_EQ(Json::parse("-9223372036854775807").asInt(),
+            -9223372036854775807LL);
+}
+
+TEST(Json, RejectsTrailingContentAndDeepNesting) {
+  EXPECT_THROW((void)Json::parse("{} x"), re::Error);
+  std::string deep(70, '[');
+  deep += std::string(70, ']');
+  EXPECT_THROW((void)Json::parse(deep), re::Error);
+}
+
+TEST(Fnv1a64, KnownValuesAndStability) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64Hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a64Hex("a"), "af63dc4c8601ec8c");
+  // Sensitivity: a one-byte change flips the checksum.
+  EXPECT_NE(fnv1a64Hex("relb"), fnv1a64Hex("relc"));
+}
+
+}  // namespace
+}  // namespace relb::io

@@ -1,0 +1,144 @@
+// The round-trip guarantee: parse(serialize(P)) == P, for the JSON format
+// (always) and the text format with alphabet header (whenever label names
+// are whitespace-free) -- exercised over the paper's family sweep and over
+// genuine R / Rbar outputs whose alphabets are machine-generated.
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/family.hpp"
+#include "re/re_step.hpp"
+
+namespace relb::io {
+namespace {
+
+using re::Problem;
+
+void expectRoundTrip(const Problem& p) {
+  const Json j = problemToJson(p);
+  const Problem back = problemFromJson(j);
+  EXPECT_EQ(back, p);
+  // Through actual bytes, compact and pretty.
+  EXPECT_EQ(problemFromJson(Json::parse(j.dump())), p);
+  EXPECT_EQ(problemFromJson(Json::parse(j.dumpPretty())), p);
+
+  // The text format only admits whitespace-free label names; R / Rbar
+  // outputs with synthetic names like "(M (MO))" are JSON-only.
+  const auto names = p.alphabet.names();
+  const bool textable = std::ranges::all_of(names, [](const std::string& n) {
+    return n.find_first_of(" \t\n") == std::string::npos;
+  });
+  if (textable) {
+    EXPECT_EQ(parseProblemText(renderProblemText(p)), p);
+  } else {
+    EXPECT_THROW((void)renderProblemText(p), re::Error);
+  }
+}
+
+TEST(SerializeRoundTrip, FamilySweep) {
+  for (re::Count delta : {3, 4, 7, 16, 32}) {
+    for (re::Count a = 0; a <= delta; a += (delta > 8 ? 5 : 1)) {
+      for (re::Count x = 0; x <= delta; x += (delta > 8 ? 7 : 1)) {
+        expectRoundTrip(core::familyProblem(delta, a, x));
+      }
+    }
+  }
+}
+
+TEST(SerializeRoundTrip, FamilyPlusAndClassics) {
+  expectRoundTrip(core::familyPlusProblem(6, 3, 1));
+  expectRoundTrip(re::misProblem(3));
+  expectRoundTrip(re::misProblem(5));
+  expectRoundTrip(re::sinklessOrientationProblem(3));
+}
+
+TEST(SerializeRoundTrip, SpeedupOutputs) {
+  // R / Rbar outputs have synthetic alphabets and condensed configurations
+  // with non-trivial group sets -- the harder round-trip cases.
+  re::Problem p = re::misProblem(3);
+  for (int i = 0; i < 3; ++i) {
+    const re::StepResult r = re::applyR(p);
+    expectRoundTrip(r.problem);
+    const re::StepResult rbar = re::applyRbar(r.problem);
+    expectRoundTrip(rbar.problem);
+    p = rbar.problem;
+    if (p.alphabet.size() > 12) break;
+  }
+}
+
+TEST(SerializeRoundTrip, HugeExponentsSurvive) {
+  // Condensed exponents are 64-bit; the astronomically-large-degree
+  // problems must serialize without loss.
+  const re::Count delta = re::Count{1} << 60;
+  expectRoundTrip(core::familyProblem(delta, delta / 2, 3));
+}
+
+TEST(SerializeJson, RejectsTamperedDocuments) {
+  const Json good = problemToJson(core::familyProblem(4, 3, 1));
+
+  Json badVersion = good;
+  // Rebuild with a bumped version: parsers accept exactly kFormatVersion.
+  Json rebuilt = Json::object();
+  for (const auto& [key, value] : badVersion.asObject()) {
+    rebuilt.set(key, key == "version" ? Json(kFormatVersion + 1) : value);
+  }
+  EXPECT_THROW((void)problemFromJson(rebuilt), re::Error);
+
+  // Label index outside the alphabet.
+  std::string text = good.dump();
+  const auto pos = text.find("\"set\":[0]");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "\"set\":[9]");
+  EXPECT_THROW((void)problemFromJson(Json::parse(text)), re::Error);
+}
+
+TEST(SerializeText, HeaderPinsLabelOrder) {
+  // Without the header, Problem::parse registers labels by first
+  // appearance; the header restores the original order so operator==
+  // (which compares alphabets) holds.
+  re::Problem p;
+  p.alphabet = re::Alphabet({"Z", "A"});
+  const re::Label z = p.alphabet.at("Z");
+  const re::Label a = p.alphabet.at("A");
+  // First node configuration mentions only A, so a header-less reparse
+  // would register A before Z.
+  p.node = re::Constraint(2, {re::Configuration({{re::LabelSet{a}, 2}}),
+                              re::Configuration({{re::LabelSet{z}, 2}})});
+  p.edge = re::Constraint(2, {re::Configuration({{re::LabelSet{z, a}, 2}})});
+  p.validate();
+
+  const std::string text = renderProblemText(p);
+  EXPECT_TRUE(text.starts_with("# alphabet: Z A\n")) << text;
+  EXPECT_EQ(parseProblemText(text), p);
+
+  // The header is a comment: stripping it still parses (round-eliminator
+  // compatibility), merely with a different label order.
+  const std::string noHeader = text.substr(text.find('\n') + 1);
+  const re::Problem reordered = parseProblemText(noHeader);
+  EXPECT_EQ(reordered.alphabet.names(),
+            (std::vector<std::string>{"A", "Z"}));
+  EXPECT_NE(reordered, p);
+}
+
+TEST(SerializeText, RejectsUndeclaredAndUnserializableLabels) {
+  EXPECT_THROW((void)parseProblemText("# alphabet: M\nM M\n\nM M\n"
+                                      "Q Q\n"),
+               re::Error);
+
+  re::Problem p;
+  p.alphabet = re::Alphabet({"bad name"});
+  p.node = re::Constraint(2, {re::Configuration({{re::LabelSet{0}, 2}})});
+  p.edge = re::Constraint(2, {re::Configuration({{re::LabelSet{0}, 2}})});
+  EXPECT_THROW((void)renderProblemText(p), re::Error);
+}
+
+TEST(SerializeLabelSet, RoundTripAndBounds) {
+  const re::LabelSet s{0, 3, 7};
+  EXPECT_EQ(labelSetFromJson(labelSetToJson(s), 8), s);
+  EXPECT_THROW((void)labelSetFromJson(labelSetToJson(s), 7), re::Error);
+}
+
+}  // namespace
+}  // namespace relb::io

@@ -1,0 +1,112 @@
+// Negative parse tests: every diagnostic must name the section, the line,
+// the 1-based column, and quote the offending token, so that a malformed
+// problem file is fixable from the message alone.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "re/problem.hpp"
+
+namespace relb::re {
+namespace {
+
+std::string parseError(std::string_view node, std::string_view edge) {
+  try {
+    (void)Problem::parse(node, edge);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse failure for node=" << node
+                << " edge=" << edge;
+  return {};
+}
+
+void expectContains(const std::string& message, const std::string& needle) {
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "message: " << message << "\nexpected to contain: " << needle;
+}
+
+TEST(ParseErrors, BadExponentNamesLineColumnAndToken) {
+  const std::string msg = parseError("M M\nP O^x\n", "M M\n");
+  expectContains(msg, "node constraint line 2");
+  expectContains(msg, "column 3");
+  expectContains(msg, "bad exponent 'x' in 'O^x'");
+}
+
+TEST(ParseErrors, EmptyExponent) {
+  const std::string msg = parseError("M^ M\n", "M M\n");
+  expectContains(msg, "node constraint line 1");
+  expectContains(msg, "column 1");
+  expectContains(msg, "empty exponent in 'M^'");
+}
+
+TEST(ParseErrors, ExponentOverflow) {
+  const std::string msg =
+      parseError("M^99999999999999999999 M\n", "M M\n");
+  expectContains(msg, "exponent too large in 'M^99999999999999999999'");
+}
+
+TEST(ParseErrors, UnterminatedDisjunctionInEdgeSection) {
+  const std::string msg = parseError("M M\n", "M [PO\n");
+  expectContains(msg, "edge constraint line 1");
+  expectContains(msg, "column 3");
+  expectContains(msg, "unterminated '['");
+}
+
+TEST(ParseErrors, MalformedDisjunctionSuffix) {
+  // ']' followed by junk that is not '^count'.
+  const std::string msg = parseError("M M\n", "M [PO]x\n");
+  expectContains(msg, "edge constraint line 1");
+  expectContains(msg, "malformed disjunction '[PO]x'");
+}
+
+TEST(ParseErrors, EmptyDisjunction) {
+  const std::string msg = parseError("M []\n", "M M\n");
+  expectContains(msg, "node constraint line 1");
+  expectContains(msg, "column 3");
+  expectContains(msg, "empty disjunction in '[]'");
+}
+
+TEST(ParseErrors, DegreeMismatchWithinSection) {
+  const std::string msg = parseError("M M M\nP O\n", "M M\n");
+  expectContains(msg, "node constraint line 2");
+  expectContains(msg, "configuration degree 2");
+  expectContains(msg, "first configuration (3)");
+}
+
+TEST(ParseErrors, EmptySections) {
+  expectContains(parseError("", "M M\n"), "no node configurations");
+  expectContains(parseError("M M\n# only a comment\n", ""),
+                 "no edge configurations");
+}
+
+TEST(ParseErrors, CommentsAndBlankLinesDoNotShiftLineNumbers) {
+  // Line numbers refer to physical lines of the section text, so the
+  // diagnostic still points at the right place in the user's file.
+  const std::string msg = parseError("# header\n\nM M\nP O^\n", "M M\n");
+  expectContains(msg, "node constraint line 4");
+  expectContains(msg, "empty exponent in 'O^'");
+}
+
+TEST(ParseErrors, StandaloneConfigurationParser) {
+  Alphabet alphabet;
+  EXPECT_EQ(parseConfiguration("M^2 [PO]", alphabet).degree(), 3u);
+  try {
+    (void)parseConfiguration("M [X", alphabet);
+    FAIL() << "expected failure";
+  } catch (const Error& e) {
+    // No section context here; column and token still present.
+    expectContains(e.what(), "column 3");
+    expectContains(e.what(), "unterminated '['");
+  }
+}
+
+TEST(ParseErrors, GoodInputStillParses) {
+  // Guard against diagnostics firing on valid syntax.
+  const Problem p = Problem::parse("M^3\nP O^2\n", "M [P O]\nO O\n");
+  EXPECT_EQ(p.node.degree(), 3u);
+  EXPECT_EQ(p.alphabet.size(), 3u);
+}
+
+}  // namespace
+}  // namespace relb::re

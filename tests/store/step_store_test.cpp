@@ -1,0 +1,199 @@
+// DiskStepStore: persistence across contexts, crash safety (truncated and
+// corrupted entries are quarantined and recomputed, never trusted), and the
+// zero-recomputation guarantee for warm-store runs.
+#include "store/step_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/sequence.hpp"
+#include "io/certificate.hpp"
+#include "re/problem.hpp"
+
+namespace relb::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path freshDir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<fs::path> objectFiles(const fs::path& root) {
+  std::vector<fs::path> out;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(root / "objects")) {
+    if (entry.is_regular_file()) out.push_back(entry.path());
+  }
+  return out;
+}
+
+TEST(DiskStepStore, InitializesLayoutAndRejectsForeignFormat) {
+  const fs::path dir = freshDir("store-layout");
+  {
+    DiskStepStore store(dir);
+    EXPECT_TRUE(fs::exists(dir / "FORMAT"));
+    EXPECT_TRUE(fs::exists(dir / "objects"));
+    EXPECT_TRUE(fs::exists(dir / "quarantine"));
+    EXPECT_EQ(store.objectCount(), 0u);
+  }
+  // Reopening an existing store is fine.
+  DiskStepStore reopened(dir);
+  // A root stamped by some other (future) version is refused.
+  {
+    std::ofstream out(dir / "FORMAT", std::ios::trunc);
+    out << "relb-store 999\n";
+  }
+  EXPECT_THROW(DiskStepStore bad(dir), re::Error);
+}
+
+TEST(DiskStepStore, StepResultsPersistAcrossContexts) {
+  const fs::path dir = freshDir("store-persist");
+  const re::Problem p = re::misProblem(3);
+
+  re::StepResult coldR, coldRbar;
+  {
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<DiskStepStore>(dir));
+    coldR = ctx.applyR(p);
+    coldRbar = ctx.applyRbar(coldR.problem);
+    const auto stats = ctx.stats();
+    EXPECT_EQ(stats.stepMisses, 2u);
+    EXPECT_EQ(stats.storeHits, 0u);
+    EXPECT_EQ(stats.storeWrites, 2u);
+  }
+
+  // A brand-new context with the same store recomputes nothing.
+  re::EngineContext warm;
+  auto store = std::make_shared<DiskStepStore>(dir);
+  warm.attachStore(store);
+  const re::StepResult warmR = warm.applyR(p);
+  const re::StepResult warmRbar = warm.applyRbar(warmR.problem);
+  EXPECT_EQ(warmR.problem, coldR.problem);
+  EXPECT_EQ(warmR.meaning, coldR.meaning);
+  EXPECT_EQ(warmRbar.problem, coldRbar.problem);
+  EXPECT_EQ(warmRbar.meaning, coldRbar.meaning);
+  const auto stats = warm.stats();
+  EXPECT_EQ(stats.stepMisses, 0u) << "warm store must recompute nothing";
+  EXPECT_EQ(stats.storeHits, 2u);
+  EXPECT_EQ(store->stats().hits, 2u);
+
+  // Second lookup in the same context is served by the in-memory memo, not
+  // the disk.
+  (void)warm.applyR(p);
+  EXPECT_EQ(warm.stats().storeHits, 2u);
+  EXPECT_EQ(warm.stats().stepHits, 1u);
+}
+
+TEST(DiskStepStore, WarmChainCertificationRecomputesNothing) {
+  const fs::path dir = freshDir("store-chain");
+  const core::Chain chain = core::exactChain(32, 1);
+  std::string coldBytes, warmBytes;
+  {
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<DiskStepStore>(dir));
+    const auto cert = core::buildChainCertificate(chain, &ctx);
+    coldBytes = io::certificateToJson(cert).dumpPretty();
+    EXPECT_GT(ctx.stats().zeroRoundMisses, 0u);
+  }
+  {
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<DiskStepStore>(dir));
+    const auto cert = core::buildChainCertificate(chain, &ctx);
+    warmBytes = io::certificateToJson(cert).dumpPretty();
+    EXPECT_EQ(ctx.stats().zeroRoundMisses, 0u);
+    EXPECT_EQ(ctx.stats().stepMisses, 0u);
+    EXPECT_EQ(ctx.stats().storeHits, chain.steps.size());
+  }
+  EXPECT_EQ(coldBytes, warmBytes) << "certificates must be bit-identical "
+                                     "between cold- and warm-store runs";
+}
+
+TEST(DiskStepStore, TruncatedEntryIsQuarantinedAndRecomputed) {
+  const fs::path dir = freshDir("store-truncate");
+  const re::Problem p = re::misProblem(3);
+  re::StepResult expected;
+  {
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<DiskStepStore>(dir));
+    expected = ctx.applyR(p);
+  }
+  // Simulate a crash that left a half-written entry (bypassing the atomic
+  // writer on purpose).
+  const auto files = objectFiles(dir);
+  ASSERT_EQ(files.size(), 1u);
+  const std::string original = [&] {
+    std::ifstream in(files[0], std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::trunc);
+    out << original.substr(0, original.size() / 2);
+  }
+
+  auto store = std::make_shared<DiskStepStore>(dir);
+  re::EngineContext ctx;
+  ctx.attachStore(store);
+  const re::StepResult recomputed = ctx.applyR(p);
+  EXPECT_EQ(recomputed.problem, expected.problem);
+  EXPECT_EQ(recomputed.meaning, expected.meaning);
+  EXPECT_EQ(store->stats().quarantined, 1u);
+  EXPECT_EQ(ctx.stats().stepMisses, 1u);  // recomputed, not trusted
+  EXPECT_FALSE(fs::is_empty(dir / "quarantine"));
+  // The recomputation was written back: a third context gets a clean hit.
+  re::EngineContext again;
+  again.attachStore(std::make_shared<DiskStepStore>(dir));
+  (void)again.applyR(p);
+  EXPECT_EQ(again.stats().storeHits, 1u);
+  EXPECT_EQ(again.stats().stepMisses, 0u);
+}
+
+TEST(DiskStepStore, ChecksumMismatchIsQuarantined) {
+  const fs::path dir = freshDir("store-corrupt");
+  const re::Problem p = re::sinklessOrientationProblem(3);
+  {
+    re::EngineContext ctx;
+    ctx.attachStore(std::make_shared<DiskStepStore>(dir));
+    (void)ctx.zeroRoundSolvable(p, re::ZeroRoundMode::kSymmetricPorts);
+  }
+  const auto files = objectFiles(dir);
+  ASSERT_EQ(files.size(), 1u);
+  // Flip the verdict inside the payload; the checksum no longer matches.
+  std::string text = [&] {
+    std::ifstream in(files[0], std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  const auto pos = text.find("\"solvable\":false");
+  ASSERT_NE(pos, std::string::npos) << text;
+  text.replace(pos, 16, "\"solvable\":true ");
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  auto store = std::make_shared<DiskStepStore>(dir);
+  re::EngineContext ctx;
+  ctx.attachStore(store);
+  EXPECT_FALSE(ctx.zeroRoundSolvable(p, re::ZeroRoundMode::kSymmetricPorts))
+      << "tampered verdict must not be believed";
+  EXPECT_EQ(store->stats().quarantined, 1u);
+}
+
+TEST(DiskStepStore, DistinctZeroRoundModesDoNotCollide) {
+  const fs::path dir = freshDir("store-modes");
+  const re::Problem p = re::misProblem(3);
+  auto store = std::make_shared<DiskStepStore>(dir);
+  re::EngineContext ctx;
+  ctx.attachStore(store);
+  (void)ctx.zeroRoundSolvable(p, re::ZeroRoundMode::kSymmetricPorts);
+  (void)ctx.zeroRoundSolvable(p, re::ZeroRoundMode::kAdversarialPorts);
+  (void)ctx.zeroRoundSolvable(p, re::ZeroRoundMode::kWithEdgeInputs);
+  EXPECT_EQ(store->objectCount(), 3u);
+}
+
+}  // namespace
+}  // namespace relb::store
