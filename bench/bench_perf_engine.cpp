@@ -23,6 +23,8 @@
 #include "core/lemma6.hpp"
 #include "core/lemma8.hpp"
 #include "core/sequence.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "re/engine.hpp"
 #include "re/re_step.hpp"
 #include "re/cycle_verifier.hpp"
@@ -145,11 +147,40 @@ void BM_SpeedupStepMis(benchmark::State& state) {
 BENCHMARK(BM_SpeedupStepMis)
     ->ArgsProduct({{2, 3, 4}, {1, 0}});
 
+// Attaches per-iteration registry-counter deltas to a benchmark's JSON row,
+// so BENCH_speedup.json breaks each timing down into the work it measures
+// (configurations enumerated, antichain tests, labels produced).
+class CounterScope {
+ public:
+  explicit CounterScope(benchmark::State& state)
+      : state_(state), before_(obs::Registry::global().snapshot()) {}
+  ~CounterScope() {
+    const auto after = obs::Registry::global().snapshot();
+    const auto perIter = [&](const char* name) {
+      return benchmark::Counter(
+          static_cast<double>(after.counterValue(name) -
+                              before_.counterValue(name)),
+          benchmark::Counter::kAvgIterations);
+    };
+    state_.counters["rbar_candidates"] = perIter("re.rbar.candidates");
+    state_.counters["rbar_maximal"] = perIter("re.rbar.maximal");
+    state_.counters["antichain_tests"] = perIter("re.antichain.tests");
+    state_.counters["subsets_swept"] = perIter("re.r.subsets_swept");
+    state_.counters["labels_produced"] = perIter("re.labels.produced");
+    state_.counters["pool_batches"] = perIter("pool.batches");
+  }
+
+ private:
+  benchmark::State& state_;
+  obs::Registry::Snapshot before_;
+};
+
 void BM_SpeedupStepFamily(benchmark::State& state) {
   const re::Count delta = state.range(0);
   const auto pi = core::familyProblem(delta, delta / 2, 1);
   re::StepOptions options;
   options.numThreads = static_cast<int>(state.range(1));
+  const CounterScope counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(re::speedupStep(pi, options));
   }
@@ -167,6 +198,7 @@ void BM_MaximalEdgePairs(benchmark::State& state) {
   // matter.
   const int labels = static_cast<int>(state.range(0));
   const int numThreads = static_cast<int>(state.range(1));
+  const CounterScope counters(state);
   std::mt19937 rng(12345);
   std::bernoulli_distribution coin(0.35);
   re::Constraint edge(2, {});
@@ -191,6 +223,7 @@ void BM_CertifyChain(benchmark::State& state) {
   const re::Count delta = state.range(0);
   const int numThreads = static_cast<int>(state.range(1));
   const auto chain = core::exactChain(delta, 1);
+  const CounterScope counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::certifyChain(chain, numThreads));
   }
@@ -296,6 +329,51 @@ BENCHMARK(BM_CertifyChainWarmStore)
     ->Arg(1 << 10)
     ->Arg(1 << 20)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Observability overhead.  BM_ScopedSpanNoSink is the fast path every
+// instrumented hot path pays unconditionally -- it must stay in the
+// low-nanosecond range (tests/obs/overhead_test.cpp asserts the resulting
+// < 2% bound against certifyChain).  The sink rows bound what --trace adds.
+// ---------------------------------------------------------------------------
+
+void BM_ScopedSpanNoSink(benchmark::State& state) {
+  obs::Tracer tracer;  // no sinks: construction is one relaxed load
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench.span", tracer);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ScopedSpanNoSink);
+
+void BM_ScopedSpanNullSink(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.addSink(std::make_shared<obs::NullSink>());
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench.span", tracer);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ScopedSpanNullSink);
+
+void BM_ScopedSpanRingSink(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.addSink(std::make_shared<obs::RingBufferSink>(1024));
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench.span", tracer);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ScopedSpanRingSink);
+
+void BM_RegistryCounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::Registry::global().counter("bench.counter");
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_RegistryCounterAdd);
 
 }  // namespace
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Runs the serial-vs-parallel engine benchmarks and writes BENCH_speedup.json
-# (google-benchmark JSON) to the repository root.
+# (google-benchmark JSON) to the repository root, plus an observability
+# bundle: BENCH_report.json (the CLI's versioned run report for a reference
+# chain certification) and BENCH_trace.json (the matching Chrome trace).
 #
 # Usage:  bench/run_bench.sh [build-dir] [extra benchmark flags...]
 #
@@ -10,9 +12,12 @@
 # The captured benchmarks are the ones whose second argument is
 # StepOptions::numThreads (1 = serial, 0 = one thread per hardware core):
 # BM_SpeedupStepFamily, BM_SpeedupStepMis, BM_MaximalEdgePairs and
-# BM_CertifyChain.  On a single-core machine numThreads=0 resolves to one
-# lane, so the two rows coincide up to noise; the serial rows still track
-# the antichain-prune baseline against older revisions.
+# BM_CertifyChain -- each row carries per-iteration registry-counter
+# breakdowns (antichain tests, labels produced, ...) -- plus the tracer
+# overhead rows BM_ScopedSpan* / BM_RegistryCounterAdd.  On a single-core
+# machine numThreads=0 resolves to one lane, so the serial/parallel rows
+# coincide up to noise; the serial rows still track the antichain-prune
+# baseline against older revisions.
 #
 # Note: the bundled google-benchmark expects --benchmark_min_time as a
 # plain double (seconds), without a unit suffix.
@@ -31,7 +36,7 @@ fi
 
 OUT="BENCH_speedup.json"
 "$BENCH_BIN" \
-  --benchmark_filter='BM_SpeedupStepFamily|BM_SpeedupStepMis|BM_MaximalEdgePairs|BM_CertifyChain' \
+  --benchmark_filter='BM_SpeedupStepFamily|BM_SpeedupStepMis|BM_MaximalEdgePairs|BM_CertifyChain|BM_ScopedSpan|BM_RegistryCounterAdd' \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1 \
@@ -39,3 +44,17 @@ OUT="BENCH_speedup.json"
 
 echo
 echo "== wrote $OUT =="
+
+# Attach the observability bundle: one traced, reported chain certification
+# through the CLI, so every benchmark drop ships with a phase/counter
+# breakdown and a Perfetto-loadable trace of the run that produced it.
+CLI_BIN="$BUILD_DIR/examples/round_eliminator_cli"
+if [ ! -x "$CLI_BIN" ]; then
+  echo "== $CLI_BIN missing; building =="
+  cmake --build "$BUILD_DIR" -j --target round_eliminator_cli
+fi
+"$CLI_BIN" --chain 1024 \
+  --report BENCH_report.json \
+  --trace BENCH_trace.json --trace-format chrome > /dev/null
+
+echo "== wrote BENCH_report.json, BENCH_trace.json =="

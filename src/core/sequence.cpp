@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "obs/trace.hpp"
 #include "re/engine.hpp"
 #include "re/zero_round.hpp"
 #include "util/thread_pool.hpp"
@@ -30,13 +31,17 @@ std::string certifyChainImpl(const Chain& chain, int numThreads,
   // raised them.
   std::vector<char> zeroRound(chain.steps.size());
   std::vector<std::exception_ptr> zeroRoundError(chain.steps.size());
-  util::parallel_for(numThreads, chain.steps.size(), [&](std::size_t i) {
-    try {
-      zeroRound[i] = zeroRoundCheck(i);
-    } catch (...) {
-      zeroRoundError[i] = std::current_exception();
-    }
-  });
+  {
+    const obs::ScopedSpan certifySpan("chain.certify");
+    util::parallel_for(numThreads, chain.steps.size(), [&](std::size_t i) {
+      const obs::ScopedSpan stepSpan("chain.certify.step");
+      try {
+        zeroRound[i] = zeroRoundCheck(i);
+      } catch (...) {
+        zeroRoundError[i] = std::current_exception();
+      }
+    });
+  }
   for (std::size_t i = 0; i + 1 < chain.steps.size(); ++i) {
     const auto& cur = chain.steps[i];
     const auto& next = chain.steps[i + 1];

@@ -1,0 +1,40 @@
+// Chrome trace_event JSON sink: buffers the event stream and, on flush,
+// writes a document that chrome://tracing and Perfetto (ui.perfetto.dev)
+// open directly.  Spans become "ph": "X" complete events (one per span,
+// microsecond timestamps/durations), counters "ph": "C", instants "ph": "i".
+// Thread ids are the tracer's dense ids, so the PR-1 fan-out lanes appear as
+// separate tracks.
+//
+// Lives outside trace.hpp because it serializes through io::json (the
+// deterministic writer the certificate formats use); the obs core itself
+// stays dependency-free.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "io/json.hpp"
+#include "obs/trace.hpp"
+
+namespace relb::obs {
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// Events are held in memory until flush() writes `path` atomically.
+  explicit ChromeTraceSink(std::filesystem::path path);
+
+  void consume(const TraceEvent& event) override;
+  void flush() override;
+
+  /// The document flush() would write; exposed so tests can parse it back
+  /// through io::Json without touching the filesystem.
+  [[nodiscard]] io::Json toJson() const;
+
+ private:
+  std::filesystem::path path_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace relb::obs

@@ -1,0 +1,98 @@
+// Named monotonic counters and gauges for the engine's observability layer.
+//
+// Counters answer "how much work happened" questions the span tree cannot
+// (memo hits vs misses, configurations enumerated, antichain prune ratio);
+// gauges record last-written values (thread-pool concurrency, labels after
+// the latest step).  Both are plain relaxed atomics: ticking one is a few
+// nanoseconds, so the instrumented hot paths tick them unconditionally --
+// but call sites inside tight loops accumulate locally and add once per
+// call, not once per iteration.
+//
+// The registry is process-global and append-only: `counter(name)` interns
+// the name on first use and returns a reference that stays valid forever.
+// Instrumentation sites cache that reference in a static, so steady-state
+// cost is the atomic add alone.  `snapshot()` returns name-sorted values --
+// the deterministic ordering the run report and the tests key on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace relb::obs {
+
+/// Monotonically increasing. Relaxed atomics: totals are exact, ordering
+/// against other counters is not guaranteed mid-run.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value wins; `setMax` keeps the high-water mark instead.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void setMax(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry all instrumentation writes to.
+  [[nodiscard]] static Registry& global();
+
+  /// Interns `name` on first use; the returned reference is valid for the
+  /// registry's lifetime.  Takes a mutex -- cache the reference at the call
+  /// site (static local) rather than looking it up per event.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+
+  struct Snapshot {
+    /// Both name-sorted (std::map iteration order).
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+
+    /// Value of `name`, or 0 when absent (unregistered == never ticked).
+    [[nodiscard]] std::uint64_t counterValue(std::string_view name) const;
+    [[nodiscard]] std::int64_t gaugeValue(std::string_view name) const;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every registered counter and gauge (names stay interned, and
+  /// references handed out earlier stay valid).  For tests and for the
+  /// CLI's per-run accounting; NOT safe to race against a run in progress
+  /// if exact totals matter.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+}  // namespace relb::obs

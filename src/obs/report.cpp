@@ -1,0 +1,180 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/certificate.hpp"  // io::atomicWriteFile
+#include "re/types.hpp"
+
+namespace relb::obs {
+
+using io::Json;
+using re::Error;
+
+RunReport buildRunReport(const SpanAggregator& aggregator,
+                         const Registry& registry) {
+  RunReport report;
+  const auto toRows = [](const SpanAggregator::Rows& rows) {
+    std::vector<RunReport::Row> out;
+    out.reserve(rows.size());
+    for (const auto& [name, totals] : rows) {
+      out.push_back({name, totals.count, totals.wallMicros});
+    }
+    return out;
+  };
+  report.phases = toRows(aggregator.rootTotals());
+  report.spans = toRows(aggregator.totals());
+  Registry::Snapshot snapshot = registry.snapshot();
+  report.counters = std::move(snapshot.counters);
+  report.gauges = std::move(snapshot.gauges);
+  return report;
+}
+
+namespace {
+
+Json rowsToJson(const std::vector<RunReport::Row>& rows) {
+  Json out = Json::array();
+  for (const RunReport::Row& row : rows) {
+    Json r = Json::object();
+    r.set("name", row.name);
+    r.set("count", static_cast<std::int64_t>(row.count));
+    r.set("wall_micros", row.wallMicros);
+    out.push(std::move(r));
+  }
+  return out;
+}
+
+std::vector<RunReport::Row> rowsFromJson(const Json& j) {
+  std::vector<RunReport::Row> out;
+  for (const Json& r : j.asArray()) {
+    RunReport::Row row;
+    row.name = r.at("name").asString();
+    row.count = static_cast<std::uint64_t>(r.at("count").asInt());
+    row.wallMicros = r.at("wall_micros").asInt();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json runReportToJson(const RunReport& report) {
+  Json run = Json::object();
+  run.set("command", report.command);
+  run.set("total_wall_micros", report.totalWallMicros);
+  run.set("threads", report.threads);
+  if (report.chainDelta >= 0) {
+    Json chain = Json::object();
+    chain.set("delta", report.chainDelta);
+    chain.set("x0", report.chainX0);
+    Json steps = Json::array();
+    for (const RunReport::ChainStep& step : report.chainSteps) {
+      Json s = Json::object();
+      s.set("a", step.a);
+      s.set("x", step.x);
+      steps.push(std::move(s));
+    }
+    chain.set("steps", std::move(steps));
+    run.set("chain", std::move(chain));
+  }
+  if (!report.opsWalked.empty()) {
+    Json ops = Json::array();
+    for (const std::string& op : report.opsWalked) ops.push(op);
+    run.set("ops_walked", std::move(ops));
+  }
+
+  Json phases = rowsToJson(report.phases);
+  Json spans = rowsToJson(report.spans);
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : report.counters) {
+    counters.set(name, static_cast<std::int64_t>(value));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, value] : report.gauges) gauges.set(name, value);
+
+  Json checksums = Json::object();
+  checksums.set("run", io::fnv1a64Hex(run.dump()));
+  checksums.set("phases", io::fnv1a64Hex(phases.dump()));
+  checksums.set("spans", io::fnv1a64Hex(spans.dump()));
+  checksums.set("counters", io::fnv1a64Hex(counters.dump()));
+  checksums.set("gauges", io::fnv1a64Hex(gauges.dump()));
+
+  Json out = Json::object();
+  out.set("format", "relb-run-report");
+  out.set("version", report.version);
+  out.set("run", std::move(run));
+  out.set("phases", std::move(phases));
+  out.set("spans", std::move(spans));
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("checksums", std::move(checksums));
+  return out;
+}
+
+RunReport runReportFromJson(const Json& j) {
+  if (j.at("format").asString() != "relb-run-report") {
+    throw Error("run report: not a relb-run-report document");
+  }
+  RunReport report;
+  report.version = static_cast<int>(j.at("version").asInt());
+  if (report.version != kRunReportVersion) {
+    throw Error("run report: unsupported version " +
+                std::to_string(report.version) + " (supported: " +
+                std::to_string(kRunReportVersion) + ")");
+  }
+
+  const Json& checksums = j.at("checksums");
+  for (const char* section : {"run", "phases", "spans", "counters", "gauges"}) {
+    const std::string actual = io::fnv1a64Hex(j.at(section).dump());
+    const std::string& expected = checksums.at(section).asString();
+    if (actual != expected) {
+      throw Error(std::string("run report: checksum mismatch in section '") +
+                  section + "' (expected " + expected + ", computed " +
+                  actual + ")");
+    }
+  }
+
+  const Json& run = j.at("run");
+  report.command = run.at("command").asString();
+  report.totalWallMicros = run.at("total_wall_micros").asInt();
+  report.threads = static_cast<int>(run.at("threads").asInt());
+  if (const Json* chain = run.find("chain")) {
+    report.chainDelta = chain->at("delta").asInt();
+    report.chainX0 = chain->at("x0").asInt();
+    for (const Json& s : chain->at("steps").asArray()) {
+      report.chainSteps.push_back({s.at("a").asInt(), s.at("x").asInt()});
+    }
+  }
+  if (const Json* ops = run.find("ops_walked")) {
+    for (const Json& op : ops->asArray()) {
+      report.opsWalked.push_back(op.asString());
+    }
+  }
+
+  report.phases = rowsFromJson(j.at("phases"));
+  report.spans = rowsFromJson(j.at("spans"));
+  for (const auto& [name, value] : j.at("counters").asObject()) {
+    report.counters.emplace_back(name,
+                                 static_cast<std::uint64_t>(value.asInt()));
+  }
+  for (const auto& [name, value] : j.at("gauges").asObject()) {
+    report.gauges.emplace_back(name, value.asInt());
+  }
+  return report;
+}
+
+void saveRunReport(const std::filesystem::path& path,
+                   const RunReport& report) {
+  io::atomicWriteFile(path, runReportToJson(report).dumpPretty());
+}
+
+RunReport loadRunReport(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("run report: cannot open '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return runReportFromJson(Json::parse(buffer.str()));
+}
+
+}  // namespace relb::obs

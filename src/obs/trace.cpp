@@ -1,0 +1,237 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace relb::obs {
+
+namespace {
+
+std::int64_t monotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<int> nextThreadId{0};
+thread_local int tlsThreadId = -1;
+thread_local int tlsSpanDepth = 0;
+
+}  // namespace
+
+int currentThreadId() {
+  if (tlsThreadId < 0) {
+    tlsThreadId = nextThreadId.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tlsThreadId;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  buffer_.reserve(capacity_);
+}
+
+void RingBufferSink::consume(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  wrapped_ = true;
+  ++dropped_;
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::lock_guard lock(mutex_);
+  if (!wrapped_) return buffer_;
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  out.insert(out.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(next_),
+             buffer_.end());
+  out.insert(out.end(), buffer_.begin(),
+             buffer_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+std::size_t RingBufferSink::size() const {
+  std::lock_guard lock(mutex_);
+  return buffer_.size();
+}
+
+std::size_t RingBufferSink::droppedEvents() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void TextSink::consume(const TraceEvent& event) {
+  std::string line = "[tid " + std::to_string(event.threadId) + "] ";
+  line += std::to_string(event.startMicros) + "us";
+  switch (event.kind) {
+    case TraceEvent::Kind::kSpan:
+      line += " + " + std::to_string(event.durationMicros) + "us ";
+      line.append(static_cast<std::size_t>(event.depth) * 2, ' ');
+      line += event.name;
+      break;
+    case TraceEvent::Kind::kCounter:
+      line += " # " + event.name + " = " + std::to_string(event.value);
+      break;
+    case TraceEvent::Kind::kInstant:
+      line += " ! " + event.name;
+      break;
+  }
+  line += '\n';
+  std::lock_guard lock(mutex_);
+  out_ += line;
+}
+
+std::string TextSink::render() const {
+  std::lock_guard lock(mutex_);
+  return out_;
+}
+
+SpanAggregator::Totals& SpanAggregator::slot(
+    std::vector<std::pair<std::string, Totals>>& rows, std::string_view name) {
+  for (auto& [rowName, totals] : rows) {
+    if (rowName == name) return totals;
+  }
+  rows.emplace_back(std::string(name), Totals{});
+  return rows.back().second;
+}
+
+void SpanAggregator::consume(const TraceEvent& event) {
+  if (event.kind != TraceEvent::Kind::kSpan) return;
+  std::lock_guard lock(mutex_);
+  Totals& all = slot(all_, event.name);
+  ++all.count;
+  all.wallMicros += event.durationMicros;
+  if (event.depth == 0) {
+    Totals& root = slot(roots_, event.name);
+    ++root.count;
+    root.wallMicros += event.durationMicros;
+  }
+}
+
+SpanAggregator::Rows SpanAggregator::sorted(
+    const std::vector<std::pair<std::string, Totals>>& rows) {
+  Rows out = rows;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+SpanAggregator::Rows SpanAggregator::totals() const {
+  std::lock_guard lock(mutex_);
+  return sorted(all_);
+}
+
+SpanAggregator::Rows SpanAggregator::rootTotals() const {
+  std::lock_guard lock(mutex_);
+  return sorted(roots_);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer() : epochNanos_(monotonicNanos()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::addSink(std::shared_ptr<TraceSink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard lock(mutex_);
+  sinks_.push_back(std::move(sink));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::removeSink(const TraceSink* sink) {
+  std::lock_guard lock(mutex_);
+  sinks_.erase(std::remove_if(sinks_.begin(), sinks_.end(),
+                              [&](const std::shared_ptr<TraceSink>& s) {
+                                return s.get() == sink;
+                              }),
+               sinks_.end());
+  enabled_.store(!sinks_.empty(), std::memory_order_relaxed);
+}
+
+void Tracer::clearSinks() {
+  std::lock_guard lock(mutex_);
+  sinks_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::nowMicros() const {
+  return (monotonicNanos() - epochNanos_) / 1000;
+}
+
+void Tracer::dispatch(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  for (const auto& sink : sinks_) sink->consume(event);
+}
+
+void Tracer::emitSpan(std::string_view name, std::int64_t startMicros,
+                      std::int64_t durationMicros, int depth) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.name = std::string(name);
+  event.startMicros = startMicros;
+  event.durationMicros = durationMicros;
+  event.threadId = currentThreadId();
+  event.depth = depth;
+  dispatch(std::move(event));
+}
+
+void Tracer::counter(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.name = std::string(name);
+  event.startMicros = nowMicros();
+  event.threadId = currentThreadId();
+  event.value = value;
+  dispatch(std::move(event));
+}
+
+void Tracer::instant(std::string_view name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInstant;
+  event.name = std::string(name);
+  event.startMicros = nowMicros();
+  event.threadId = currentThreadId();
+  dispatch(std::move(event));
+}
+
+void Tracer::flush() {
+  std::lock_guard lock(mutex_);
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+// ---------------------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(std::string_view name, Tracer& tracer)
+    : tracer_(tracer.enabled() ? &tracer : nullptr), name_(name) {
+  if (tracer_ == nullptr) return;
+  start_ = tracer_->nowMicros();
+  depth_ = tlsSpanDepth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  --tlsSpanDepth;
+  tracer_->emitSpan(name_, start_, tracer_->nowMicros() - start_, depth_);
+}
+
+}  // namespace relb::obs

@@ -1,0 +1,204 @@
+// Structured tracing for the round-elimination engine.
+//
+// The design goal is a tracer that costs (almost) nothing when nobody is
+// listening: instrumentation sites construct a `ScopedSpan`, whose
+// constructor performs exactly one relaxed atomic load when no sink is
+// attached and bails out before touching the clock.  The no-sink overhead
+// guard in tests/obs/overhead_test.cpp holds that fast path to < 2% of
+// `certifyChain`'s cost; the instrumented hot paths (engine operators,
+// passes, store I/O, chain certification) therefore keep their spans
+// unconditionally.
+//
+// When a sink IS attached:
+//   * spans record a monotonic-clock start timestamp (microseconds since the
+//     tracer's epoch) and emit one *complete* event at destruction, carrying
+//     the duration, a small dense thread id (so the PR-1 fan-out lanes are
+//     distinguishable in a trace viewer), and the per-thread nesting depth;
+//   * events are fanned to every attached sink under the tracer mutex --
+//     sinks see a globally consistent stream but must tolerate events from
+//     different threads interleaving in completion (not start) order.
+//
+// Sinks shipped here are dependency-free: Null (measurement baseline),
+// RingBuffer (bounded in-memory capture, oldest events dropped first), Text
+// (human-readable lines), and SpanAggregator (per-name wall-time totals, the
+// source of the run report's tables).  The Chrome trace_event JSON sink
+// lives in obs/chrome_sink.hpp because it writes through io::json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace relb::obs {
+
+/// Small dense id of the calling thread, assigned on first use.  Distinct
+/// from std::thread::id so traces are stable, readable, and 32-bit.
+[[nodiscard]] int currentThreadId();
+
+struct TraceEvent {
+  enum class Kind { kSpan, kCounter, kInstant };
+
+  Kind kind = Kind::kSpan;
+  std::string name;
+  /// Microseconds since the owning tracer's epoch (monotonic clock).
+  std::int64_t startMicros = 0;
+  /// Spans only; 0 for counters and instants.
+  std::int64_t durationMicros = 0;
+  int threadId = 0;
+  /// Span nesting depth on its thread at emission time (0 = root span).
+  int depth = 0;
+  /// Counters only.
+  std::int64_t value = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Called under the tracer mutex; must not re-enter the tracer.
+  virtual void consume(const TraceEvent& event) = 0;
+  /// Called by Tracer::flush (end of run); default is a no-op.
+  virtual void flush() {}
+};
+
+/// Swallows everything.  Attaching it makes the tracer take the *enabled*
+/// path, which is what the overhead benchmarks compare against.
+class NullSink final : public TraceSink {
+ public:
+  void consume(const TraceEvent&) override {}
+};
+
+/// Keeps the most recent `capacity` events; older events are dropped (and
+/// counted) once the buffer is full.  The capture tool for tests and for
+/// always-on tracing with bounded memory.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void consume(const TraceEvent& event) override;
+
+  /// The buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t droppedEvents() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> buffer_;  // circular once full
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::size_t dropped_ = 0;
+};
+
+/// Renders one line per event, nested spans indented by depth:
+///
+///   [tid 0]       1234us +   56us   engine.applyR
+///   [tid 1]       1250us +   12us     store.load
+class TextSink final : public TraceSink {
+ public:
+  void consume(const TraceEvent& event) override;
+  [[nodiscard]] std::string render() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string out_;
+};
+
+/// Accumulates per-name span totals: how many spans ran under each name and
+/// their summed wall time.  Root totals (depth 0 only) are kept separately
+/// -- root spans on one thread tile the run, so their sum is comparable to
+/// end-to-end wall time, which is what the run report's phase table and its
+/// 5%-coverage acceptance check rely on.
+class SpanAggregator final : public TraceSink {
+ public:
+  struct Totals {
+    std::uint64_t count = 0;
+    std::int64_t wallMicros = 0;
+  };
+  using Rows = std::vector<std::pair<std::string, Totals>>;
+
+  void consume(const TraceEvent& event) override;
+
+  /// All spans, aggregated by name, sorted by name.
+  [[nodiscard]] Rows totals() const;
+  /// Depth-0 spans only, aggregated by name, sorted by name.
+  [[nodiscard]] Rows rootTotals() const;
+
+ private:
+  static Rows sorted(const std::vector<std::pair<std::string, Totals>>& rows);
+  Totals& slot(std::vector<std::pair<std::string, Totals>>& rows,
+               std::string_view name);
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Totals>> all_;
+  std::vector<std::pair<std::string, Totals>> roots_;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every instrumentation site uses by default.
+  [[nodiscard]] static Tracer& global();
+
+  /// True iff at least one sink is attached.  The no-sink fast path: span
+  /// construction is this single relaxed load.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void addSink(std::shared_ptr<TraceSink> sink);
+  void removeSink(const TraceSink* sink);
+  void clearSinks();
+
+  /// Microseconds since this tracer's construction (monotonic clock).
+  [[nodiscard]] std::int64_t nowMicros() const;
+
+  /// Emits a completed span (normally called by ~ScopedSpan).
+  void emitSpan(std::string_view name, std::int64_t startMicros,
+                std::int64_t durationMicros, int depth);
+  /// Emits a counter sample (a Chrome "C" event; ignored by aggregation).
+  void counter(std::string_view name, std::int64_t value);
+  /// Emits a zero-duration marker.
+  void instant(std::string_view name);
+
+  /// Flushes every attached sink.
+  void flush();
+
+ private:
+  void dispatch(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epochNanos_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+};
+
+/// RAII span.  `name` must outlive the span (instrumentation sites pass
+/// string literals or strings scoped around the span).  When the tracer has
+/// no sink, construction is one relaxed atomic load and destruction is one
+/// branch.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;  // nullptr when the tracer was disabled at construction
+  std::string_view name_;
+  std::int64_t start_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace relb::obs

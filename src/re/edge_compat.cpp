@@ -4,9 +4,32 @@
 #include <cassert>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "re/antichain.hpp"
 
 namespace relb::re {
+
+namespace {
+
+struct EdgeCounters {
+  obs::Counter& subsetsSwept;
+  obs::Counter& pairCandidates;
+  obs::Counter& pairMaximal;
+  obs::Counter& antichainPairs;
+  obs::Counter& antichainTests;
+};
+
+EdgeCounters& edgeCounters() {
+  auto& reg = obs::Registry::global();
+  static EdgeCounters c{
+      reg.counter("re.r.subsets_swept"), reg.counter("re.r.pairs.candidates"),
+      reg.counter("re.r.pairs.maximal"), reg.counter("re.antichain.pairs"),
+      reg.counter("re.antichain.tests")};
+  return c;
+}
+
+}  // namespace
 
 std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
                                         int alphabetSize) {
@@ -31,6 +54,7 @@ std::vector<std::pair<LabelSet, LabelSet>> detail::maximalEdgePairsFromCompat(
   if (alphabetSize > 20) {
     throw Error("maximalEdgePairs: alphabet too large to enumerate subsets");
   }
+  const obs::ScopedSpan span("re.maximalEdgePairs");
   using Pair = std::pair<LabelSet, LabelSet>;
   // partner(A) = intersection of compat[a] over a in A: the unique largest
   // set pairable with A.  Maximal pairs are the Galois-closed pairs
@@ -67,6 +91,8 @@ std::vector<std::pair<LabelSet, LabelSet>> detail::maximalEdgePairsFromCompat(
       });
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  edgeCounters().subsetsSwept.add(count - 1);
+  edgeCounters().pairCandidates.add(pairs.size());
 
   // Galois-closed pairs are maximal against same-orientation growth by
   // construction, but an unordered configuration can still be dominated in
@@ -80,9 +106,11 @@ std::vector<std::pair<LabelSet, LabelSet>> detail::maximalEdgePairsFromCompat(
   std::vector<char> dominated(pairs.size(), 0);
   util::parallel_for(numThreads, pairs.size(), [&](std::size_t i) {
     const Pair& p = pairs[i];
+    std::uint64_t pairsVisited = 0;
     dominated[i] = buckets.anyInSupersetBucket(
         signatures[i], [&](std::size_t j) {
           if (j == i) return false;  // pairs are distinct after unique
+          ++pairsVisited;
           const Pair& q = pairs[j];
           const bool straight =
               p.first.subsetOf(q.first) && p.second.subsetOf(q.second);
@@ -90,11 +118,14 @@ std::vector<std::pair<LabelSet, LabelSet>> detail::maximalEdgePairsFromCompat(
               p.first.subsetOf(q.second) && p.second.subsetOf(q.first);
           return straight || swapped;
         });
+    edgeCounters().antichainPairs.add(pairsVisited);
+    edgeCounters().antichainTests.add(pairsVisited);
   });
   std::vector<Pair> out;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (!dominated[i]) out.push_back(pairs[i]);
   }
+  edgeCounters().pairMaximal.add(out.size());
   return out;
 }
 

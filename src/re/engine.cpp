@@ -4,11 +4,40 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "re/zero_round.hpp"
 
 namespace relb::re {
 
 namespace {
+
+// Registry counters mirrored by every EngineContext (the per-context
+// CacheStats stay the source of truth for `--stats`; the registry is what
+// the run report and the counter-based tests read).  Interned once, ticked
+// with relaxed atomic adds.
+struct EngineCounters {
+  obs::Counter& memoHit;
+  obs::Counter& memoMiss;
+  obs::Counter& zeroRoundHit;
+  obs::Counter& zeroRoundMiss;
+  obs::Counter& canonicalHit;
+  obs::Counter& canonicalMiss;
+  obs::Counter& storeHit;
+  obs::Counter& storeMiss;
+  obs::Counter& storeWrite;
+};
+
+EngineCounters& engineCounters() {
+  obs::Registry& r = obs::Registry::global();
+  static EngineCounters counters{
+      r.counter("engine.memo.hit"),       r.counter("engine.memo.miss"),
+      r.counter("engine.zero_round.hit"), r.counter("engine.zero_round.miss"),
+      r.counter("engine.canonical.hit"),  r.counter("engine.canonical.miss"),
+      r.counter("store.hit"),             r.counter("store.miss"),
+      r.counter("store.write")};
+  return counters;
+}
 
 std::uint64_t mixKey(std::uint64_t h, std::uint64_t v) {
   v += 0x9e3779b97f4a7c15ULL;
@@ -107,6 +136,7 @@ void EngineContext::attachStore(std::shared_ptr<StepStorage> store) {
 }
 
 StepResult EngineContext::applyR(const Problem& p) {
+  const obs::ScopedSpan span("engine.applyR");
   const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key = mixKey(0, hash);
   std::shared_ptr<StepStorage> storage;
@@ -117,6 +147,7 @@ StepResult EngineContext::applyR(const Problem& p) {
       for (const auto& e : it->second) {
         if (e.kind == 0 && e.input == p) {
           ++impl_->stats.stepHits;
+          engineCounters().memoHit.add();
           return e.result;
         }
       }
@@ -127,17 +158,20 @@ StepResult EngineContext::applyR(const Problem& p) {
     if (auto loaded = storage->loadStep(0, p, hash, options_)) {
       std::lock_guard lock(impl_->mutex);
       ++impl_->stats.storeHits;
+      engineCounters().storeHit.add();
       impl_->steps[key].push_back({0, p, options_.maxRbarDelta,
                                    options_.enumerationLimit, *loaded});
       return *std::move(loaded);
     }
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.storeMisses;
+    engineCounters().storeMiss.add();
   }
   StepResult result = detail::applyRImpl(p, options_, this);
   {
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.stepMisses;
+    engineCounters().memoMiss.add();
     impl_->steps[key].push_back(
         {0, p, options_.maxRbarDelta, options_.enumerationLimit, result});
   }
@@ -145,11 +179,13 @@ StepResult EngineContext::applyR(const Problem& p) {
     storage->storeStep(0, p, hash, options_, result);
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.storeWrites;
+    engineCounters().storeWrite.add();
   }
   return result;
 }
 
 StepResult EngineContext::applyRbar(const Problem& p) {
+  const obs::ScopedSpan span("engine.applyRbar");
   const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key = mixKey(1, hash);
   std::shared_ptr<StepStorage> storage;
@@ -162,6 +198,7 @@ StepResult EngineContext::applyRbar(const Problem& p) {
             e.maxRbarDelta == options_.maxRbarDelta &&
             e.enumerationLimit == options_.enumerationLimit) {
           ++impl_->stats.stepHits;
+          engineCounters().memoHit.add();
           return e.result;
         }
       }
@@ -172,17 +209,20 @@ StepResult EngineContext::applyRbar(const Problem& p) {
     if (auto loaded = storage->loadStep(1, p, hash, options_)) {
       std::lock_guard lock(impl_->mutex);
       ++impl_->stats.storeHits;
+      engineCounters().storeHit.add();
       impl_->steps[key].push_back({1, p, options_.maxRbarDelta,
                                    options_.enumerationLimit, *loaded});
       return *std::move(loaded);
     }
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.storeMisses;
+    engineCounters().storeMiss.add();
   }
   StepResult result = detail::applyRbarImpl(p, options_, this);
   {
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.stepMisses;
+    engineCounters().memoMiss.add();
     impl_->steps[key].push_back(
         {1, p, options_.maxRbarDelta, options_.enumerationLimit, result});
   }
@@ -190,6 +230,7 @@ StepResult EngineContext::applyRbar(const Problem& p) {
     storage->storeStep(1, p, hash, options_, result);
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.storeWrites;
+    engineCounters().storeWrite.add();
   }
   return result;
 }
@@ -282,6 +323,7 @@ std::vector<LabelSet> EngineContext::rightClosedSets(
 }
 
 bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
+  const obs::ScopedSpan span("engine.zeroRound");
   const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key =
       mixKey(static_cast<std::uint64_t>(mode) + 7, hash);
@@ -293,6 +335,7 @@ bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
       for (const auto& e : it->second) {
         if (e.mode == mode && e.input == p) {
           ++impl_->stats.zeroRoundHits;
+          engineCounters().zeroRoundHit.add();
           return e.solvable;
         }
       }
@@ -303,11 +346,13 @@ bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
     if (const auto loaded = storage->loadZeroRound(mode, p, hash)) {
       std::lock_guard lock(impl_->mutex);
       ++impl_->stats.storeHits;
+      engineCounters().storeHit.add();
       impl_->zeroRound[key].push_back({p, mode, *loaded});
       return *loaded;
     }
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.storeMisses;
+    engineCounters().storeMiss.add();
   }
   bool solvable = false;
   switch (mode) {
@@ -324,17 +369,20 @@ bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
   {
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.zeroRoundMisses;
+    engineCounters().zeroRoundMiss.add();
     impl_->zeroRound[key].push_back({p, mode, solvable});
   }
   if (storage != nullptr) {
     storage->storeZeroRound(mode, p, hash, solvable);
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.storeWrites;
+    engineCounters().storeWrite.add();
   }
   return solvable;
 }
 
 EngineContext::InternResult EngineContext::intern(const Problem& p) {
+  const obs::ScopedSpan span("engine.intern");
   const std::uint64_t exactKey = structuralHash(p);
   std::optional<CanonicalForm> form;
   {
@@ -344,6 +392,7 @@ EngineContext::InternResult EngineContext::intern(const Problem& p) {
       for (const auto& e : it->second) {
         if (e.input == p) {
           ++impl_->stats.canonicalHits;
+          engineCounters().canonicalHit.add();
           form = e.form;
           break;
         }
@@ -354,6 +403,7 @@ EngineContext::InternResult EngineContext::intern(const Problem& p) {
     form = canonicalize(p);
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.canonicalMisses;
+    engineCounters().canonicalMiss.add();
     impl_->canonicals[exactKey].push_back({p, *form});
   }
 
@@ -509,8 +559,13 @@ PipelineResult PassManager::run(const Problem& p, EngineContext& ctx) const {
     st.nodeConfigsIn = current.node.size();
     st.edgeConfigsIn = current.edge.size();
     const CacheStats before = ctx.stats();
+    const std::string spanName = "pass." + st.name;
     const auto t0 = std::chrono::steady_clock::now();
-    PassOutput po = pass.run({current, ctx, ctx.options()});
+    PassOutput po;
+    {
+      const obs::ScopedSpan span(spanName);
+      po = pass.run({current, ctx, ctx.options()});
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const CacheStats after = ctx.stats();
     st.wallMicros =
@@ -518,6 +573,16 @@ PipelineResult PassManager::run(const Problem& p, EngineContext& ctx) const {
     st.fromCache = after.stepHits > before.stepHits &&
                    after.stepMisses == before.stepMisses;
     current = std::move(po.problem);
+    {
+      static obs::Gauge& labelsGauge =
+          obs::Registry::global().gauge("re.labels.last");
+      labelsGauge.set(static_cast<std::int64_t>(current.alphabet.size()));
+      obs::Tracer& tracer = obs::Tracer::global();
+      if (tracer.enabled()) {
+        tracer.counter("re.labels.last",
+                       static_cast<std::int64_t>(current.alphabet.size()));
+      }
+    }
     st.labelsOut = current.alphabet.size();
     st.nodeConfigsOut = current.node.size();
     st.edgeConfigsOut = current.edge.size();

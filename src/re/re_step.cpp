@@ -7,6 +7,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "re/antichain.hpp"
 #include "re/engine.hpp"
 #include "util/thread_pool.hpp"
@@ -16,6 +18,25 @@ namespace relb::re {
 namespace {
 
 using detail::SignatureBuckets;
+
+// Registry references are interned once; hot loops accumulate locally and
+// add to the shared counter once per item (see docs/observability.md).
+struct StepCounters {
+  obs::Counter& rbarCandidates;
+  obs::Counter& rbarMaximal;
+  obs::Counter& antichainPairs;
+  obs::Counter& antichainTests;
+  obs::Counter& labelsProduced;
+};
+
+StepCounters& stepCounters() {
+  auto& reg = obs::Registry::global();
+  static StepCounters c{
+      reg.counter("re.rbar.candidates"), reg.counter("re.rbar.maximal"),
+      reg.counter("re.antichain.pairs"), reg.counter("re.antichain.tests"),
+      reg.counter("re.labels.produced")};
+  return c;
+}
 
 // Builds the fresh alphabet for a collection of label sets over the old
 // alphabet.  Singletons keep their old name; larger sets get a parenthesized
@@ -96,6 +117,7 @@ StepResult detail::applyRImpl(const Problem& p, const StepOptions& options,
   StepResult result;
   result.meaning.assign(setsSeen.begin(), setsSeen.end());
   result.problem.alphabet = freshAlphabet(result.meaning, p.alphabet);
+  stepCounters().labelsProduced.add(result.meaning.size());
 
   const auto freshLabelOf = [&](LabelSet s) {
     const auto it = std::lower_bound(result.meaning.begin(),
@@ -308,22 +330,27 @@ StepResult detail::applyRbarImpl(const Problem& p, const StepOptions& options,
                                   static_cast<int>(rcSets.size()));
   std::vector<std::vector<LabelSet>> valid;
   const std::vector<PackedWord> root{0};
-  if (width <= 1 || delta == 0) {
-    RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
-    enumerator.rec(0, root);
-    valid = std::move(enumerator.valid);
-  } else {
-    std::vector<std::vector<std::vector<LabelSet>>> branchValid(rcSets.size());
-    util::parallel_for(
-        options.numThreads, rcSets.size(), [&](std::size_t i) {
-          RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
-          enumerator.descend(i, root);
-          branchValid[i] = std::move(enumerator.valid);
-        });
-    for (auto& branch : branchValid) {
-      for (auto& v : branch) valid.push_back(std::move(v));
+  {
+    const obs::ScopedSpan span("re.rbar.enumerate");
+    if (width <= 1 || delta == 0) {
+      RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
+      enumerator.rec(0, root);
+      valid = std::move(enumerator.valid);
+    } else {
+      std::vector<std::vector<std::vector<LabelSet>>> branchValid(
+          rcSets.size());
+      util::parallel_for(
+          options.numThreads, rcSets.size(), [&](std::size_t i) {
+            RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
+            enumerator.descend(i, root);
+            branchValid[i] = std::move(enumerator.valid);
+          });
+      for (auto& branch : branchValid) {
+        for (auto& v : branch) valid.push_back(std::move(v));
+      }
     }
   }
+  stepCounters().rbarCandidates.add(valid.size());
   if (valid.empty()) {
     throw Error("applyRbar: node constraint empty after maximization");
   }
@@ -341,24 +368,35 @@ StepResult detail::applyRbarImpl(const Problem& p, const StepOptions& options,
   }
   const SignatureBuckets buckets(signatures);
   std::vector<char> dominated(valid.size(), 0);
-  util::parallel_for(options.numThreads, valid.size(), [&](std::size_t i) {
-    dominated[i] = buckets.anyInSupersetBucket(
-        signatures[i], [&](std::size_t j) {
-          if (j == i) return false;
-          if (!slotsRelaxTo(valid[i], valid[j])) return false;
-          // The reverse relaxation needs union(j) subsetOf union(i); inside
-          // a strictly-larger bucket it is impossible, so domination is
-          // already established.
-          if (signatures[j] != signatures[i]) return true;
-          return !slotsRelaxTo(valid[j], valid[i]);
-        });
-  });
+  {
+    const obs::ScopedSpan span("re.rbar.filter");
+    util::parallel_for(options.numThreads, valid.size(), [&](std::size_t i) {
+      std::uint64_t pairsVisited = 0;
+      std::uint64_t testsRun = 0;
+      dominated[i] = buckets.anyInSupersetBucket(
+          signatures[i], [&](std::size_t j) {
+            if (j == i) return false;
+            ++pairsVisited;
+            ++testsRun;
+            if (!slotsRelaxTo(valid[i], valid[j])) return false;
+            // The reverse relaxation needs union(j) subsetOf union(i);
+            // inside a strictly-larger bucket it is impossible, so
+            // domination is already established.
+            if (signatures[j] != signatures[i]) return true;
+            ++testsRun;
+            return !slotsRelaxTo(valid[j], valid[i]);
+          });
+      stepCounters().antichainPairs.add(pairsVisited);
+      stepCounters().antichainTests.add(testsRun);
+    });
+  }
   std::vector<Configuration> maximal;
   for (std::size_t i = 0; i < valid.size(); ++i) {
     if (!dominated[i]) maximal.push_back(slotsToConfiguration(valid[i]));
   }
   std::sort(maximal.begin(), maximal.end());
   maximal.erase(std::unique(maximal.begin(), maximal.end()), maximal.end());
+  stepCounters().rbarMaximal.add(maximal.size());
 
   // Fresh alphabet: sets appearing in maximal node configurations.
   std::set<LabelSet> setsSeen;
@@ -368,6 +406,7 @@ StepResult detail::applyRbarImpl(const Problem& p, const StepOptions& options,
   StepResult result;
   result.meaning.assign(setsSeen.begin(), setsSeen.end());
   result.problem.alphabet = freshAlphabet(result.meaning, p.alphabet);
+  stepCounters().labelsProduced.add(result.meaning.size());
 
   const auto freshLabelOf = [&](LabelSet s) {
     const auto it =

@@ -5,6 +5,8 @@
 
 #include "io/certificate.hpp"  // atomicWriteFile
 #include "io/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace relb::store {
 
@@ -113,6 +115,9 @@ void DiskStepStore::quarantine(const std::filesystem::path& path) {
   std::filesystem::rename(path, root_ / "quarantine" / path.filename(), ec);
   if (ec) std::filesystem::remove(path, ec);
   count(&StoreStats::quarantined);
+  static obs::Counter& quarantined =
+      obs::Registry::global().counter("store.quarantine");
+  quarantined.add();
 }
 
 void DiskStepStore::count(std::size_t StoreStats::* counter) {
@@ -140,6 +145,7 @@ std::optional<StepResult> DiskStepStore::loadStep(int kind,
                                                   const Problem& input,
                                                   std::uint64_t hash,
                                                   const StepOptions& options) {
+  const obs::ScopedSpan span("store.load");
   const std::filesystem::path path =
       entryPath(hash, kind == 0 ? "r" : "rbar");
   const auto text = readFile(path);
@@ -186,6 +192,7 @@ std::optional<StepResult> DiskStepStore::loadStep(int kind,
 void DiskStepStore::storeStep(int kind, const Problem& input,
                               std::uint64_t hash, const StepOptions& options,
                               const StepResult& result) {
+  const obs::ScopedSpan span("store.write");
   Json payload = Json::object();
   payload.set("op", kind);
   payload.set("input", io::problemToJson(input));
@@ -213,6 +220,7 @@ void DiskStepStore::storeStep(int kind, const Problem& input,
 std::optional<bool> DiskStepStore::loadZeroRound(ZeroRoundMode mode,
                                                  const Problem& input,
                                                  std::uint64_t hash) {
+  const obs::ScopedSpan span("store.load");
   const std::filesystem::path path = entryPath(hash, zeroRoundTag(mode));
   const auto text = readFile(path);
   if (!text) {
@@ -237,6 +245,7 @@ std::optional<bool> DiskStepStore::loadZeroRound(ZeroRoundMode mode,
 
 void DiskStepStore::storeZeroRound(ZeroRoundMode mode, const Problem& input,
                                    std::uint64_t hash, bool solvable) {
+  const obs::ScopedSpan span("store.write");
   Json payload = Json::object();
   payload.set("mode", static_cast<std::int64_t>(mode));
   payload.set("input", io::problemToJson(input));

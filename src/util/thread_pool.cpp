@@ -1,9 +1,27 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace relb::util {
 
 namespace {
 thread_local bool tlsInsideWorker = false;
+
+struct PoolMetrics {
+  obs::Counter& batches;
+  obs::Counter& items;
+  obs::Gauge& concurrency;
+  obs::Gauge& active;
+  obs::Gauge& maxBatch;
+};
+
+PoolMetrics& poolMetrics() {
+  auto& reg = obs::Registry::global();
+  static PoolMetrics m{reg.counter("pool.batches"), reg.counter("pool.items"),
+                       reg.gauge("pool.concurrency"), reg.gauge("pool.active"),
+                       reg.gauge("pool.max_batch")};
+  return m;
+}
 }  // namespace
 
 int resolveThreadCount(int requested) {
@@ -46,6 +64,8 @@ void ThreadPool::spawnWorkersLocked(int count) {
   for (int i = 0; i < count; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
   }
+  poolMetrics().concurrency.setMax(static_cast<std::int64_t>(workers_.size()) +
+                                   1);
 }
 
 void ThreadPool::runItems(const std::function<void(std::size_t)>* fn,
@@ -78,6 +98,7 @@ void ThreadPool::workerLoop() {
     const auto* job = job_;
     const std::size_t n = jobSize_;
     ++running_;
+    poolMetrics().active.setMax(running_ + 1);  // +1: the participating caller
     lock.unlock();
     runItems(job, n);
     lock.lock();
@@ -98,6 +119,9 @@ void ThreadPool::forEachIndex(std::size_t n,
     return;
   }
   std::lock_guard<std::mutex> batch(batchMutex_);
+  poolMetrics().batches.add();
+  poolMetrics().items.add(n);
+  poolMetrics().maxBatch.setMax(static_cast<std::int64_t>(n));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;

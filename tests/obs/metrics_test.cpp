@@ -1,0 +1,69 @@
+// Counter/gauge registry: interning stability, relaxed-atomic totals under
+// fan-out, name-sorted snapshots, and reset semantics.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace relb::obs {
+namespace {
+
+TEST(Registry, InternsStableReferences) {
+  auto& reg = Registry::global();
+  Counter& a = reg.counter("test.metrics.stable");
+  Counter& b = reg.counter("test.metrics.stable");
+  EXPECT_EQ(&a, &b) << "same name must intern to the same counter";
+  Gauge& g1 = reg.gauge("test.metrics.stable");  // separate namespace
+  Gauge& g2 = reg.gauge("test.metrics.stable");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(Registry, CounterTotalsAreExactUnderFanOut) {
+  Counter& c = Registry::global().counter("test.metrics.fanout");
+  const std::uint64_t before = c.value();
+  util::parallel_for(4, 64, [&](std::size_t) { c.add(3); });
+  EXPECT_EQ(c.value() - before, 64u * 3u);
+}
+
+TEST(Registry, GaugeSetAndSetMax) {
+  Gauge& g = Registry::global().gauge("test.metrics.gauge");
+  g.set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.setMax(5);
+  EXPECT_EQ(g.value(), 10) << "setMax keeps the high-water mark";
+  g.setMax(25);
+  EXPECT_EQ(g.value(), 25);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1) << "set overwrites unconditionally";
+}
+
+TEST(Registry, SnapshotIsNameSortedAndLooksUpAbsentAsZero) {
+  auto& reg = Registry::global();
+  reg.counter("test.metrics.zz").add(2);
+  reg.counter("test.metrics.aa").add(1);
+  const auto snap = reg.snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  EXPECT_EQ(snap.counterValue("test.metrics.aa"), 1u);
+  EXPECT_EQ(snap.counterValue("test.metrics.never-registered"), 0u);
+  EXPECT_EQ(snap.gaugeValue("test.metrics.never-registered"), 0);
+}
+
+TEST(Registry, ResetZeroesButKeepsReferencesValid) {
+  auto& reg = Registry::global();
+  Counter& c = reg.counter("test.metrics.reset");
+  Gauge& g = reg.gauge("test.metrics.reset");
+  c.add(7);
+  g.set(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  c.add(1);  // the interned reference still works after reset
+  EXPECT_EQ(reg.snapshot().counterValue("test.metrics.reset"), 1u);
+}
+
+}  // namespace
+}  // namespace relb::obs

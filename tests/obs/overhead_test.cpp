@@ -1,0 +1,68 @@
+// The no-sink guarantee: with no sink attached, a ScopedSpan must cost so
+// little that the spans emitted during a chain certification stay under 2%
+// of the certification's own wall time.  Measured, not assumed: the span
+// count comes from tracing a real certifyChain run, the per-span cost from
+// a tight no-sink loop, and the chain cost from the fastest of several
+// untraced runs (min, not mean, so background noise only helps the bound).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/sequence.hpp"
+#include "obs/trace.hpp"
+
+namespace relb::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double nanosSince(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+TEST(Overhead, NoSinkSpansStayUnderTwoPercentOfCertifyChain) {
+  const core::Chain chain = core::exactChain(32, 1);
+
+  // Per-span cost with no sink attached (the global tracer has no sinks in
+  // this process).  1M iterations amortize the clock reads away.
+  ASSERT_FALSE(Tracer::global().enabled())
+      << "test requires the global tracer to be sinkless";
+  constexpr int kSpanReps = 1'000'000;
+  const auto spanStart = Clock::now();
+  for (int i = 0; i < kSpanReps; ++i) {
+    const ScopedSpan span("overhead.probe");
+    (void)span;
+  }
+  const double perSpanNanos = nanosSince(spanStart) / kSpanReps;
+
+  // How many spans does one certification emit?  Count via a ring sink.
+  std::size_t spanCount = 0;
+  {
+    auto ring = std::make_shared<RingBufferSink>(1 << 20);
+    Tracer::global().addSink(ring);
+    (void)core::certifyChain(chain, /*numThreads=*/1);
+    Tracer::global().removeSink(ring.get());
+    spanCount = ring->size() + ring->droppedEvents();
+  }
+  ASSERT_GT(spanCount, 0u) << "certifyChain must be instrumented";
+
+  // Untraced certification cost: fastest of several runs.
+  double chainNanos = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto start = Clock::now();
+    (void)core::certifyChain(chain, /*numThreads=*/1);
+    chainNanos = std::min(chainNanos, nanosSince(start));
+  }
+
+  const double overheadNanos = perSpanNanos * static_cast<double>(spanCount);
+  EXPECT_LT(overheadNanos, 0.02 * chainNanos)
+      << "no-sink span overhead " << overheadNanos << "ns ("
+      << spanCount << " spans x " << perSpanNanos
+      << "ns) exceeds 2% of certifyChain's " << chainNanos << "ns";
+}
+
+}  // namespace
+}  // namespace relb::obs

@@ -1,0 +1,204 @@
+// Tracer and sinks: span nesting and ordering (serial and under
+// parallel_for fan-out at widths 1/2/8), ring-buffer overflow, text
+// rendering, and the aggregator's root-vs-all split that the run report's
+// phase table builds on.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace relb::obs {
+namespace {
+
+TEST(ThreadId, DenseStablePerThread) {
+  const int mine = currentThreadId();
+  EXPECT_EQ(currentThreadId(), mine) << "id must be stable within a thread";
+  int other = -1;
+  std::thread t([&] { other = currentThreadId(); });
+  t.join();
+  EXPECT_GE(other, 0);
+  EXPECT_NE(other, mine) << "distinct threads get distinct ids";
+}
+
+TEST(Tracer, DisabledWithoutSinksAndSpansAreInert) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  { const ScopedSpan span("ignored", tracer); }
+  tracer.counter("ignored", 1);
+  tracer.instant("ignored");
+  // Attaching a sink afterwards must not replay anything.
+  auto ring = std::make_shared<RingBufferSink>(16);
+  tracer.addSink(ring);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(ring->size(), 0u);
+  tracer.removeSink(ring.get());
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(Tracer, NestedSpansCompleteInnermostFirstWithDepths) {
+  Tracer tracer;
+  auto ring = std::make_shared<RingBufferSink>(16);
+  tracer.addSink(ring);
+  {
+    const ScopedSpan outer("outer", tracer);
+    {
+      const ScopedSpan mid("mid", tracer);
+      const ScopedSpan inner("inner", tracer);
+      (void)inner;
+      (void)mid;
+    }
+    (void)outer;
+  }
+  const auto events = ring->events();
+  ASSERT_EQ(events.size(), 3u);
+  // Complete-span events arrive in destruction order: innermost first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "mid");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 0);
+  // All on this thread, and children contained in the parent interval.
+  const int tid = currentThreadId();
+  for (const TraceEvent& e : events) EXPECT_EQ(e.threadId, tid);
+  EXPECT_LE(events[2].startMicros, events[0].startMicros);
+  EXPECT_LE(events[0].startMicros + events[0].durationMicros,
+            events[2].startMicros + events[2].durationMicros);
+}
+
+TEST(Tracer, SpanDepthIsPerThread) {
+  Tracer tracer;
+  auto ring = std::make_shared<RingBufferSink>(16);
+  tracer.addSink(ring);
+  const ScopedSpan outer("outer", tracer);
+  std::thread t([&] {
+    // The other thread's depth counter starts at zero even while this
+    // thread has an open span.
+    const ScopedSpan theirs("theirs", tracer);
+    (void)theirs;
+  });
+  t.join();
+  const auto events = ring->events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "theirs");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_NE(events[0].threadId, currentThreadId());
+}
+
+// One span per work item, fanned out at the given width.  For width >= 2
+// every item blocks until at least two distinct threads have joined the
+// batch, so the trace provably shows >= 2 thread ids even on a single-core
+// host (the blocked lane yields, the scheduler runs a pool worker).
+void runFanOut(int width, std::size_t items, std::size_t wantThreads) {
+  Tracer tracer;
+  auto ring = std::make_shared<RingBufferSink>(items + 8);
+  tracer.addSink(ring);
+
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<std::size_t> distinct{0};
+  util::parallel_for(width, items, [&](std::size_t) {
+    const ScopedSpan span("fanout.item", tracer);
+    {
+      std::lock_guard lock(mu);
+      seen.insert(std::this_thread::get_id());
+      distinct.store(seen.size(), std::memory_order_relaxed);
+    }
+    while (distinct.load(std::memory_order_relaxed) < wantThreads) {
+      std::this_thread::yield();
+    }
+  });
+
+  const auto events = ring->events();
+  ASSERT_EQ(events.size(), items) << "one completed span per item";
+  std::set<int> tids;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.name, "fanout.item");
+    EXPECT_GE(e.durationMicros, 0);
+    tids.insert(e.threadId);
+  }
+  EXPECT_GE(tids.size(), wantThreads);
+  EXPECT_LE(tids.size(), static_cast<std::size_t>(width));
+}
+
+TEST(Tracer, FanOutWidth1IsSingleThreaded) { runFanOut(1, 16, 1); }
+TEST(Tracer, FanOutWidth2ShowsTwoThreads) { runFanOut(2, 16, 2); }
+TEST(Tracer, FanOutWidth8ShowsTwoThreads) { runFanOut(8, 32, 2); }
+
+TEST(RingBufferSink, OverflowDropsOldestAndCounts) {
+  Tracer tracer;
+  auto ring = std::make_shared<RingBufferSink>(4);
+  tracer.addSink(ring);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant("i" + std::to_string(i));
+  }
+  EXPECT_EQ(ring->size(), 4u);
+  EXPECT_EQ(ring->droppedEvents(), 6u);
+  const auto events = ring->events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(events[0].name, "i6");
+  EXPECT_EQ(events[1].name, "i7");
+  EXPECT_EQ(events[2].name, "i8");
+  EXPECT_EQ(events[3].name, "i9");
+}
+
+TEST(TextSink, RendersSpansCountersInstants) {
+  Tracer tracer;
+  auto text = std::make_shared<TextSink>();
+  tracer.addSink(text);
+  {
+    const ScopedSpan outer("outer", tracer);
+    const ScopedSpan inner("inner", tracer);
+    (void)outer;
+    (void)inner;
+  }
+  tracer.counter("labels", 7);
+  tracer.instant("marker");
+  const std::string out = text->render();
+  EXPECT_NE(out.find("outer"), std::string::npos);
+  EXPECT_NE(out.find("  inner"), std::string::npos) << "depth 1 indents";
+  EXPECT_NE(out.find("# labels = 7"), std::string::npos);
+  EXPECT_NE(out.find("! marker"), std::string::npos);
+}
+
+TEST(SpanAggregator, SeparatesRootTotalsFromAllSpans) {
+  SpanAggregator agg;
+  const auto span = [&](const char* name, std::int64_t micros, int depth) {
+    TraceEvent e;
+    e.name = name;
+    e.durationMicros = micros;
+    e.depth = depth;
+    agg.consume(e);
+  };
+  span("phase.a", 100, 0);
+  span("phase.a", 50, 0);
+  span("inner", 30, 1);
+  TraceEvent counter;
+  counter.kind = TraceEvent::Kind::kCounter;
+  counter.name = "noise";
+  agg.consume(counter);  // counters do not aggregate
+
+  const auto all = agg.totals();
+  ASSERT_EQ(all.size(), 2u);  // name-sorted: inner, phase.a
+  EXPECT_EQ(all[0].first, "inner");
+  EXPECT_EQ(all[0].second.count, 1u);
+  EXPECT_EQ(all[0].second.wallMicros, 30);
+  EXPECT_EQ(all[1].first, "phase.a");
+  EXPECT_EQ(all[1].second.count, 2u);
+  EXPECT_EQ(all[1].second.wallMicros, 150);
+
+  const auto roots = agg.rootTotals();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].first, "phase.a");
+  EXPECT_EQ(roots[0].second.wallMicros, 150);
+}
+
+}  // namespace
+}  // namespace relb::obs

@@ -10,6 +10,7 @@
 
 #include "core/sequence.hpp"
 #include "io/certificate.hpp"
+#include "obs/metrics.hpp"
 #include "re/problem.hpp"
 
 namespace relb::store {
@@ -101,6 +102,10 @@ TEST(DiskStepStore, WarmChainCertificationRecomputesNothing) {
     EXPECT_GT(ctx.stats().zeroRoundMisses, 0u);
   }
   {
+    // The warm run is also observable through the global counter registry:
+    // every step is served by the store (store.hit ticks once per step,
+    // store.miss not at all).  Asserted on snapshot deltas, not stdout.
+    const auto before = obs::Registry::global().snapshot();
     re::EngineContext ctx;
     ctx.attachStore(std::make_shared<DiskStepStore>(dir));
     const auto cert = core::buildChainCertificate(chain, &ctx);
@@ -108,6 +113,14 @@ TEST(DiskStepStore, WarmChainCertificationRecomputesNothing) {
     EXPECT_EQ(ctx.stats().zeroRoundMisses, 0u);
     EXPECT_EQ(ctx.stats().stepMisses, 0u);
     EXPECT_EQ(ctx.stats().storeHits, chain.steps.size());
+    const auto after = obs::Registry::global().snapshot();
+    EXPECT_EQ(after.counterValue("store.hit") -
+                  before.counterValue("store.hit"),
+              chain.steps.size());
+    EXPECT_EQ(after.counterValue("store.miss"),
+              before.counterValue("store.miss"));
+    EXPECT_EQ(after.counterValue("store.write"),
+              before.counterValue("store.write"));
   }
   EXPECT_EQ(coldBytes, warmBytes) << "certificates must be bit-identical "
                                      "between cold- and warm-store runs";

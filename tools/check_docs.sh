@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Documentation drift checks, run by the CI docs job:
+#
+#   1. every intra-repo markdown link in README.md and docs/*.md resolves to
+#      an existing file (anchors are stripped; external http/https/mailto
+#      links are skipped);
+#   2. every --flag appearing in a fenced round_eliminator_cli invocation is
+#      actually listed by the built binary's --help, so the tutorials cannot
+#      drift ahead of (or behind) the CLI.
+#
+# Usage: tools/check_docs.sh [build-dir]   (default: build; the CLI binary
+# must already be built there).  Exit 0 = clean, 1 = drift found.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/round_eliminator_cli"
+
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not built (run: cmake --build $BUILD_DIR --target round_eliminator_cli)" >&2
+  exit 1
+fi
+
+fail=0
+
+# --- 1. intra-repo links -------------------------------------------------
+for md in README.md docs/*.md; do
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))$/\1/') || true
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    base=$(dirname "$md")
+    if [ ! -e "$base/$target" ] && [ ! -e "$target" ]; then
+      echo "broken link: $md -> $link"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. CLI flags used in fenced code blocks -----------------------------
+# Join backslash-continued lines inside fenced blocks, keep the ones that
+# invoke the CLI, and collect every --flag they mention.
+help_text=$("$CLI" --help 2>&1) || true
+flags=$(awk '/^```/{infence=!infence; next} infence' README.md docs/*.md \
+  | sed ':a;/\\$/{N;s/\\\n/ /;ba}' \
+  | grep 'round_eliminator_cli' \
+  | grep -o -- '--[a-z0-9-][a-z0-9-]*' | sort -u) || true
+for flag in $flags; do
+  if ! printf '%s' "$help_text" | grep -q -- "$flag"; then
+    echo "doc flag not in --help: $flag"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check passed ($(printf '%s\n' $flags | wc -l) CLI flags cross-checked)"
+fi
+exit "$fail"
