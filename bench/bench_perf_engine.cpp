@@ -21,6 +21,8 @@
 #include <random>
 
 #include "core/lemma6.hpp"
+#include "gen/random_problem.hpp"
+#include "io/serialize.hpp"
 #include "core/lemma8.hpp"
 #include "core/sequence.hpp"
 #include "obs/metrics.hpp"
@@ -374,6 +376,41 @@ void BM_RegistryCounterAdd(benchmark::State& state) {
   benchmark::DoNotOptimize(counter.value());
 }
 BENCHMARK(BM_RegistryCounterAdd);
+
+// ---------------------------------------------------------------------------
+// Random-problem generator (src/gen): the throughput floor under the
+// property suites.  One row per pass configuration -- the post-passes
+// (right closure, relaxation) dominate generation cost, and a regression
+// here silently stretches every tier-2 CI run.
+// ---------------------------------------------------------------------------
+
+void BM_GenerateRandomProblem(benchmark::State& state) {
+  gen::RandomProblemOptions options;
+  options.rightClosurePass = state.range(0) != 0;
+  options.relaxationPass = state.range(1) != 0;
+  std::mt19937 rng(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::randomProblem(rng, options));
+  }
+}
+BENCHMARK(BM_GenerateRandomProblem)
+    ->ArgNames({"closure", "relax"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
+// The generate -> serialize path the fuzz-corpus generator
+// (tools/fuzz_parse --generate) and the round-trip suites pay per case.
+void BM_GenerateAndRenderText(benchmark::State& state) {
+  const gen::RandomProblemOptions options;
+  std::mt19937 rng(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        io::renderProblemText(gen::randomProblem(rng, options)));
+  }
+}
+BENCHMARK(BM_GenerateAndRenderText);
 
 }  // namespace
 

@@ -1,0 +1,138 @@
+#include "gen/random_problem.hpp"
+
+#include <string>
+#include <vector>
+
+#include "re/diagram.hpp"
+
+namespace relb::gen {
+
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Error;
+using re::Group;
+using re::Label;
+using re::LabelSet;
+using re::Problem;
+
+namespace {
+
+// A non-empty random subset of the first `alphabetSize` labels: one seed
+// label uniformly, then each further label independently with probability
+// `density`.
+LabelSet randomSet(std::mt19937& rng, int alphabetSize, double density) {
+  std::uniform_int_distribution<int> pick(0, alphabetSize - 1);
+  LabelSet set{static_cast<Label>(pick(rng))};
+  std::bernoulli_distribution extra(density);
+  for (int l = 0; l < alphabetSize; ++l) {
+    if (extra(rng)) set.insert(static_cast<Label>(l));
+  }
+  return set;
+}
+
+Configuration randomConfiguration(std::mt19937& rng, int alphabetSize,
+                                  Count degree,
+                                  const RandomProblemOptions& options) {
+  std::bernoulli_distribution condense(options.condenseBias);
+  std::vector<Group> groups;
+  Count remaining = degree;
+  while (remaining > 0) {
+    Count count = 1;
+    while (count < remaining && condense(rng)) ++count;
+    groups.push_back(
+        {randomSet(rng, alphabetSize, options.disjunctionDensity), count});
+    remaining -= count;
+  }
+  return Configuration(std::move(groups));
+}
+
+Constraint randomConstraint(std::mt19937& rng, int alphabetSize, Count degree,
+                            int minConfigs, int maxConfigs,
+                            const RandomProblemOptions& options) {
+  std::uniform_int_distribution<int> countDist(minConfigs, maxConfigs);
+  const int target = countDist(rng);
+  Constraint out(degree, {});
+  for (int i = 0; i < target; ++i) {
+    out.add(randomConfiguration(rng, alphabetSize, degree, options));
+  }
+  return out;
+}
+
+void requireRange(long long lo, long long hi, const char* what) {
+  if (lo < 1 || hi < lo) {
+    throw Error(std::string("randomProblem: bad ") + what + " range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+}
+
+}  // namespace
+
+Problem randomProblem(std::mt19937& rng, const RandomProblemOptions& options) {
+  requireRange(options.minAlphabet, options.maxAlphabet, "alphabet");
+  requireRange(options.minDelta, options.maxDelta, "delta");
+  requireRange(options.minNodeConfigs, options.maxNodeConfigs, "node-config");
+  requireRange(options.minEdgeConfigs, options.maxEdgeConfigs, "edge-config");
+  if (options.maxAlphabet > re::kMaxLabels) {
+    throw Error("randomProblem: alphabet range exceeds kMaxLabels");
+  }
+
+  std::uniform_int_distribution<int> alphaDist(options.minAlphabet,
+                                               options.maxAlphabet);
+  std::uniform_int_distribution<Count> deltaDist(options.minDelta,
+                                                 options.maxDelta);
+  Problem p;
+  const int alphabetSize = alphaDist(rng);
+  for (int i = 0; i < alphabetSize; ++i) {
+    p.alphabet.add(i < 26 ? std::string(1, static_cast<char>('A' + i))
+                          : "L" + std::to_string(i));
+  }
+  const Count delta = deltaDist(rng);
+  p.node = randomConstraint(rng, alphabetSize, delta, options.minNodeConfigs,
+                            options.maxNodeConfigs, options);
+  p.edge = randomConstraint(rng, alphabetSize, 2, options.minEdgeConfigs,
+                            options.maxEdgeConfigs, options);
+  if (options.rightClosurePass) p = rightClosureRelaxation(p);
+  if (options.relaxationPass) {
+    p = randomRelaxation(p, rng, options.relaxationGrowProbability);
+  }
+  p.validate();
+  return p;
+}
+
+Problem rightClosureRelaxation(const Problem& p) {
+  const auto rel = re::computeStrength(p.edge, p.alphabet.size());
+  Problem out;
+  out.alphabet = p.alphabet;
+  Constraint node(p.node.degree(), {});
+  for (const Configuration& c : p.node.configurations()) {
+    node.add(c.mapSets([&](LabelSet s) { return rel.rightClosure(s); }));
+  }
+  out.node = std::move(node);
+  out.edge = p.edge;
+  out.validate();
+  return out;
+}
+
+Problem randomRelaxation(const Problem& p, std::mt19937& rng,
+                         double growProbability) {
+  std::bernoulli_distribution grow(growProbability);
+  const auto relaxConstraint = [&](const Constraint& c) {
+    Constraint out(c.degree(), {});
+    for (const Configuration& config : c.configurations()) {
+      out.add(config.mapSets([&](LabelSet s) {
+        if (!grow(rng)) return s;
+        return s | randomSet(rng, p.alphabet.size(), 0.3);
+      }));
+    }
+    return out;
+  };
+  Problem out;
+  out.alphabet = p.alphabet;
+  out.node = relaxConstraint(p.node);
+  out.edge = relaxConstraint(p.edge);
+  out.validate();
+  return out;
+}
+
+}  // namespace relb::gen

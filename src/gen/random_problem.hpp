@@ -1,0 +1,91 @@
+// Seeded random LCL problem generator.
+//
+// The paper's fixtures exercise one family Pi_Delta(a, x) over the five-label
+// alphabet {M, P, O, A, X}; the property suites in tests/prop need valid
+// problems with *no* special structure -- arbitrary alphabets, degrees,
+// condensed-group shapes, and edge densities -- to catch bugs the family
+// cannot reach (condensation corner cases, right-closure of irregular
+// diagrams, zero-round analysis of asymmetric edge constraints).
+//
+// randomProblem(rng, options) draws such a problem.  Every output satisfies
+// Problem::validate() by construction, and generation is a pure function of
+// the RNG state and the options: the same seed reproduces the same problem,
+// which is what makes property-test failures replayable from a printed seed
+// (see tests/prop/prop.hpp and docs/testing.md).
+//
+// Two optional post-passes reshape the raw draw towards the structures round
+// elimination actually produces:
+//   * right-closure: replace every node-group set by its right closure under
+//     the edge-constraint strength relation (Observation 4's normal form);
+//   * relaxation: randomly enlarge group sets (a superset relaxation, the
+//     move of Definition 7).
+// Both preserve validity and are exposed standalone so oracles can compare a
+// problem against its relaxations.
+#pragma once
+
+#include <random>
+
+#include "re/problem.hpp"
+
+namespace relb::gen {
+
+struct RandomProblemOptions {
+  /// Alphabet size range (inclusive).  Label names are single uppercase
+  /// letters, so the text round-trip stays compact; sizes above 26 fall back
+  /// to "L<i>" names.  Minimum 1 (single-label problems are a deliberate
+  /// edge case).
+  int minAlphabet = 2;
+  int maxAlphabet = 5;
+
+  /// Node-constraint degree (Delta) range, inclusive.  Keep small: the
+  /// Rbar-side oracles enumerate multisets.
+  re::Count minDelta = 2;
+  re::Count maxDelta = 4;
+
+  /// Number of configurations per constraint, inclusive ranges.  Duplicate
+  /// draws collapse (Constraint::add drops exact duplicates), so the actual
+  /// count may come out lower.
+  int minNodeConfigs = 1;
+  int maxNodeConfigs = 4;
+  int minEdgeConfigs = 1;
+  int maxEdgeConfigs = 4;
+
+  /// Probability that a group's label set receives each extra label beyond
+  /// the first (drives disjunction width, i.e. configuration density).
+  double disjunctionDensity = 0.25;
+
+  /// Probability that the next slot of a node configuration merges into the
+  /// current group instead of opening a new one (drives condensation: high
+  /// values produce few groups with large exponents).
+  double condenseBias = 0.5;
+
+  /// Post-pass: right-close every node group set under the edge strength
+  /// relation (see rightClosureRelaxation below).
+  bool rightClosurePass = false;
+
+  /// Post-pass: randomly enlarge group sets (see randomRelaxation below).
+  bool relaxationPass = false;
+  double relaxationGrowProbability = 0.3;
+};
+
+/// Draws one valid problem.  Deterministic in (rng state, options); advances
+/// `rng`.  Throws re::Error on inconsistent option ranges.
+[[nodiscard]] re::Problem randomProblem(std::mt19937& rng,
+                                        const RandomProblemOptions& options = {});
+
+/// Replaces every node-group set by its right closure under the strength
+/// relation of the edge constraint.  Any solution of `p` remains a solution
+/// of the result (stronger labels may always substitute weaker ones), so
+/// this is a relaxation; it is also the normal form Observation 4 feeds to
+/// Rbar.  Edge constraint and alphabet are unchanged.
+[[nodiscard]] re::Problem rightClosureRelaxation(const re::Problem& p);
+
+/// Randomly enlarges group sets: each group of each constraint grows to a
+/// random superset with probability `growProbability` per group.  The result
+/// accepts every labeling `p` accepts (a relaxation in the sense of
+/// Definition 7).  Deterministic in the RNG state.
+[[nodiscard]] re::Problem randomRelaxation(const re::Problem& p,
+                                           std::mt19937& rng,
+                                           double growProbability = 0.3);
+
+}  // namespace relb::gen

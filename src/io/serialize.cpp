@@ -1,6 +1,7 @@
 #include "io/serialize.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 namespace relb::io {
@@ -50,6 +51,53 @@ Constraint constraintFromJson(const Json& j, Count degree, int alphabetSize) {
     }
   }
   return Constraint(degree, std::move(configs));
+}
+
+// Strict UTF-8 validation (RFC 3629): rejects stray continuation bytes,
+// overlong encodings, surrogates, and anything past U+10FFFF.  Problem text
+// frequently comes from hand-edited files and fuzzers; a precise byte-level
+// diagnostic beats a confusing tokenizer error three layers down.
+void requireUtf8(std::string_view text) {
+  const auto fail = [&](std::size_t offset) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "0x%02X",
+                  static_cast<unsigned char>(text[offset]));
+    throw Error("parseProblemText: invalid UTF-8 byte " + std::string(buf) +
+                " at offset " + std::to_string(offset) +
+                " (inputs must be UTF-8 text)");
+  };
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    std::size_t need = 0;
+    unsigned char lo = 0x80;
+    unsigned char hi = 0xBF;
+    if (c >= 0xC2 && c <= 0xDF) {
+      need = 1;
+    } else if (c >= 0xE0 && c <= 0xEF) {
+      need = 2;
+      if (c == 0xE0) lo = 0xA0;  // reject overlong
+      if (c == 0xED) hi = 0x9F;  // reject surrogates
+    } else if (c >= 0xF0 && c <= 0xF4) {
+      need = 3;
+      if (c == 0xF0) lo = 0x90;  // reject overlong
+      if (c == 0xF4) hi = 0x8F;  // reject > U+10FFFF
+    } else {
+      fail(i);
+    }
+    if (i + need >= text.size()) fail(i);
+    for (std::size_t k = 1; k <= need; ++k) {
+      const auto cont = static_cast<unsigned char>(text[i + k]);
+      const unsigned char floor = (k == 1) ? lo : 0x80;
+      const unsigned char ceil = (k == 1) ? hi : 0xBF;
+      if (cont < floor || cont > ceil) fail(i + k);
+    }
+    i += need + 1;
+  }
 }
 
 }  // namespace
@@ -145,6 +193,7 @@ std::string renderProblemText(const Problem& p) {
 }
 
 Problem parseProblemText(std::string_view text) {
+  requireUtf8(text);
   // Peel off an optional "# alphabet:" header.
   std::istringstream iss{std::string(text)};
   std::string line;
@@ -152,7 +201,15 @@ Problem parseProblemText(std::string_view text) {
   std::string body;
   bool sawHeader = false;
   bool firstContent = true;
+  std::size_t lineNo = 0;
   while (std::getline(iss, line)) {
+    ++lineNo;
+    if (line.size() > kMaxLineBytes) {
+      throw Error("parseProblemText: line " + std::to_string(lineNo) +
+                  " is " + std::to_string(line.size()) +
+                  " bytes long (limit " + std::to_string(kMaxLineBytes) +
+                  "); problem text lines never get this large");
+    }
     if (firstContent && line.starts_with("# alphabet:")) {
       std::istringstream names{line.substr(std::string("# alphabet:").size())};
       std::string name;
@@ -189,6 +246,16 @@ Problem parseProblemText(std::string_view text) {
   }
 
   if (!sawHeader) return Problem::parse(nodeText, edgeText);
+
+  for (std::size_t a = 0; a < headerNames.size(); ++a) {
+    for (std::size_t b = a + 1; b < headerNames.size(); ++b) {
+      if (headerNames[a] == headerNames[b]) {
+        throw Error("parseProblemText: duplicate label '" + headerNames[a] +
+                    "' in alphabet header (positions " + std::to_string(a) +
+                    " and " + std::to_string(b) + ")");
+      }
+    }
+  }
 
   Problem p = Problem::parse(nodeText, edgeText);
   // Re-parse against the declared alphabet so label order matches the

@@ -14,6 +14,7 @@
 //     tokenized back); use JSON for machine-generated alphabets.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -51,10 +52,20 @@ inline constexpr int kFormatVersion = 1;
 /// Throws re::Error if a label name contains whitespace.
 [[nodiscard]] std::string renderProblemText(const re::Problem& p);
 
+/// Longest line parseProblemText accepts, in bytes.  Configurations over a
+/// <= kMaxLabels alphabet render far below this; anything longer is a
+/// corrupt or hostile input and is rejected with the offending line number.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
 /// Parses the text form.  With a "# alphabet:" header, labels are
 /// pre-registered in header order and configurations may not mention labels
 /// outside it; without one, this is exactly Problem::parse on the two
 /// sections (labels registered in order of first appearance).
+///
+/// Hardened against malformed input: rejects non-UTF-8 bytes (with the byte
+/// offset), lines longer than kMaxLineBytes (with the line number), and
+/// duplicate labels in the alphabet header (with both positions) -- all as
+/// re::Error diagnostics.
 [[nodiscard]] re::Problem parseProblemText(std::string_view text);
 
 }  // namespace relb::io

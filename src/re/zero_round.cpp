@@ -44,7 +44,7 @@ bool zeroRoundSolvableSymmetricPorts(const Problem& p) {
   return zeroRoundSymmetricWitness(p).has_value();
 }
 
-bool zeroRoundSolvableAdversarialPorts(const Problem& p) {
+std::optional<Word> zeroRoundAdversarialWitness(const Problem& p) {
   const auto compat = edgeCompatibility(p.edge, p.alphabet.size());
   // A support set S works iff S x S (including diagonal) is edge-compatible.
   const auto cliqueOk = [&](LabelSet s) {
@@ -57,27 +57,39 @@ bool zeroRoundSolvableAdversarialPorts(const Problem& p) {
   for (const auto& config : p.node.configurations()) {
     // Greedy is not enough here (the choice within one group affects the
     // clique condition globally), so search over per-group label choices;
-    // groups are few, and only the support matters, so dedupe by support.
+    // groups are few, and only the support matters, so dedupe by support
+    // (keeping one representative word per support).
     const auto& groups = config.groups();
-    std::vector<LabelSet> supports{LabelSet{}};
+    std::vector<std::pair<LabelSet, Word>> choices{
+        {LabelSet{}, Word(static_cast<std::size_t>(p.alphabet.size()), 0)}};
     for (const Group& g : groups) {
-      std::vector<LabelSet> next;
-      for (LabelSet s : supports) {
+      std::vector<std::pair<LabelSet, Word>> next;
+      for (const auto& [s, w] : choices) {
         forEachLabel(g.set, [&](Label l) {
           LabelSet extended = s;
           extended.insert(l);
-          next.push_back(extended);
+          Word word = w;
+          word[l] += g.count;
+          next.emplace_back(extended, std::move(word));
         });
       }
       std::sort(next.begin(), next.end());
-      next.erase(std::unique(next.begin(), next.end()), next.end());
-      supports = std::move(next);
+      next.erase(std::unique(next.begin(), next.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 next.end());
+      choices = std::move(next);
     }
-    for (LabelSet s : supports) {
-      if (cliqueOk(s)) return true;
+    for (const auto& [s, w] : choices) {
+      if (cliqueOk(s)) return w;
     }
   }
-  return false;
+  return std::nullopt;
+}
+
+bool zeroRoundSolvableAdversarialPorts(const Problem& p) {
+  return zeroRoundAdversarialWitness(p).has_value();
 }
 
 bool zeroRoundSolvableWithEdgeInputs(const Problem& p) {

@@ -30,6 +30,13 @@ namespace relb::re {
 /// (the negation is the premise of Lemma 12).
 [[nodiscard]] bool zeroRoundSolvableSymmetricPorts(const Problem& p);
 
+/// A witness word (if any) for the adversarial-ports model: a
+/// node-constraint word whose *support* is pairwise (and self-) compatible.
+/// Such a word solves the problem on ANY graph with any port numbering
+/// (every node outputs the word in port order); the differential oracles in
+/// tests/prop realize it on concrete shuffled trees via src/local.
+[[nodiscard]] std::optional<Word> zeroRoundAdversarialWitness(const Problem& p);
+
 /// Deterministic 0-round solvability against fully adversarial ports: some
 /// node-constraint word whose *support* is pairwise (and self-) compatible,
 /// so that any two facing labels are allowed.

@@ -10,6 +10,7 @@
 #include "core/conversions.hpp"
 #include "local/halfedge.hpp"
 #include "local/verify.hpp"
+#include "support/env_seed.hpp"
 
 namespace relb {
 namespace {
@@ -17,7 +18,9 @@ namespace {
 class ShuffledPorts : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(ShuffledPorts, AlgorithmsSurvive) {
-  std::mt19937 rng(GetParam());
+  const unsigned seed = testsupport::effectiveSeed(GetParam());
+  const testsupport::TraceSeed trace(seed);
+  std::mt19937 rng(seed);
   auto g = local::randomTree(150, 6, rng);
   g.shufflePorts(rng);
 
@@ -33,7 +36,9 @@ TEST_P(ShuffledPorts, AlgorithmsSurvive) {
 }
 
 TEST_P(ShuffledPorts, ConversionsSurvive) {
-  std::mt19937 rng(GetParam() + 100);
+  const unsigned seed = testsupport::effectiveSeed(GetParam() + 100);
+  const testsupport::TraceSeed trace(seed);
+  std::mt19937 rng(seed);
   auto g = local::completeRegularTree(5, 3);
   g.shufflePorts(rng);
   ASSERT_TRUE(g.edgeColoringIsProper(5));
@@ -53,7 +58,9 @@ TEST_P(ShuffledPorts, ConversionsSurvive) {
 TEST_P(ShuffledPorts, CheckerIndependentOfPortOrder) {
   // A valid labeling stays valid if we *relabel consistently* after a
   // shuffle: build the labeling after shuffling.
-  std::mt19937 rng(GetParam() + 200);
+  const unsigned seed = testsupport::effectiveSeed(GetParam() + 200);
+  const testsupport::TraceSeed trace(seed);
+  std::mt19937 rng(seed);
   auto g = local::completeRegularTree(4, 3);
   g.shufflePorts(rng);
   std::vector<bool> inSet(static_cast<std::size_t>(g.numNodes()), false);

@@ -7,6 +7,7 @@
 #include <random>
 
 #include "core/conversions.hpp"
+#include "support/env_seed.hpp"
 
 namespace relb::core {
 namespace {
@@ -23,7 +24,9 @@ class Lemma9RandomTrees : public ::testing::TestWithParam<RandomConvCase> {};
 
 TEST_P(Lemma9RandomTrees, ConvertsOnIrregularTrees) {
   const auto param = GetParam();
-  std::mt19937 rng(param.seed);
+  const unsigned seed = testsupport::effectiveSeed(param.seed);
+  const testsupport::TraceSeed trace(seed);
+  std::mt19937 rng(seed);
   const auto g = local::randomTree(param.n, param.maxDegree, rng);
   const re::Count delta = param.maxDegree;
   ASSERT_TRUE(g.edgeColoringIsProper(param.maxDegree));
@@ -79,7 +82,9 @@ TEST(Lemma9Pathological, StarAndBroom) {
 }
 
 TEST(Lemma5Random, WorksOnIrregularTrees) {
-  std::mt19937 rng(9);
+  const unsigned seed = testsupport::effectiveSeed(9);
+  const testsupport::TraceSeed trace(seed);
+  std::mt19937 rng(seed);
   for (int trial = 0; trial < 5; ++trial) {
     const auto g = local::randomTree(100, 6, rng);
     // Greedy MIS as a 0-outdegree dominating set.
@@ -104,7 +109,9 @@ TEST(Lemma5Random, WorksOnIrregularTrees) {
 
 TEST(Lemma11Random, ChainedRelaxations) {
   // Relax in two hops and in one hop; both must validate.
-  std::mt19937 rng(4);
+  const unsigned seed = testsupport::effectiveSeed(4);
+  const testsupport::TraceSeed trace(seed);
+  std::mt19937 rng(seed);
   const auto g = local::randomTree(80, 5, rng);
   const re::Count delta = 5;
   std::vector<bool> inSet(static_cast<std::size_t>(g.numNodes()), false);

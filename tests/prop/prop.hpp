@@ -1,0 +1,178 @@
+// Lightweight property-based testing harness (no external dependencies).
+//
+// forAllProblems(config, property) draws `iterations` random problems from
+// gen::randomProblem and checks `property` on each.  A property returns an
+// empty string on success or a human-readable failure description; a thrown
+// exception counts as a failure with the exception text.  On the first
+// failing case the harness
+//
+//   1. *shrinks* the problem by greedily deleting configurations (node and
+//      edge) while the property still fails, so the report shows a minimal
+//      reproducer, not a 4-configuration monster;
+//   2. reports the case seed, the iteration index, the reproduction recipe
+//      (RELB_TEST_SEED=<offset>), and the shrunk problem's text form through
+//      ADD_FAILURE;
+//   3. writes the shrunk problem to prop_failures/<suite>-<case>.txt (under
+//      the test's working directory) so CI can upload failing cases as
+//      artifacts.
+//
+// Knobs (both read per check, so a single binary invocation honors them):
+//   RELB_TEST_SEED   shifts every case seed (default 0: fixed historical
+//                    seeds, fully deterministic);
+//   RELB_PROP_ITERS  overrides the iteration count (nightly runs set it to
+//                    10-50x the default).
+//
+// The harness is gtest-native on purpose: properties use the full assertion
+// vocabulary of the surrounding test if they want to, but the common path is
+// "return a message"; the harness owns reporting and shrinking.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <string>
+
+#include "gen/random_problem.hpp"
+#include "io/serialize.hpp"
+#include "support/env_seed.hpp"
+
+namespace relb::prop {
+
+/// A property under test: empty string = pass, otherwise a description of
+/// what went wrong.  The RNG is the per-case generator (already advanced
+/// past problem generation); properties use it for auxiliary draws (label
+/// permutations, thread-count picks, port shuffles).
+using Property =
+    std::function<std::string(const re::Problem&, std::mt19937&)>;
+
+struct CheckConfig {
+  /// Suite name: names the failure artifact and the report lines.
+  std::string name;
+  /// Generator shape for this suite's cases.
+  gen::RandomProblemOptions gen;
+  /// Default iteration count; RELB_PROP_ITERS overrides.
+  int iterations = 200;
+  /// Base seed: case i uses effectiveSeed(baseSeed + i).
+  unsigned baseSeed = 1;
+};
+
+inline int envIterations(int fallback) {
+  const char* raw = std::getenv("RELB_PROP_ITERS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1) {
+    ADD_FAILURE() << "RELB_PROP_ITERS is not a positive number: '" << raw
+                  << "'";
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
+namespace detail {
+
+/// Runs the property, translating exceptions into failure messages (a
+/// property oracle must never crash the harness; "threw" is a verdict).
+inline std::string runProperty(const Property& property, const re::Problem& p,
+                               unsigned caseSeed) {
+  // A fresh RNG stream per attempt so shrunk re-runs see the same auxiliary
+  // draws as the original failing run (mixed with a distinct constant so the
+  // stream is independent of the generator's).
+  std::mt19937 aux(caseSeed ^ 0x9e3779b9u);
+  try {
+    return property(p, aux);
+  } catch (const std::exception& e) {
+    return std::string("property threw: ") + e.what();
+  }
+}
+
+/// Greedy 1-deletion shrinking: repeatedly drop a single node or edge
+/// configuration (keeping each constraint non-empty) while the property
+/// still fails.  Terminates because every accepted step removes one
+/// configuration.
+inline re::Problem shrink(const Property& property, re::Problem p,
+                          unsigned caseSeed) {
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const auto tryDelete = [&](bool fromNode) {
+      const re::Constraint& c = fromNode ? p.node : p.edge;
+      if (c.size() <= 1) return false;
+      for (std::size_t drop = 0; drop < c.size(); ++drop) {
+        std::vector<re::Configuration> kept;
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          if (i != drop) kept.push_back(c.configurations()[i]);
+        }
+        re::Problem candidate = p;
+        (fromNode ? candidate.node : candidate.edge) =
+            re::Constraint(c.degree(), std::move(kept));
+        if (!runProperty(property, candidate, caseSeed).empty()) {
+          p = std::move(candidate);
+          return true;
+        }
+      }
+      return false;
+    };
+    if (tryDelete(true) || tryDelete(false)) improved = true;
+  }
+  return p;
+}
+
+inline void writeFailureArtifact(const std::string& suite, int caseIndex,
+                                 unsigned caseSeed, const re::Problem& shrunk,
+                                 const std::string& message) {
+  std::error_code ec;
+  std::filesystem::create_directories("prop_failures", ec);
+  if (ec) return;  // reporting still happens through gtest
+  std::ofstream out("prop_failures/" + suite + "-case" +
+                    std::to_string(caseIndex) + ".txt");
+  out << "suite: " << suite << "\ncase: " << caseIndex
+      << "\nseed: " << caseSeed
+      << "\nRELB_TEST_SEED offset: " << testsupport::envSeedOffset()
+      << "\nfailure: " << message << "\n\n"
+      << io::renderProblemText(shrunk);
+}
+
+}  // namespace detail
+
+/// Checks `property` on `config.iterations` random problems.  Reports (and
+/// shrinks) every failing case; the surrounding gtest test fails iff any
+/// case fails.
+inline void forAllProblems(const CheckConfig& config,
+                           const Property& property) {
+  const int iterations = envIterations(config.iterations);
+  int failures = 0;
+  for (int i = 0; i < iterations && failures < 3; ++i) {
+    const unsigned caseSeed =
+        testsupport::effectiveSeed(config.baseSeed + static_cast<unsigned>(i));
+    std::mt19937 rng(caseSeed);
+    re::Problem p;
+    try {
+      p = gen::randomProblem(rng, config.gen);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << config.name << ": generator failed at case " << i
+                    << " (seed " << caseSeed << "): " << e.what();
+      ++failures;
+      continue;
+    }
+    const std::string message = detail::runProperty(property, p, caseSeed);
+    if (message.empty()) continue;
+    ++failures;
+    const re::Problem shrunk = detail::shrink(property, p, caseSeed);
+    const std::string shrunkMessage =
+        detail::runProperty(property, shrunk, caseSeed);
+    detail::writeFailureArtifact(config.name, i, caseSeed, shrunk,
+                                 shrunkMessage);
+    ADD_FAILURE() << config.name << ": case " << i << " failed (seed "
+                  << caseSeed << ", reproduce with RELB_TEST_SEED="
+                  << testsupport::envSeedOffset() << ")\n"
+                  << "failure: " << shrunkMessage << "\n"
+                  << "shrunk problem:\n"
+                  << io::renderProblemText(shrunk);
+  }
+}
+
+}  // namespace relb::prop

@@ -127,6 +127,86 @@ TEST(Diagram, AllRightClosedSetsUniverseGuard) {
   EXPECT_THROW(rel.allRightClosedSets(LabelSet::full(21)), Error);
 }
 
+// -- degenerate and extremal inputs ----------------------------------------
+
+TEST(Diagram, EmptyConstraintMakesEveryPairEquivalent) {
+  // With no words in the language, "every word containing B stays in L
+  // after the swap" holds vacuously: the preorder is complete, its strict
+  // part empty, so the diagram has no edges at all.
+  const Constraint empty(2, {});
+  const auto rel = computeStrength(empty, 3);
+  rel.checkPreorder();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_TRUE(rel.atLeastAsStrong(static_cast<Label>(a),
+                                      static_cast<Label>(b)));
+    }
+  }
+  EXPECT_TRUE(rel.diagramEdges().empty());
+  // Completeness means only the full set (and nothing smaller) survives
+  // right closure.
+  const auto sets = rel.allRightClosedSets(LabelSet::full(3));
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], LabelSet::full(3));
+}
+
+TEST(Diagram, SingleLabelAlphabetIsTrivial) {
+  const auto p = Problem::parse("A A A\n", "A A\n");
+  for (const Constraint* c : {&p.node, &p.edge}) {
+    const auto rel = computeStrength(*c, 1);
+    rel.checkPreorder();
+    EXPECT_TRUE(rel.atLeastAsStrong(0, 0));
+    EXPECT_FALSE(rel.strictlyStronger(0, 0));
+    EXPECT_TRUE(rel.diagramEdges().empty());
+    EXPECT_EQ(rel.rightClosure(LabelSet{0}), LabelSet{0});
+    const auto sets = rel.allRightClosedSets(LabelSet::full(1));
+    ASSERT_EQ(sets.size(), 1u);
+  }
+  EXPECT_EQ(computeStrength(p.edge, 1), computeStrengthScalable(p.edge, 1));
+}
+
+TEST(Diagram, AllWordsConstraintGivesCompletePreorder) {
+  // L = Sigma^2: every swap stays inside the language, so all labels are
+  // equivalent -- a complete preorder whose diagram is empty, this time
+  // with a non-empty language.
+  const auto p = Problem::parse("A B C\n", "[ABC] [ABC]\n");
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  rel.checkPreorder();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_TRUE(rel.atLeastAsStrong(static_cast<Label>(a),
+                                      static_cast<Label>(b)));
+    }
+  }
+  EXPECT_TRUE(rel.diagramEdges().empty());
+  EXPECT_EQ(rel, computeStrengthScalable(p.edge, p.alphabet.size()));
+}
+
+TEST(Diagram, TotalOrderChainFromConstraintLanguage) {
+  // L = {AC, BC, CC, BB} puts the labels in a strict chain A < B < C
+  // (e.g. A >= B fails because BB -> AB leaves the language).  The computed
+  // diagram must be the transitively reduced chain.
+  const auto p = Problem::parse("A C\nB C\nC C\nB B\n",
+                                "A C\nB C\nC C\nB B\n");
+  const auto a = p.alphabet.at("A");
+  const auto b = p.alphabet.at("B");
+  const auto c = p.alphabet.at("C");
+  const auto rel = computeStrength(p.edge, p.alphabet.size());
+  rel.checkPreorder();
+  EXPECT_TRUE(rel.strictlyStronger(b, a));
+  EXPECT_TRUE(rel.strictlyStronger(c, b));
+  EXPECT_TRUE(rel.strictlyStronger(c, a));
+  const auto edges = rel.diagramEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(a, b));
+  EXPECT_EQ(edges[1], std::make_pair(b, c));
+  // Right-closed sets of a 3-chain: the three upward closures.
+  const auto sets = rel.allRightClosedSets(p.alphabet.all());
+  EXPECT_EQ(sets.size(), 3u);
+  EXPECT_EQ(rel.rightClosure(LabelSet{a}), p.alphabet.all());
+  EXPECT_EQ(rel, computeStrengthScalable(p.edge, p.alphabet.size()));
+}
+
 TEST(Diagram, TransitiveReductionDropsImpliedEdges) {
   // Chain A < B < C: the diagram must not contain A -> C.
   StrengthRelation rel(3);

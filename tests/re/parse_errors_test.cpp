@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "io/serialize.hpp"
 #include "re/problem.hpp"
 
 namespace relb::re {
@@ -99,6 +100,73 @@ TEST(ParseErrors, StandaloneConfigurationParser) {
     expectContains(e.what(), "column 3");
     expectContains(e.what(), "unterminated '['");
   }
+}
+
+// -- parseProblemText hardening (src/io/serialize.cpp) ---------------------
+// Pinned regression inputs for every rejection path; byte-identical copies
+// live in the fuzz corpus under tests/data/fuzz/parse/.
+
+std::string textParseError(std::string_view text) {
+  try {
+    (void)io::parseProblemText(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parseProblemText failure for: " << text;
+  return {};
+}
+
+TEST(ParseErrors, DuplicateAlphabetHeaderLabel) {
+  const std::string msg =
+      textParseError("# alphabet: M P M\nM M M\n\nM M\n");
+  expectContains(msg, "duplicate label 'M' in alphabet header");
+  expectContains(msg, "positions 0 and 2");
+}
+
+TEST(ParseErrors, OverlongLineNamesTheLineAndLimit) {
+  const std::string longLine(io::kMaxLineBytes + 1, 'M');
+  const std::string msg = textParseError("M M\n" + longLine + "\n\nM M\n");
+  expectContains(msg, "line 2");
+  expectContains(msg, std::to_string(io::kMaxLineBytes + 1) + " bytes");
+  expectContains(msg, "limit " + std::to_string(io::kMaxLineBytes));
+}
+
+TEST(ParseErrors, NonUtf8ByteNamesByteAndOffset) {
+  // 0xFF can never appear in UTF-8.
+  const std::string msg = textParseError(std::string("M M\n\xFF\n"));
+  expectContains(msg, "invalid UTF-8 byte 0xFF at offset 4");
+}
+
+TEST(ParseErrors, StrayContinuationByteRejected) {
+  const std::string msg = textParseError(std::string("\x80M M\n"));
+  expectContains(msg, "invalid UTF-8 byte 0x80 at offset 0");
+}
+
+TEST(ParseErrors, TruncatedMultibyteSequenceRejected) {
+  // 0xC3 promises one continuation byte; the input ends instead.
+  const std::string msg = textParseError(std::string("M M\nM M\n\xC3"));
+  expectContains(msg, "invalid UTF-8 byte 0xC3");
+}
+
+TEST(ParseErrors, OverlongEncodingRejected) {
+  // 0xC0 0xAF is the classic overlong '/'.
+  const std::string msg = textParseError(std::string("M M\n\xC0\xAF\n"));
+  expectContains(msg, "invalid UTF-8 byte 0xC0");
+}
+
+TEST(ParseErrors, Utf8SurrogateRejected) {
+  // 0xED 0xA0 0x80 encodes the surrogate U+D800.
+  const std::string msg = textParseError(std::string("M M\n\xED\xA0\x80\n"));
+  expectContains(msg, "invalid UTF-8 byte 0xA0");
+}
+
+TEST(ParseErrors, ValidUtf8AndHeadersStillParse) {
+  // Multibyte UTF-8 in comments must sail through the validator.
+  const Problem p = io::parseProblemText(
+      "# h\xC3\xA9\x61\x64\x65r \xE2\x9C\x93\n"
+      "# alphabet: M P O\nM M M\nP O^2\n\nM [P O]\n");
+  EXPECT_EQ(p.alphabet.size(), 3);
+  EXPECT_EQ(p.node.degree(), 3);
 }
 
 TEST(ParseErrors, GoodInputStillParses) {

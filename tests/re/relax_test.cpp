@@ -63,5 +63,45 @@ TEST(ZeroRoundRelabeling, MatchesMonotoneFamilyRelation) {
   EXPECT_FALSE(isZeroRoundRelabeling(b1, b2, {0, 1, 2}));
 }
 
+// -- degenerate inputs -----------------------------------------------------
+
+Problem emptyProblem(Count delta) {
+  // Unsatisfiable: the node language is empty.  Cannot come from
+  // Problem::parse (which requires configurations), so built by hand.
+  Problem p;
+  p.alphabet = Alphabet({"A"});
+  p.node = Constraint(delta, {});
+  p.edge = Constraint(2, {});
+  return p;
+}
+
+TEST(ZeroRoundRelabeling, EmptyProblemIsVacuouslyRelabelable) {
+  // No configurations in `from` means no obligation: any map works,
+  // whatever the target -- including another empty problem.
+  const auto empty = emptyProblem(3);
+  EXPECT_TRUE(isZeroRoundRelabeling(empty, empty, {0}));
+  EXPECT_TRUE(isZeroRoundRelabeling(empty, misProblem(3), {0}));
+}
+
+TEST(ZeroRoundRelabeling, NothingRelabelsIntoAnEmptyProblem) {
+  // The reverse direction must fail: a non-empty language cannot map into
+  // the empty one.
+  EXPECT_FALSE(isZeroRoundRelabeling(misProblem(3), emptyProblem(3),
+                                     {0, 0, 0}));
+}
+
+TEST(ZeroRoundRelabeling, SingleLabelAlphabet) {
+  const auto p = Problem::parse("A A A\n", "A A\n");
+  EXPECT_TRUE(isZeroRoundRelabeling(p, p, {0}));
+  // A single-label problem maps into any problem whose languages accept the
+  // image label everywhere...
+  const auto loose = Problem::parse("B B B\nC C C\n", "B B\nC [BC]\n");
+  EXPECT_TRUE(isZeroRoundRelabeling(p, loose, {0}));
+  EXPECT_TRUE(isZeroRoundRelabeling(p, loose, {1}));
+  // ...and not into one that rejects it at the edge.
+  const auto matching = Problem::parse("B B B\nC C C\n", "B C\n");
+  EXPECT_FALSE(isZeroRoundRelabeling(p, matching, {0}));
+}
+
 }  // namespace
 }  // namespace relb::re

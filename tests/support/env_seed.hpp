@@ -1,0 +1,51 @@
+// Reproducible randomness for every seeded test suite.
+//
+// CI flakes in randomized tests are only actionable if the failing seed is
+// (a) printed and (b) settable from outside the binary.  Every suite that
+// draws from an RNG derives its seed through envSeedOffset(): by default the
+// offset is 0 and the suite runs its historical fixed seeds; setting
+// RELB_TEST_SEED=<n> shifts every case's seed by n (the properties CI job
+// runs three distinct offsets).  TraceSeed drops a gtest SCOPED_TRACE so any
+// failure names the exact environment to reproduce it with.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace relb::testsupport {
+
+/// The value of RELB_TEST_SEED, or `fallback` (default 0) when unset/empty.
+/// Malformed values fail the test rather than being silently ignored.
+inline unsigned envSeedOffset(unsigned fallback = 0) {
+  const char* raw = std::getenv("RELB_TEST_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    ADD_FAILURE() << "RELB_TEST_SEED is not a number: '" << raw << "'";
+    return fallback;
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// The effective seed for a case whose historical fixed seed is `base`.
+inline unsigned effectiveSeed(unsigned base) { return base + envSeedOffset(); }
+
+/// RAII SCOPED_TRACE naming the seed; any assertion failing in its scope
+/// prints the reproduction recipe.
+class TraceSeed {
+ public:
+  explicit TraceSeed(unsigned seed)
+      : trace_(__FILE__, __LINE__,
+               "effective RNG seed " + std::to_string(seed) +
+                   " (RELB_TEST_SEED offset " +
+                   std::to_string(envSeedOffset()) +
+                   "; see docs/testing.md)") {}
+
+ private:
+  ::testing::ScopedTrace trace_;
+};
+
+}  // namespace relb::testsupport
