@@ -27,6 +27,8 @@
 #include "core/sequence.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "re/bitkernels.hpp"
+#include "re/edge_compat.hpp"
 #include "re/engine.hpp"
 #include "re/re_step.hpp"
 #include "re/cycle_verifier.hpp"
@@ -220,6 +222,89 @@ void BM_MaximalEdgePairs(benchmark::State& state) {
 BENCHMARK(BM_MaximalEdgePairs)
     ->ArgsProduct({{10, 14, 18}, {1, 0}})
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Bit-parallel kernel rows (re/bitkernels.hpp and friends), so the regression
+// gate sees the kernels directly, not only the end-to-end chains above.  All
+// serial: the kernels themselves are single-lane primitives.
+// ---------------------------------------------------------------------------
+
+void BM_DominationFilter(benchmark::State& state) {
+  // The completability test of the Rbar sweep: a partial packed word probed
+  // against a batch of allowed words with the SWAR byte-lane comparison.
+  const int numWords = static_cast<int>(state.range(0));
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int> label(0, 11);
+  std::vector<re::kernels::ExpandedWord> words;
+  std::vector<re::kernels::ExpandedWord> probes;
+  for (int i = 0; i < numWords; ++i) {
+    re::kernels::PackedWord w = 0;
+    for (int s = 0; s < 8; ++s) {
+      w += re::kernels::PackedWord{1} << (4 * label(rng));
+    }
+    words.push_back(re::kernels::expandWord(w));
+    re::kernels::PackedWord p = 0;
+    for (int s = 0; s < 4; ++s) {
+      p += re::kernels::PackedWord{1} << (4 * label(rng));
+    }
+    probes.push_back(re::kernels::expandWord(p));
+  }
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const re::kernels::ExpandedWord p : probes) {
+      hits += re::kernels::dominatedBySome(p, words.data(), words.size());
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(probes.size()));
+}
+BENCHMARK(BM_DominationFilter)->Arg(64)->Arg(512);
+
+void BM_RightClosure(benchmark::State& state) {
+  // allRightClosedSets over a pseudo-random dense strength relation: the
+  // 2^k subset sweep with the per-label closure table.
+  const int labels = static_cast<int>(state.range(0));
+  std::mt19937 rng(777);
+  std::bernoulli_distribution coin(0.3);
+  re::StrengthRelation rel(labels);
+  for (int strong = 0; strong < labels; ++strong) {
+    for (int weak = 0; weak < labels; ++weak) {
+      if (strong != weak && coin(rng)) {
+        rel.set(static_cast<re::Label>(strong), static_cast<re::Label>(weak),
+                true);
+      }
+    }
+  }
+  const re::LabelSet universe = re::LabelSet::full(labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.allRightClosedSets(universe));
+  }
+}
+BENCHMARK(BM_RightClosure)->Arg(12)->Arg(16);
+
+void BM_SubsetSweep(benchmark::State& state) {
+  // The 2^n Galois sweep + antichain filter of maximalEdgePairsFromCompat on
+  // a synthetic compatibility matrix, isolated from constraint construction
+  // and the per-pair flow of the legacy edgeCompatibility.
+  const int labels = static_cast<int>(state.range(0));
+  std::mt19937 rng(999);
+  std::bernoulli_distribution coin(0.35);
+  std::vector<re::LabelSet> compat(static_cast<std::size_t>(labels));
+  for (int a = 0; a < labels; ++a) {
+    for (int b = a; b < labels; ++b) {
+      if (coin(rng)) {
+        compat[static_cast<std::size_t>(a)].insert(static_cast<re::Label>(b));
+        compat[static_cast<std::size_t>(b)].insert(static_cast<re::Label>(a));
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        re::detail::maximalEdgePairsFromCompat(compat, labels, 1));
+  }
+}
+BENCHMARK(BM_SubsetSweep)->Arg(12)->Arg(16);
 
 void BM_CertifyChain(benchmark::State& state) {
   const re::Count delta = state.range(0);

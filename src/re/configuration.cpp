@@ -26,18 +26,28 @@ Word wordFromLabels(const std::vector<Label>& labels, int alphabetSize) {
 }
 
 Configuration::Configuration(std::vector<Group> groups) {
-  std::map<LabelSet, Count> merged;
+  groups_.reserve(groups.size());
   for (const Group& g : groups) {
     if (g.count < 0) throw Error("Configuration: negative exponent");
     if (g.count == 0) continue;
     if (g.set.empty()) throw Error("Configuration: empty label set in group");
-    merged[g.set] += g.count;
+    groups_.push_back(g);
   }
-  groups_.reserve(merged.size());
-  for (const auto& [set, count] : merged) {
-    groups_.push_back({set, count});
-    degree_ += count;
+  // Normalize in place (sort by set, merge equal sets) -- equivalent to the
+  // obvious std::map<LabelSet, Count> but without node allocations; these
+  // constructions are hot in the step and zero-round paths.
+  std::sort(groups_.begin(), groups_.end(),
+            [](const Group& a, const Group& b) { return a.set < b.set; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < groups_.size();) {
+    Group merged = groups_[i];
+    for (++i; i < groups_.size() && groups_[i].set == merged.set; ++i) {
+      merged.count += groups_[i].count;
+    }
+    degree_ += merged.count;
+    groups_[out++] = merged;
   }
+  groups_.resize(out);
 }
 
 Configuration Configuration::fromWord(const Word& w) {

@@ -1,8 +1,11 @@
 #include "re/diagram.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <set>
+
+#include "re/packed_words.hpp"
 
 namespace relb::re {
 
@@ -63,17 +66,28 @@ std::vector<LabelSet> StrengthRelation::allRightClosedSets(
     throw Error("allRightClosedSets: universe too large");
   }
   const auto labels = universe.toVector();
+  // Per-member upward closures, computed once; each candidate's closure is
+  // then an OR over its members instead of a fresh relation scan.
+  std::array<std::uint32_t, 20> up{};
+  std::array<std::uint32_t, 20> bit{};
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    up[i] = upwardClosureOf(labels[i]).bits();
+    bit[i] = std::uint32_t{1} << labels[i];
+  }
   std::vector<LabelSet> out;
   const std::uint32_t count = std::uint32_t{1} << labels.size();
+  const std::uint32_t inside = universe.bits();
   for (std::uint32_t mask = 1; mask < count; ++mask) {
-    LabelSet s;
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if ((mask >> i) & 1u) s.insert(labels[i]);
+    std::uint32_t s = 0;
+    std::uint32_t closure = 0;
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      const int i = __builtin_ctz(m);
+      s |= bit[static_cast<std::size_t>(i)];
+      closure |= up[static_cast<std::size_t>(i)];
     }
     // Right-closed *within the universe*: the closure may not leave it.
-    const LabelSet closure = rightClosure(s);
-    if ((closure & universe) == s && closure.subsetOf(universe)) {
-      out.push_back(s);
+    if ((closure & inside) == s && (closure & ~inside) == 0) {
+      out.push_back(LabelSet(s));
     }
   }
   return out;
@@ -149,6 +163,34 @@ std::string StrengthRelation::toDot(const Alphabet& alphabet,
 
 StrengthRelation computeStrength(const Constraint& constraint,
                                  int alphabetSize, std::size_t limit) {
+  // Packed fast path: with <= 16 labels and degree <= 15 every word is one
+  // uint64, the replaced word is two nibble updates, and the membership test
+  // is a binary search in a sorted flat array -- no per-word vectors, no
+  // std::set<Word>.  (replaced[strong] <= 15 always: the word's nibbles sum
+  // to the degree and weak contributes at least 1.)
+  if (alphabetSize <= 16 && constraint.degree() <= 15) {
+    const auto words =
+        kernels::collectPackedWords(constraint, alphabetSize, limit);
+    StrengthRelation rel(alphabetSize);
+    for (int strong = 0; strong < alphabetSize; ++strong) {
+      for (int weak = 0; weak < alphabetSize; ++weak) {
+        if (strong == weak) continue;
+        bool holds = true;
+        for (const kernels::PackedWord w : words) {
+          if (((w >> (4 * weak)) & 0xF) == 0) continue;
+          const kernels::PackedWord replaced =
+              w - (kernels::PackedWord{1} << (4 * weak)) +
+              (kernels::PackedWord{1} << (4 * strong));
+          if (!std::binary_search(words.begin(), words.end(), replaced)) {
+            holds = false;
+            break;
+          }
+        }
+        rel.set(static_cast<Label>(strong), static_cast<Label>(weak), holds);
+      }
+    }
+    return rel;
+  }
   const auto words = constraint.enumerateWords(alphabetSize, limit);
   const std::set<Word> wordSet(words.begin(), words.end());
   StrengthRelation rel(alphabetSize);

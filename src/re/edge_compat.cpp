@@ -1,6 +1,7 @@
 #include "re/edge_compat.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdint>
 
@@ -34,17 +35,19 @@ EdgeCounters& edgeCounters() {
 std::vector<LabelSet> edgeCompatibility(const Constraint& edge,
                                         int alphabetSize) {
   if (edge.degree() != 2) throw Error("edgeCompatibility: degree != 2");
+  // A degree-2 configuration's normal form is either one group [S^2] --
+  // allowing exactly the pairs S x S -- or two count-1 groups [S T],
+  // allowing S x T.  Scanning the shapes gives the whole matrix directly,
+  // with no per-pair containsWord flow.
+  const LabelSet universe = LabelSet::full(alphabetSize);
   std::vector<LabelSet> compat(static_cast<std::size_t>(alphabetSize));
-  for (int a = 0; a < alphabetSize; ++a) {
-    for (int b = a; b < alphabetSize; ++b) {
-      Word w(static_cast<std::size_t>(alphabetSize), 0);
-      ++w[static_cast<std::size_t>(a)];
-      ++w[static_cast<std::size_t>(b)];
-      if (edge.containsWord(w)) {
-        compat[static_cast<std::size_t>(a)].insert(static_cast<Label>(b));
-        compat[static_cast<std::size_t>(b)].insert(static_cast<Label>(a));
-      }
-    }
+  for (const auto& c : edge.configurations()) {
+    const auto& groups = c.groups();
+    const LabelSet s = groups[0].set & universe;
+    const LabelSet t =
+        (groups.size() == 1 ? groups[0].set : groups[1].set) & universe;
+    forEachLabel(s, [&](Label a) { compat[a] = compat[a] | t; });
+    forEachLabel(t, [&](Label b) { compat[b] = compat[b] | s; });
   }
   return compat;
 }
@@ -58,11 +61,20 @@ std::vector<std::pair<LabelSet, LabelSet>> detail::maximalEdgePairsFromCompat(
   using Pair = std::pair<LabelSet, LabelSet>;
   // partner(A) = intersection of compat[a] over a in A: the unique largest
   // set pairable with A.  Maximal pairs are the Galois-closed pairs
-  // (A, partner(A)) with A = partner(partner(A)).
+  // (A, partner(A)) with A = partner(partner(A)).  The matrix is copied to a
+  // flat word array so the sweep's inner loop is ctz + AND only.
+  std::array<std::uint32_t, 20> compatBits{};
+  for (int l = 0; l < alphabetSize; ++l) {
+    compatBits[static_cast<std::size_t>(l)] =
+        compat[static_cast<std::size_t>(l)].bits();
+  }
+  const std::uint32_t fullBits = LabelSet::full(alphabetSize).bits();
   const auto partner = [&](LabelSet a) {
-    LabelSet out = LabelSet::full(alphabetSize);
-    forEachLabel(a, [&](Label l) { out = out & compat[l]; });
-    return out;
+    std::uint32_t out = fullBits;
+    for (std::uint32_t m = a.bits(); m != 0; m &= m - 1) {
+      out &= compatBits[static_cast<std::size_t>(__builtin_ctz(m))];
+    }
+    return LabelSet(out);
   };
   // Subset sweep + Galois closure, fanned out over contiguous mask ranges.
   // Every chunk deduplicates locally; the final sort + unique makes the

@@ -1,0 +1,101 @@
+// Packed enumeration of constraint languages.
+//
+// Words over alphabets of <= 16 labels with degree <= 15 fit one
+// kernels::PackedWord (4 bits per label).  collectPackedWords enumerates a
+// constraint's distinct words directly in this encoding -- no per-word
+// std::vector<Count>, no std::set<Word> -- by emitting every choice of the
+// per-group multiset recursion raw and deduplicating wholesale with
+// sort+unique.  Configurations whose raw emission count (the
+// countWordsUpperBound product) exceeds the limit fall back to the
+// deduplicating Configuration::forEachWord.  Shared by the R̄ sweep
+// (re_step.cpp) and the strength-diagram fast path (diagram.cpp).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "re/bitkernels.hpp"
+#include "re/constraint.hpp"
+
+namespace relb::re::kernels {
+
+[[nodiscard]] inline PackedWord packWord(const Word& w) {
+  PackedWord packed = 0;
+  for (std::size_t l = 0; l < w.size(); ++l) {
+    packed |= static_cast<PackedWord>(w[l]) << (4 * l);
+  }
+  return packed;
+}
+
+/// Emits every word of `c` in packed form, one emission per choice of the
+/// per-group multiset recursion (duplicates possible across choices; the
+/// caller sorts and deduplicates).  The emission count is exactly
+/// c.countWordsUpperBound, which the caller must bound beforehand.  Requires
+/// labels < 16 and degree <= 15 (nibble range), which the callers' guards
+/// establish.
+inline void emitPackedWords(const Configuration& c,
+                            std::vector<PackedWord>& out) {
+  const auto& groups = c.groups();
+  PackedWord acc = 0;
+  const auto perGroup = [&](const auto& self, std::size_t idx) -> void {
+    if (idx == groups.size()) {
+      out.push_back(acc);
+      return;
+    }
+    const auto labels = groups[idx].set.toVector();
+    const auto multiset = [&](const auto& mself, Count left,
+                              std::size_t li) -> void {
+      if (li + 1 == labels.size()) {
+        acc += static_cast<PackedWord>(left) << (4 * labels[li]);
+        self(self, idx + 1);
+        acc -= static_cast<PackedWord>(left) << (4 * labels[li]);
+        return;
+      }
+      for (Count take = 0; take <= left; ++take) {
+        acc += static_cast<PackedWord>(take) << (4 * labels[li]);
+        mself(mself, left - take, li + 1);
+        acc -= static_cast<PackedWord>(take) << (4 * labels[li]);
+      }
+    };
+    multiset(multiset, groups[idx].count, 0);
+  };
+  perGroup(perGroup, 0);
+}
+
+/// The distinct words of `constraint`, packed and sorted ascending.  The
+/// word set, the distinct-count limit, and the Error on exceeding it match
+/// Constraint::enumerateWords exactly.
+[[nodiscard]] inline std::vector<PackedWord> collectPackedWords(
+    const Constraint& constraint, int alphabetSize, std::size_t limit) {
+  std::vector<PackedWord> words;
+  const auto compact = [&] {
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    if (words.size() > limit) {
+      throw Error("enumerateWords: word count exceeds limit");
+    }
+  };
+  for (const auto& c : constraint.configurations()) {
+    // Same guard (and Error) as forEachWord; also keeps every label below
+    // 16, so the nibble shifts in emitPackedWords stay in range.
+    if (!c.support().subsetOf(LabelSet::full(alphabetSize))) {
+      throw Error(
+          "forEachWord: configuration mentions labels outside alphabet");
+    }
+    if (c.countWordsUpperBound(limit + 1) <= limit) {
+      emitPackedWords(c, words);
+    } else {
+      // Per-configuration distinct count above `limit` implies the global
+      // distinct count is too, so forEachWord's own limit check subsumes the
+      // global one.
+      c.forEachWord(
+          alphabetSize, [&](const Word& w) { words.push_back(packWord(w)); },
+          limit);
+    }
+    if (words.size() > limit) compact();
+  }
+  compact();
+  return words;
+}
+
+}  // namespace relb::re::kernels

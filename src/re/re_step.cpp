@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
-#include <map>
-#include <set>
-#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "re/antichain.hpp"
+#include "re/bitkernels.hpp"
 #include "re/engine.hpp"
+#include "re/packed_words.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace relb::re {
@@ -18,6 +18,7 @@ namespace relb::re {
 namespace {
 
 using detail::SignatureBuckets;
+using kernels::PackedWord;
 
 // Registry references are interned once; hot loops accumulate locally and
 // add to the shared counter once per item (see docs/observability.md).
@@ -36,6 +37,21 @@ StepCounters& stepCounters() {
       reg.counter("re.antichain.pairs"), reg.counter("re.antichain.tests"),
       reg.counter("re.labels.produced")};
   return c;
+}
+
+// Per-thread arena pair for the step hot paths (see util/arena.hpp):
+// `scratch` backs the DFS level buffers under strict mark/rewind LIFO;
+// `results` backs the completability memo and the candidate accumulator,
+// whose growth is non-LIFO and is reclaimed only by reset() at the start of
+// the next step on this thread.
+struct StepArenas {
+  util::Arena scratch;
+  util::Arena results;
+};
+
+StepArenas& stepArenas() {
+  thread_local StepArenas arenas;
+  return arenas;
 }
 
 // Builds the fresh alphabet for a collection of label sets over the old
@@ -67,30 +83,41 @@ Alphabet freshAlphabet(const std::vector<LabelSet>& sets,
 // alphabet into one over the fresh alphabet by replacing every old label y
 // with the disjunction of all fresh labels whose meaning contains y; for a
 // group with set S this is the set of fresh labels whose meaning intersects
-// S.
+// S.  The per-old-label fresh-set table turns the per-group scan over all
+// fresh meanings into an OR of precomputed masks.
 Constraint replaceConstraint(const Constraint& constraint,
                              const std::vector<LabelSet>& meaning) {
+  assert(meaning.size() <= static_cast<std::size_t>(kMaxLabels));
+  std::array<std::uint32_t, kMaxLabels> freshOf{};
+  for (std::size_t n = 0; n < meaning.size(); ++n) {
+    forEachLabel(meaning[n],
+                 [&](Label y) { freshOf[y] |= std::uint32_t{1} << n; });
+  }
   Constraint out(constraint.degree(), {});
   for (const auto& c : constraint.configurations()) {
     // A group whose labels are represented by no fresh label makes the whole
     // configuration unrealizable; drop it.
     bool realizable = true;
     auto mapped = c.mapSets([&](LabelSet oldSet) {
-      LabelSet fresh;
-      for (std::size_t n = 0; n < meaning.size(); ++n) {
-        if (meaning[n].intersects(oldSet)) {
-          fresh.insert(static_cast<Label>(n));
-        }
-      }
-      if (fresh.empty()) {
+      std::uint32_t fresh = 0;
+      forEachLabel(oldSet, [&](Label y) { fresh |= freshOf[y]; });
+      if (fresh == 0) {
         realizable = false;
-        fresh.insert(0);  // placeholder; configuration is discarded
+        fresh = 1;  // placeholder; configuration is discarded
       }
-      return fresh;
+      return LabelSet(fresh);
     });
     if (realizable) out.add(std::move(mapped));
   }
   return out;
+}
+
+// Sorted deduplicated copy of `sets` -- the fresh-label meaning order, equal
+// to iterating a std::set<LabelSet> of the same elements.
+std::vector<LabelSet> sortedDistinctSets(std::vector<LabelSet> sets) {
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  return sets;
 }
 
 }  // namespace
@@ -109,13 +136,14 @@ StepResult detail::applyRImpl(const Problem& p, const StepOptions& options,
 
   // Fresh alphabet: all sets appearing in a maximal pair, ordered by bitset
   // value for determinism.
-  std::set<LabelSet> setsSeen;
+  std::vector<LabelSet> setsSeen;
+  setsSeen.reserve(pairs.size() * 2);
   for (const auto& [a, b] : pairs) {
-    setsSeen.insert(a);
-    setsSeen.insert(b);
+    setsSeen.push_back(a);
+    setsSeen.push_back(b);
   }
   StepResult result;
-  result.meaning.assign(setsSeen.begin(), setsSeen.end());
+  result.meaning = sortedDistinctSets(std::move(setsSeen));
   result.problem.alphabet = freshAlphabet(result.meaning, p.alphabet);
   stepCounters().labelsProduced.add(result.meaning.size());
 
@@ -150,143 +178,115 @@ namespace {
 
 // Words with per-label counts <= 15 over alphabets of <= 16 labels pack into
 // one uint64 (4 bits per label); the Rbar enumeration runs entirely on this
-// encoding.
-using PackedWord = std::uint64_t;
-
-PackedWord packWord(const Word& w) {
-  PackedWord packed = 0;
-  for (std::size_t l = 0; l < w.size(); ++l) {
-    packed |= static_cast<PackedWord>(w[l]) << (4 * l);
-  }
-  return packed;
-}
-
-// True iff some word in `sorted` dominates `p` componentwise (i.e. the
-// partial word p can still be completed to an allowed word).
-bool dominatedBySome(PackedWord p, const std::vector<PackedWord>& words,
-                     int alphabetSize) {
-  for (const PackedWord w : words) {
-    bool ok = true;
-    for (int l = 0; l < alphabetSize; ++l) {
-      if (((p >> (4 * l)) & 0xF) > ((w >> (4 * l)) & 0xF)) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) return true;
-  }
-  return false;
-}
-
-// Definition 7 on explicit slot vectors: true iff there is a perfect
-// matching pairing every slot of `a` with a superset slot of `b`.
-// Allocation-free Kuhn matching; both vectors have the same (small) length.
-bool slotsRelaxTo(const std::vector<LabelSet>& a,
-                  const std::vector<LabelSet>& b) {
-  const int n = static_cast<int>(a.size());
-  // Quick rejects: unions must nest, and every a-slot needs some superset.
-  LabelSet unionA, unionB;
-  for (const LabelSet s : a) unionA = unionA | s;
-  for (const LabelSet s : b) unionB = unionB | s;
-  if (!unionA.subsetOf(unionB)) return false;
-
-  std::array<int, 16> matchOfB{};
-  matchOfB.fill(-1);
-  std::array<bool, 16> visited{};
-  std::function<bool(int)> augment = [&](int i) -> bool {
-    for (int j = 0; j < n; ++j) {
-      if (visited[static_cast<std::size_t>(j)] ||
-          !a[static_cast<std::size_t>(i)].subsetOf(
-              b[static_cast<std::size_t>(j)])) {
-        continue;
-      }
-      visited[static_cast<std::size_t>(j)] = true;
-      if (matchOfB[static_cast<std::size_t>(j)] < 0 ||
-          augment(matchOfB[static_cast<std::size_t>(j)])) {
-        matchOfB[static_cast<std::size_t>(j)] = i;
-        return true;
-      }
-    }
-    return false;
-  };
-  for (int i = 0; i < n; ++i) {
-    visited.fill(false);
-    if (!augment(i)) return false;
-  }
-  return true;
-}
-
-// Encodes a multiset of label sets as a Configuration whose groups carry the
-// slot sets directly (one group per distinct set).  Under this encoding,
-// Configuration::relaxesTo is exactly the relaxation order of Definition 7.
-Configuration slotsToConfiguration(const std::vector<LabelSet>& slots) {
-  std::map<LabelSet, Count> counts;
-  for (LabelSet s : slots) ++counts[s];
-  std::vector<Group> groups;
-  groups.reserve(counts.size());
-  for (const auto& [set, count] : counts) groups.push_back({set, count});
-  return Configuration(std::move(groups));
-}
-
+// encoding (see re/bitkernels.hpp and re/packed_words.hpp for the
+// primitives).
+//
 // Enumerates multisets of right-closed sets of size delta (non-decreasing
 // index sequences) with prefix sharing: the level set of distinct partial
 // choice words is extended one slot at a time, and a branch dies as soon as
-// some partial word can no longer be completed to an allowed word.  Each
-// enumerator owns its memo and output, so independent top-level branches can
-// run on separate threads.
+// some partial word can no longer be completed to an allowed word.  Level
+// buffers live in the scratch arena under mark/rewind; the memo and the
+// flat candidate accumulator live in the results arena.  Each enumerator
+// owns its arenas and output, so independent top-level branches can run on
+// separate threads.
 struct RbarEnumerator {
   const std::vector<LabelSet>& rcSets;
-  const std::vector<PackedWord>& nodeWords;  // sorted
-  const int alphabetSize;
+  const PackedWord* nodeWords;  // sorted ascending
+  const kernels::ExpandedWord* nodeWordsExpanded;  // same order
+  const std::size_t nodeWordCount;
   const Count delta;
 
+  util::Arena& scratch;
   // The same partial word recurs across many branches; memoize its
   // completability.
-  std::unordered_map<PackedWord, bool> completable;
-  std::vector<LabelSet> slots;
-  std::vector<std::vector<LabelSet>> valid;
+  kernels::CompletabilityMemo memo;
+  // Accepted candidates as delta-strided slot records: candidate k occupies
+  // valid[k*delta .. (k+1)*delta), each entry a LabelSet::bits() value, in
+  // the (non-decreasing) order the DFS chose the slots.
+  util::ArenaVector<std::uint32_t> valid;
+  std::uint32_t slots[16];
+  Count depth = 0;
+
+  RbarEnumerator(const std::vector<LabelSet>& rcSets,
+                 const PackedWord* nodeWords,
+                 const kernels::ExpandedWord* nodeWordsExpanded,
+                 std::size_t nodeWordCount, Count delta, util::Arena& scratch,
+                 util::Arena& results)
+      : rcSets(rcSets),
+        nodeWords(nodeWords),
+        nodeWordsExpanded(nodeWordsExpanded),
+        nodeWordCount(nodeWordCount),
+        delta(delta),
+        scratch(scratch),
+        memo(results),
+        valid(results) {}
 
   bool canComplete(PackedWord w) {
-    const auto it = completable.find(w);
-    if (it != completable.end()) return it->second;
-    const bool result = dominatedBySome(w, nodeWords, alphabetSize);
-    completable.emplace(w, result);
-    return result;
+    return memo.getOrCompute(w, [&] {
+      return kernels::dominatedBySome(kernels::expandWord(w),
+                                      nodeWordsExpanded, nodeWordCount);
+    });
   }
 
   // One loop iteration of rec: extend `level` by slot set rcSets[i] and
   // recurse if every resulting partial word is still completable.
-  void descend(std::size_t i, const std::vector<PackedWord>& level) {
-    std::vector<PackedWord> next;
-    next.reserve(level.size() * static_cast<std::size_t>(rcSets[i].size()));
-    for (const PackedWord w : level) {
+  void descend(std::size_t i, const PackedWord* level, std::size_t levelSize) {
+    const util::Arena::Mark levelMark = scratch.mark();
+    PackedWord* next = scratch.allocate<PackedWord>(
+        levelSize * static_cast<std::size_t>(rcSets[i].size()));
+    std::size_t nextSize = 0;
+    for (std::size_t k = 0; k < levelSize; ++k) {
+      const PackedWord w = level[k];
       forEachLabel(rcSets[i], [&](Label l) {
-        next.push_back(w + (PackedWord{1} << (4 * l)));
+        next[nextSize++] = w + (PackedWord{1} << (4 * l));
       });
     }
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
-    const bool viable = std::all_of(next.begin(), next.end(),
-                                    [&](PackedWord w) { return canComplete(w); });
-    if (!viable) return;
-    slots.push_back(rcSets[i]);
-    rec(i, next);
-    slots.pop_back();
+    std::sort(next, next + nextSize);
+    nextSize =
+        static_cast<std::size_t>(std::unique(next, next + nextSize) - next);
+    const bool viable = std::all_of(
+        next, next + nextSize, [&](PackedWord w) { return canComplete(w); });
+    if (viable) {
+      slots[depth++] = rcSets[i].bits();
+      rec(i, next, nextSize);
+      --depth;
+    }
+    scratch.rewind(levelMark);
   }
 
-  void rec(std::size_t minIdx, const std::vector<PackedWord>& level) {
-    if (static_cast<Count>(slots.size()) == delta) {
+  void rec(std::size_t minIdx, const PackedWord* level,
+           std::size_t levelSize) {
+    if (depth == delta) {
       // Completion: every distinct choice word must be allowed.
       const bool all =
-          std::all_of(level.begin(), level.end(), [&](PackedWord w) {
-            return std::binary_search(nodeWords.begin(), nodeWords.end(), w);
+          std::all_of(level, level + levelSize, [&](PackedWord w) {
+            return std::binary_search(nodeWords, nodeWords + nodeWordCount, w);
           });
-      if (all) valid.push_back(slots);
+      if (all) valid.append(slots, static_cast<std::size_t>(delta));
       return;
     }
-    for (std::size_t i = minIdx; i < rcSets.size(); ++i) descend(i, level);
+    for (std::size_t i = minIdx; i < rcSets.size(); ++i) {
+      descend(i, level, levelSize);
+    }
   }
 };
+
+// Encodes a delta-strided slot record as a Configuration whose groups carry
+// the slot sets directly (one group per distinct set).  Slots arrive in
+// non-decreasing bits() order (the DFS chooses rcSets indices monotonically
+// and rcSets is ascending), so a run-length scan produces the groups already
+// normalized; under this encoding, Configuration::relaxesTo is exactly the
+// relaxation order of Definition 7.
+Configuration slotsToConfiguration(const std::uint32_t* slots, Count delta) {
+  std::vector<Group> groups;
+  for (Count k = 0; k < delta;) {
+    Count run = k + 1;
+    while (run < delta && slots[run] == slots[k]) ++run;
+    groups.push_back({LabelSet(slots[k]), run - k});
+    k = run;
+  }
+  return Configuration(std::move(groups));
+}
 
 }  // namespace
 
@@ -313,98 +313,130 @@ StepResult detail::applyRbarImpl(const Problem& p, const StepOptions& options,
     throw Error("applyRbar: packed-word enumeration needs <= 16 labels and "
                 "delta <= 15");
   }
-  const auto nodeWordList =
-      p.node.enumerateWords(n, options.enumerationLimit);
-  std::vector<PackedWord> nodeWords;
-  nodeWords.reserve(nodeWordList.size());
-  for (const Word& w : nodeWordList) nodeWords.push_back(packWord(w));
-  std::sort(nodeWords.begin(), nodeWords.end());
+  const std::vector<PackedWord> nodeWords =
+      kernels::collectPackedWords(p.node, n, options.enumerationLimit);
+  // Pre-expanded copy for the branch-free domination kernel; shared
+  // read-only by every enumeration lane.
+  std::vector<kernels::ExpandedWord> nodeWordsExpanded(nodeWords.size());
+  for (std::size_t i = 0; i < nodeWords.size(); ++i) {
+    nodeWordsExpanded[i] = kernels::expandWord(nodeWords[i]);
+  }
 
   // Multiset enumeration (see RbarEnumerator).  With more than one thread,
   // the top-level branches fan out: branch i enumerates exactly the
   // multisets whose smallest chosen set is rcSets[i], and concatenating the
   // per-branch results in branch order reproduces the serial DFS output
-  // verbatim.  Each branch owns a private memo; the serial path keeps the
-  // single shared memo of the original implementation.
+  // verbatim.  Each branch owns a private memo; per-branch results are
+  // copied out of the lane's arenas before the next branch resets them.
   const int width = std::min<int>(util::resolveThreadCount(options.numThreads),
                                   static_cast<int>(rcSets.size()));
-  std::vector<std::vector<LabelSet>> valid;
-  const std::vector<PackedWord> root{0};
+  // Delta-strided slot records (see RbarEnumerator::valid).
+  std::vector<std::uint32_t> validFlat;
   {
     const obs::ScopedSpan span("re.rbar.enumerate");
-    if (width <= 1 || delta == 0) {
-      RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
-      enumerator.rec(0, root);
-      valid = std::move(enumerator.valid);
+    if (width <= 1) {
+      StepArenas& arenas = stepArenas();
+      util::Arena& results =
+          options.arena != nullptr ? *options.arena : arenas.results;
+      arenas.scratch.reset();
+      results.reset();
+      RbarEnumerator enumerator(rcSets, nodeWords.data(),
+                                nodeWordsExpanded.data(), nodeWords.size(),
+                                delta, arenas.scratch, results);
+      const PackedWord root = 0;
+      enumerator.rec(0, &root, 1);
+      validFlat.assign(enumerator.valid.begin(), enumerator.valid.end());
     } else {
-      std::vector<std::vector<std::vector<LabelSet>>> branchValid(
-          rcSets.size());
+      std::vector<std::vector<std::uint32_t>> branchValid(rcSets.size());
       util::parallel_for(
           options.numThreads, rcSets.size(), [&](std::size_t i) {
-            RbarEnumerator enumerator{rcSets, nodeWords, n, delta, {}, {}, {}};
-            enumerator.descend(i, root);
-            branchValid[i] = std::move(enumerator.valid);
+            StepArenas& arenas = stepArenas();
+            arenas.scratch.reset();
+            arenas.results.reset();
+            RbarEnumerator enumerator(rcSets, nodeWords.data(),
+                                      nodeWordsExpanded.data(),
+                                      nodeWords.size(), delta, arenas.scratch,
+                                      arenas.results);
+            const PackedWord root = 0;
+            enumerator.descend(i, &root, 1);
+            branchValid[i].assign(enumerator.valid.begin(),
+                                  enumerator.valid.end());
           });
-      for (auto& branch : branchValid) {
-        for (auto& v : branch) valid.push_back(std::move(v));
+      std::size_t total = 0;
+      for (const auto& branch : branchValid) total += branch.size();
+      validFlat.reserve(total);
+      for (const auto& branch : branchValid) {
+        validFlat.insert(validFlat.end(), branch.begin(), branch.end());
       }
     }
   }
-  stepCounters().rbarCandidates.add(valid.size());
-  if (valid.empty()) {
+  const std::size_t numValid =
+      validFlat.size() / static_cast<std::size_t>(delta);
+  stepCounters().rbarCandidates.add(numValid);
+  if (numValid == 0) {
     throw Error("applyRbar: node constraint empty after maximization");
   }
+  const auto candidate = [&](std::size_t i) {
+    return validFlat.data() + i * static_cast<std::size_t>(delta);
+  };
 
   // Keep only maximal candidates under the relaxation order.  Candidates
   // are pairwise distinct slot multisets (the DFS emits each once), so
   // strict domination is `relaxes-to and not equal`.  A relaxation requires
   // the slot unions to nest, so the all-pairs scan is bucketed by union
   // signature and each candidate compared against superset buckets only.
-  std::vector<std::uint32_t> signatures(valid.size());
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    LabelSet u;
-    for (const LabelSet s : valid[i]) u = u | s;
-    signatures[i] = u.bits();
+  std::vector<std::uint32_t> signatures(numValid);
+  for (std::size_t i = 0; i < numValid; ++i) {
+    std::uint32_t u = 0;
+    const std::uint32_t* rec = candidate(i);
+    for (Count k = 0; k < delta; ++k) u |= rec[k];
+    signatures[i] = u;
   }
   const SignatureBuckets buckets(signatures);
-  std::vector<char> dominated(valid.size(), 0);
+  std::vector<char> dominated(numValid, 0);
   {
     const obs::ScopedSpan span("re.rbar.filter");
-    util::parallel_for(options.numThreads, valid.size(), [&](std::size_t i) {
+    util::parallel_for(options.numThreads, numValid, [&](std::size_t i) {
       std::uint64_t pairsVisited = 0;
       std::uint64_t testsRun = 0;
+      const std::uint32_t* mine = candidate(i);
       dominated[i] = buckets.anyInSupersetBucket(
           signatures[i], [&](std::size_t j) {
             if (j == i) return false;
             ++pairsVisited;
             ++testsRun;
-            if (!slotsRelaxTo(valid[i], valid[j])) return false;
+            const std::uint32_t* other = candidate(j);
+            if (!kernels::slotsRelaxTo(mine, other,
+                                       static_cast<int>(delta))) {
+              return false;
+            }
             // The reverse relaxation needs union(j) subsetOf union(i);
             // inside a strictly-larger bucket it is impossible, so
             // domination is already established.
             if (signatures[j] != signatures[i]) return true;
             ++testsRun;
-            return !slotsRelaxTo(valid[j], valid[i]);
+            return !kernels::slotsRelaxTo(other, mine,
+                                          static_cast<int>(delta));
           });
       stepCounters().antichainPairs.add(pairsVisited);
       stepCounters().antichainTests.add(testsRun);
     });
   }
   std::vector<Configuration> maximal;
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    if (!dominated[i]) maximal.push_back(slotsToConfiguration(valid[i]));
+  for (std::size_t i = 0; i < numValid; ++i) {
+    if (!dominated[i]) maximal.push_back(slotsToConfiguration(candidate(i), delta));
   }
   std::sort(maximal.begin(), maximal.end());
   maximal.erase(std::unique(maximal.begin(), maximal.end()), maximal.end());
   stepCounters().rbarMaximal.add(maximal.size());
 
   // Fresh alphabet: sets appearing in maximal node configurations.
-  std::set<LabelSet> setsSeen;
+  std::vector<LabelSet> setsSeen;
   for (const auto& c : maximal) {
-    for (const auto& g : c.groups()) setsSeen.insert(g.set);
+    for (const auto& g : c.groups()) setsSeen.push_back(g.set);
   }
   StepResult result;
-  result.meaning.assign(setsSeen.begin(), setsSeen.end());
+  result.meaning = sortedDistinctSets(std::move(setsSeen));
   result.problem.alphabet = freshAlphabet(result.meaning, p.alphabet);
   stepCounters().labelsProduced.add(result.meaning.size());
 

@@ -1,5 +1,7 @@
 #include "re/relax.hpp"
 
+#include <array>
+
 namespace relb::re {
 
 bool isZeroRoundRelabeling(const Problem& from, const Problem& to,
@@ -13,10 +15,16 @@ bool isZeroRoundRelabeling(const Problem& from, const Problem& to,
     }
   }
   if (from.node.degree() != to.node.degree()) return false;
+  // Per-source-label target bit, precomputed once; mapping a set is then an
+  // OR over its members.
+  std::array<std::uint32_t, kMaxLabels> targetBit{};
+  for (std::size_t l = 0; l < map.size(); ++l) {
+    targetBit[l] = std::uint32_t{1} << map[l];
+  }
   const auto mapSet = [&](LabelSet s) {
-    LabelSet out;
-    forEachLabel(s, [&](Label l) { out.insert(map[l]); });
-    return out;
+    std::uint32_t out = 0;
+    forEachLabel(s, [&](Label l) { out |= targetBit[l]; });
+    return LabelSet(out);
   };
   for (const auto& c : from.node.configurations()) {
     if (!to.node.containsAllWordsOf(c.mapSets(mapSet), to.alphabet.size(),

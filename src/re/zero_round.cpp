@@ -6,20 +6,23 @@
 
 namespace relb::re {
 
-bool selfCompatible(const Problem& p, Label l) {
-  Word w(static_cast<std::size_t>(p.alphabet.size()), 0);
-  w[l] += 2;
-  return p.edge.containsWord(w);
+LabelSet selfCompatibleLabels(const Problem& p) {
+  // The word {l, l} is allowed iff some configuration admits it: l in S for
+  // a one-group [S^2] shape, l in S and T for a two-group [S T] shape.  A
+  // shape scan over the configurations replaces the per-label containsWord
+  // flow; a non-degree-2 edge constraint admits no degree-2 word at all.
+  if (p.edge.degree() != 2) return {};
+  LabelSet out;
+  for (const auto& c : p.edge.configurations()) {
+    const auto& groups = c.groups();
+    out = out | (groups.size() == 1 ? groups[0].set
+                                    : groups[0].set & groups[1].set);
+  }
+  return out & p.alphabet.all();
 }
 
-LabelSet selfCompatibleLabels(const Problem& p) {
-  LabelSet out;
-  for (int l = 0; l < p.alphabet.size(); ++l) {
-    if (selfCompatible(p, static_cast<Label>(l))) {
-      out.insert(static_cast<Label>(l));
-    }
-  }
-  return out;
+bool selfCompatible(const Problem& p, Label l) {
+  return selfCompatibleLabels(p).contains(l);
 }
 
 std::optional<Word> zeroRoundSymmetricWitness(const Problem& p) {

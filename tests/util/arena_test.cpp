@@ -1,0 +1,109 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace relb::util {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  int* a = arena.allocate<int>(10);
+  int* b = arena.allocate<int>(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    a[i] = i;
+    b[i] = 100 + i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 100 + i);
+  }
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  (void)arena.allocateBytes(1, 1);  // misalign the cursor
+  for (const std::size_t align : {2, 8, 64, 256}) {
+    void* p = arena.allocateBytes(align, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+  }
+}
+
+TEST(Arena, RewindReusesMemoryInLifoOrder) {
+  Arena arena;
+  (void)arena.allocate<int>(4);
+  const Arena::Mark m = arena.mark();
+  int* first = arena.allocate<int>(8);
+  arena.rewind(m);
+  int* second = arena.allocate<int>(8);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Arena, ResetKeepsCapacity) {
+  Arena arena(64);
+  // Force several chunks.
+  for (int i = 0; i < 10; ++i) (void)arena.allocate<std::uint64_t>(64);
+  const std::size_t capacity = arena.capacityBytes();
+  EXPECT_GT(capacity, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.capacityBytes(), capacity);
+  // A warmed arena services the same workload without growing.
+  for (int i = 0; i < 10; ++i) (void)arena.allocate<std::uint64_t>(64);
+  EXPECT_EQ(arena.capacityBytes(), capacity);
+}
+
+TEST(Arena, GrowsForOversizedRequests) {
+  Arena arena(64);
+  double* big = arena.allocate<double>(10'000);
+  ASSERT_NE(big, nullptr);
+  big[0] = 1.5;
+  big[9'999] = 2.5;
+  EXPECT_EQ(big[0], 1.5);
+  EXPECT_EQ(big[9'999], 2.5);
+  EXPECT_GE(arena.capacityBytes(), 10'000 * sizeof(double));
+}
+
+TEST(ArenaVector, PushBackPreservesContentsAcrossGrowth) {
+  Arena arena;
+  ArenaVector<std::uint32_t> v(arena);
+  for (std::uint32_t i = 0; i < 1'000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1'000u);
+  for (std::uint32_t i = 0; i < 1'000; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(ArenaVector, AppendAndClear) {
+  Arena arena;
+  ArenaVector<int> v(arena, 4);
+  std::vector<int> chunk(37);
+  std::iota(chunk.begin(), chunk.end(), 0);
+  v.append(chunk.data(), chunk.size());
+  v.append(chunk.data(), chunk.size());
+  ASSERT_EQ(v.size(), 74u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[36], 36);
+  EXPECT_EQ(v[37], 0);
+  EXPECT_EQ(v[73], 36);
+  EXPECT_TRUE(std::equal(v.begin(), v.begin() + 37, chunk.begin()));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(ArenaVector, AppendZeroFromNullIsANoop) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  v.append(nullptr, 0);
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace relb::util
