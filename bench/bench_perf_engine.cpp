@@ -362,6 +362,45 @@ BENCHMARK(BM_CertifyChainCached)
     ->UseRealTime();
 
 // ---------------------------------------------------------------------------
+// Session-layer benchmarks (the EngineCore / EngineSession split).
+// BM_SessionCreate is the per-request price of the split: constructing a
+// session over an already-warm shared core must stay trivially cheap, since
+// the driver pays it on every run() and services pay it per request.
+// BM_ConcurrentSessions is the contention row: N threads, each with its own
+// session over ONE shared core, all served from the warm memo -- what the
+// core's single lock costs when every lookup is a hit.
+// ---------------------------------------------------------------------------
+
+void BM_SessionCreate(benchmark::State& state) {
+  auto core = std::make_shared<re::EngineCore>();
+  {
+    re::EngineSession warm(core);
+    benchmark::DoNotOptimize(warm.speedupStep(re::misProblem(3)));
+  }
+  for (auto _ : state) {
+    re::EngineSession session(core);
+    benchmark::DoNotOptimize(&session);
+  }
+}
+BENCHMARK(BM_SessionCreate);
+
+void BM_ConcurrentSessions(benchmark::State& state) {
+  // Magic static: warmed exactly once, shared by every benchmark thread.
+  static const std::shared_ptr<re::EngineCore> core = [] {
+    auto c = std::make_shared<re::EngineCore>();
+    re::EngineSession warm(c);
+    benchmark::DoNotOptimize(warm.speedupStep(re::misProblem(3)));
+    return c;
+  }();
+  const auto mis = re::misProblem(3);
+  for (auto _ : state) {
+    re::EngineSession session(core);
+    benchmark::DoNotOptimize(session.speedupStep(mis));
+  }
+}
+BENCHMARK(BM_ConcurrentSessions)->Threads(2)->Threads(8)->UseRealTime();
+
+// ---------------------------------------------------------------------------
 // Disk-store benchmarks: certifyChain backed by the content-addressed step
 // store (src/store).  Cold = empty store, every step computed and written
 // through; warm = a fresh context over a fully populated store, every step

@@ -23,7 +23,8 @@
 # BM_CertifyChain -- each row carries per-iteration registry-counter
 # breakdowns (antichain tests, labels produced, ...) -- plus the serial
 # bit-kernel rows BM_DominationFilter / BM_RightClosure / BM_SubsetSweep and
-# the tracer overhead rows BM_ScopedSpan* / BM_RegistryCounterAdd.  On a
+# the tracer overhead rows BM_ScopedSpan* / BM_RegistryCounterAdd and the
+# session-layer rows BM_SessionCreate / BM_ConcurrentSessions.  On a
 # single-core machine numThreads=0 resolves to one lane, so the
 # serial/parallel rows coincide up to noise; the serial rows still track the
 # kernel and antichain-prune baselines against older revisions.
@@ -59,7 +60,7 @@ cmake --build "$BUILD_DIR" -j --target bench_perf_engine round_eliminator_cli
 BENCH_BIN="$BUILD_DIR/bench/bench_perf_engine"
 OUT="${BENCH_OUT:-BENCH_speedup.json}"
 "$BENCH_BIN" \
-  --benchmark_filter='BM_SpeedupStepFamily|BM_SpeedupStepMis|BM_MaximalEdgePairs|BM_CertifyChain|BM_DominationFilter|BM_RightClosure|BM_SubsetSweep|BM_ScopedSpan|BM_RegistryCounterAdd' \
+  --benchmark_filter='BM_SpeedupStepFamily|BM_SpeedupStepMis|BM_MaximalEdgePairs|BM_CertifyChain|BM_DominationFilter|BM_RightClosure|BM_SubsetSweep|BM_ScopedSpan|BM_RegistryCounterAdd|BM_SessionCreate|BM_ConcurrentSessions' \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1 \

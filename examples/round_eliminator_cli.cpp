@@ -32,6 +32,9 @@
 // Exit codes: 0 = success, 1 = step/certification/verification failure,
 // 2 = usage or parse error.
 //
+// The entire behavior lives in src/driver (parse -> RunRequest, execute ->
+// RunResult); this file only connects argv and the two output streams.
+//
 // Examples:
 //
 //   ./round_eliminator_cli "M^3; P O^2" "M [PO]; O O"         # MIS
@@ -41,453 +44,24 @@
 //   ./round_eliminator_cli --chain 32 --trace chain32.trace.json
 //       --report chain32.report.json
 //   ./round_eliminator_cli --verify-cert chain32.json
-#include <chrono>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <memory>
-#include <string>
-#include <vector>
 
-#include "core/sequence.hpp"
-#include "io/certificate.hpp"
-#include "io/verify.hpp"
-#include "obs/chrome_sink.hpp"
-#include "obs/metrics.hpp"
-#include "obs/report.hpp"
-#include "obs/trace.hpp"
-#include "re/autobound.hpp"
-#include "re/diagram.hpp"
-#include "re/engine.hpp"
-#include "re/problem.hpp"
-#include "re/zero_round.hpp"
-#include "store/step_store.hpp"
-#include "util/thread_pool.hpp"
-
-namespace {
-
-std::string splitLines(std::string spec) {
-  for (char& ch : spec) {
-    if (ch == ';') ch = '\n';
-  }
-  return spec;
-}
-
-void usage(const char* prog) {
-  std::cerr
-      << "usage: " << prog
-      << " [flags] \"<node configs>\" \"<edge configs>\" [maxSteps] [threads]\n"
-      << "       " << prog << " [flags] --chain DELTA [--x0 K]\n"
-      << "       " << prog << " --verify-cert FILE\n"
-      << "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
-      << "threads: 0 = hardware concurrency (default), 1 = serial\n"
-      << "flags: --stats --store DIR --resume --save-cert FILE\n"
-      << "       --verify-cert FILE --chain DELTA --x0 K\n"
-      << "       --trace FILE --trace-format {chrome,text} --report FILE\n";
-}
-
-// Owns the observability wiring for one CLI run: the sinks selected by
-// --trace/--report, the root phase spans' aggregation, and the finalization
-// (flush trace, assemble + save the run report) every exit path goes
-// through.
-struct ObsSession {
-  std::string command;
-  std::string tracePath;
-  std::string traceFormat = "chrome";
-  std::string reportPath;
-  int threads = 1;
-
-  std::shared_ptr<relb::obs::TextSink> text;
-  std::shared_ptr<relb::obs::ChromeTraceSink> chrome;
-  std::shared_ptr<relb::obs::SpanAggregator> aggregator;
-  std::chrono::steady_clock::time_point start;
-
-  // Filled in by the run paths; copied into the report verbatim.
-  long chainDelta = -1;
-  long chainX0 = 1;
-  std::vector<relb::obs::RunReport::ChainStep> chainSteps;
-  std::vector<std::string> opsWalked;
-
-  void attach() {
-    start = std::chrono::steady_clock::now();
-    auto& tracer = relb::obs::Tracer::global();
-    if (!tracePath.empty()) {
-      if (traceFormat == "chrome") {
-        chrome = std::make_shared<relb::obs::ChromeTraceSink>(tracePath);
-        tracer.addSink(chrome);
-      } else {
-        text = std::make_shared<relb::obs::TextSink>();
-        tracer.addSink(text);
-      }
-    }
-    if (!reportPath.empty()) {
-      aggregator = std::make_shared<relb::obs::SpanAggregator>();
-      tracer.addSink(aggregator);
-    }
-  }
-
-  // Finalizes observability and passes the exit code through, so call sites
-  // read `return session.finish(code);`.
-  int finish(int code) {
-    using namespace relb;
-    auto& tracer = obs::Tracer::global();
-    const std::int64_t totalMicros =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    try {
-      tracer.flush();  // the chrome sink writes its file here
-      if (text != nullptr) {
-        std::ofstream out(tracePath, std::ios::binary);
-        out << text->render();
-        if (!out) throw re::Error("cannot write trace to '" + tracePath + "'");
-      }
-      if (!tracePath.empty()) {
-        std::cout << "trace (" << traceFormat << ") written to " << tracePath
-                  << "\n";
-      }
-      if (aggregator != nullptr) {
-        obs::RunReport report =
-            obs::buildRunReport(*aggregator, obs::Registry::global());
-        // Phases are the CLI's own root spans; they run back-to-back on the
-        // main thread, so their wall times tile the run.  Depth-0 spans on
-        // pool workers (e.g. chain.certify.step) do not, and stay in the
-        // all-spans table only.
-        std::erase_if(report.phases, [](const obs::RunReport::Row& row) {
-          return row.name.rfind("phase.", 0) != 0;
-        });
-        report.command = command;
-        report.totalWallMicros = totalMicros;
-        report.threads = threads;
-        report.chainDelta = chainDelta;
-        report.chainX0 = chainX0;
-        report.chainSteps = chainSteps;
-        report.opsWalked = opsWalked;
-        obs::saveRunReport(reportPath, report);
-        std::cout << "run report written to " << reportPath << "\n";
-      }
-    } catch (const re::Error& e) {
-      std::cerr << "observability error: " << e.what() << "\n";
-      if (code == 0) code = 1;
-    }
-    tracer.clearSinks();
-    return code;
-  }
-};
-
-// Drives maxSteps of R / Rbar through the context, recording every operator,
-// renaming map, and zero-round verdict as a "speedup-trace" certificate.
-relb::io::Certificate buildTraceCertificate(const relb::re::Problem& start,
-                                            relb::re::EngineContext& ctx,
-                                            int maxSteps, int maxLabels) {
-  using namespace relb;
-  io::Certificate cert;
-  cert.kind = "speedup-trace";
-  cert.engineInfo.emplace_back("generator", "relb");
-
-  const auto record = [&](const std::string& op, re::Problem problem,
-                          std::optional<std::vector<re::LabelSet>> meaning) {
-    io::CertificateStep step;
-    step.op = op;
-    step.meaning = std::move(meaning);
-    step.zeroRoundSolvable = ctx.zeroRoundSolvable(
-        problem, re::ZeroRoundMode::kSymmetricPorts);
-    step.problem = std::move(problem);
-    const bool stop = step.zeroRoundSolvable;
-    cert.steps.push_back(std::move(step));
-    return stop;
-  };
-
-  if (record("input", start, std::nullopt)) return cert;
-  re::Problem current = start;
-  for (int i = 0; i < maxSteps; ++i) {
-    re::StepResult r = ctx.applyR(current);
-    if (record("R", r.problem, r.meaning)) return cert;
-    re::StepResult rbar = ctx.applyRbar(r.problem);
-    if (record("Rbar", rbar.problem, rbar.meaning)) return cert;
-    current = std::move(rbar.problem);
-    if (current.alphabet.size() > maxLabels) return cert;
-  }
-  return cert;
-}
-
-}  // namespace
+#include "driver/driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace relb;
-  bool showStats = false;
-  bool resume = false;
-  std::string storeDir, saveCert, verifyCert;
-  long chainDelta = -1;
-  long x0 = 1;
-  std::vector<std::string> positional;
-  ObsSession session;
-
-  const auto flagValue = [&](int& i, const std::string& flag) {
-    if (i + 1 >= argc) {
-      std::cerr << flag << " requires a value\n";
-      usage(argv[0]);
-      std::exit(2);
-    }
-    return std::string(argv[++i]);
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--stats") {
-      showStats = true;
-    } else if (arg == "--resume") {
-      resume = true;
-    } else if (arg == "--store") {
-      storeDir = flagValue(i, arg);
-    } else if (arg == "--save-cert") {
-      saveCert = flagValue(i, arg);
-    } else if (arg == "--verify-cert") {
-      verifyCert = flagValue(i, arg);
-    } else if (arg == "--chain") {
-      chainDelta = std::atol(flagValue(i, arg).c_str());
-    } else if (arg == "--x0") {
-      x0 = std::atol(flagValue(i, arg).c_str());
-    } else if (arg == "--trace") {
-      session.tracePath = flagValue(i, arg);
-    } else if (arg == "--trace-format") {
-      session.traceFormat = flagValue(i, arg);
-      if (session.traceFormat != "chrome" && session.traceFormat != "text") {
-        std::cerr << "--trace-format must be 'chrome' or 'text'\n";
-        usage(argv[0]);
-        return 2;
-      }
-    } else if (arg == "--report") {
-      session.reportPath = flagValue(i, arg);
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 2;
-    } else {
-      positional.push_back(arg);
-    }
+  const driver::ParseOutcome parsed = driver::parseArgs(argc, argv);
+  if (!parsed.error.empty()) {
+    std::cerr << parsed.error << "\n"
+              << driver::usageText(parsed.request.programName);
+    return 2;
   }
-
-  {
-    std::string command;
-    for (int i = 0; i < argc; ++i) {
-      if (i > 0) command += ' ';
-      command += argv[i];
-    }
-    session.command = std::move(command);
+  if (parsed.helpRequested) {
+    std::cerr << driver::usageText(parsed.request.programName);
+    return 2;
   }
-  session.attach();
-
-  // --verify-cert stands alone: load, re-verify, report.
-  //
-  // Every phase span below closes before session.finish() runs (finish
-  // snapshots the aggregator, so an open span would be invisible to the
-  // report).
-  if (!verifyCert.empty()) {
-    int code = 0;
-    try {
-      const obs::ScopedSpan phase("phase.verify");
-      const io::Certificate cert = io::loadCertificate(verifyCert);
-      const io::VerifyReport report = io::verifyCertificate(cert);
-      std::cout << report.describe() << "\n";
-      code = report.ok ? 0 : 1;
-    } catch (const re::Error& e) {
-      std::cerr << "verify error: " << e.what() << "\n";
-      code = 1;
-    }
-    return session.finish(code);
-  }
-
-  if (resume && storeDir.empty()) {
-    std::cerr << "--resume requires --store DIR\n";
-    usage(argv[0]);
-    return session.finish(2);
-  }
-  std::shared_ptr<store::DiskStepStore> stepStore;
-  if (!storeDir.empty()) {
-    if (resume &&
-        !std::filesystem::exists(std::filesystem::path(storeDir) / "FORMAT")) {
-      std::cerr << "--resume: no step store at '" << storeDir << "'\n";
-      return session.finish(2);
-    }
-    try {
-      stepStore = std::make_shared<store::DiskStepStore>(storeDir);
-    } catch (const re::Error& e) {
-      std::cerr << "store error: " << e.what() << "\n";
-      return session.finish(1);
-    }
-  }
-
-  // In --chain mode the problem text is implied, so [maxSteps] [threads]
-  // shift to the front of the positional list.
-  const std::size_t stepsIdx = chainDelta >= 0 ? 0 : 2;
-  const int maxSteps = positional.size() > stepsIdx
-                           ? std::atoi(positional[stepsIdx].c_str())
-                           : 6;
-  const int numThreads = positional.size() > stepsIdx + 1
-                             ? std::atoi(positional[stepsIdx + 1].c_str())
-                             : 0;
-
-  session.threads = util::resolveThreadCount(numThreads);
-
-  re::PassOptions passOptions;
-  passOptions.numThreads = numThreads;
-  re::EngineContext ctx(passOptions);
-  if (stepStore != nullptr) ctx.attachStore(stepStore);
-
-  // --chain DELTA: build, certify, and optionally persist the family chain.
-  if (chainDelta >= 0) {
-    int code = 0;
-    try {
-      core::Chain chain;
-      {
-        const obs::ScopedSpan phase("phase.chain.build");
-        chain = core::exactChain(chainDelta, x0);
-      }
-      std::cout << "exact chain for Pi_" << chainDelta << "(a, x), x0 = "
-                << x0 << ":\n";
-      for (std::size_t i = 0; i < chain.steps.size(); ++i) {
-        std::cout << "  step " << i << ": a = " << chain.steps[i].a
-                  << ", x = " << chain.steps[i].x << "\n";
-      }
-      session.chainDelta = chainDelta;
-      session.chainX0 = x0;
-      for (const core::ChainStep& step : chain.steps) {
-        session.chainSteps.push_back({step.a, step.x});
-      }
-      io::Certificate cert;
-      {
-        const obs::ScopedSpan phase("phase.chain.certify");
-        cert = core::buildChainCertificate(chain, &ctx, numThreads);
-      }
-      std::cout << "chain certified: >= " << cert.claimedRounds()
-                << " rounds (deterministic PN model)\n";
-      if (!saveCert.empty()) {
-        const obs::ScopedSpan phase("phase.cert.save");
-        io::saveCertificate(saveCert, cert);
-        std::cout << "certificate written to " << saveCert << "\n";
-      }
-      if (showStats) {
-        std::cout << "\nengine cache statistics:\n" << ctx.stats().describe();
-        if (stepStore != nullptr) std::cout << stepStore->stats().describe();
-      }
-    } catch (const re::Error& e) {
-      std::cerr << "chain error: " << e.what() << "\n";
-      code = 1;
-    }
-    return session.finish(code);
-  }
-
-  if (positional.size() < 2) {
-    usage(argv[0]);
-    return session.finish(2);
-  }
-  re::Problem p;
-  try {
-    p = re::Problem::parse(splitLines(positional[0]),
-                           splitLines(positional[1]));
-  } catch (const re::Error& e) {
-    std::cerr << "parse error: " << e.what() << "\n";
-    return session.finish(2);
-  }
-
-  std::cout << "problem (Delta = " << p.delta() << ", "
-            << p.alphabet.size() << " labels):\n"
-            << p.render() << "\n";
-
-  try {
-    {
-      const obs::ScopedSpan phase("phase.analyze");
-      const auto edgeRel = re::computeStrength(p.edge, p.alphabet.size());
-      std::cout << "edge diagram:\n" << edgeRel.renderDiagram(p.alphabet);
-      try {
-        const auto nodeRel = re::computeStrengthScalable(p.node,
-                                                         p.alphabet.size());
-        std::cout << "node diagram:\n" << nodeRel.renderDiagram(p.alphabet);
-      } catch (const re::Error&) {
-        std::cout << "node diagram: (undecided at this size)\n";
-      }
-
-      std::cout << "\n0-round solvable: symmetric ports "
-                << (re::zeroRoundSolvableSymmetricPorts(p) ? "yes" : "no")
-                << ", adversarial ports "
-                << (re::zeroRoundSolvableAdversarialPorts(p) ? "yes" : "no")
-                << ", with edge-port inputs "
-                << (re::zeroRoundSolvableWithEdgeInputs(p) ? "yes" : "no")
-                << "\n\n";
-    }
-
-    if (showStats) {
-      // Drive the speedup through the pass pipeline, one stats table per
-      // step.
-      const obs::ScopedSpan phase("phase.pipeline");
-      const auto pipeline = re::PassManager::speedupPipeline();
-      re::Problem current = p;
-      for (int step = 1; step <= maxSteps; ++step) {
-        try {
-          auto result = pipeline.run(current, ctx);
-          std::cout << "speedup step " << step << ":\n"
-                    << result.renderStatsTable() << "\n";
-          if (result.stopped) break;
-          current = std::move(result.problem);
-        } catch (const re::Error& e) {
-          std::cout << "speedup step " << step << ": engine guard ("
-                    << e.what() << ")\n\n";
-          break;
-        }
-        if (current.alphabet.size() > 16) break;
-      }
-    }
-
-    {
-      const obs::ScopedSpan phase("phase.iterate");
-      re::IterateOptions options;
-      options.maxSteps = maxSteps;
-      options.maxLabels = 16;
-      options.stepOptions.numThreads = numThreads;
-      options.context = &ctx;
-      const auto trace = re::iterateSpeedup(p, options);
-      std::cout << trace.describe() << "\n\n";
-      if (trace.last.alphabet.size() <= 16) {
-        std::cout << "last problem reached:\n" << trace.last.render();
-      }
-      session.opsWalked.push_back("input");
-      for (std::size_t i = 1; i < trace.steps.size(); ++i) {
-        session.opsWalked.push_back("speedup");
-      }
-    }
-
-    if (!saveCert.empty()) {
-      const obs::ScopedSpan phase("phase.cert.save");
-      const io::Certificate cert =
-          buildTraceCertificate(p, ctx, maxSteps, 16);
-      io::saveCertificate(saveCert, cert);
-      std::cout << "\nspeedup-trace certificate (" << cert.steps.size()
-                << " steps) written to " << saveCert << "\n";
-    }
-
-    // Automatic lower bound: speedup + hardness-preserving label merging.
-    try {
-      const obs::ScopedSpan phase("phase.autobound");
-      re::AutoLowerBoundOptions lbOptions;
-      lbOptions.maxSteps = maxSteps;
-      lbOptions.maxLabels = 10;
-      lbOptions.stepOptions.numThreads = numThreads;
-      lbOptions.context = &ctx;
-      const auto lb = re::autoLowerBound(p, lbOptions);
-      std::cout << "\nautomatic lower bound: >= " << lb.rounds
-                << " rounds (deterministic PN, high girth)\n";
-    } catch (const re::Error& e) {
-      std::cout << "\nautomatic lower bound: engine guard (" << e.what()
-                << ")\n";
-    }
-  } catch (const re::Error& e) {
-    std::cerr << "step error: " << e.what() << "\n";
-    return session.finish(1);
-  }
-
-  if (showStats) {
-    std::cout << "\nengine cache statistics:\n" << ctx.stats().describe();
-    if (stepStore != nullptr) std::cout << stepStore->stats().describe();
-  }
-  return session.finish(0);
+  const driver::RunResult result = driver::run(parsed.request);
+  std::cout << result.output;
+  std::cerr << result.diagnostics;
+  return result.exitCode();
 }

@@ -19,9 +19,12 @@ bool corollary10Applies(Count a, Count x, Count delta) {
 
 // Shared body of both certifyChain overloads.  `zeroRoundCheck(i)` decides
 // Lemma 12 for step i; it is invoked from the fan-out workers, so it must be
-// safe to call concurrently.
+// safe to call concurrently.  Spans go to `tracer` -- the session's tracer
+// for the context-backed overload, so concurrent sessions keep their
+// certification timelines attributable.
 template <typename ZeroRoundCheck>
 std::string certifyChainImpl(const Chain& chain, int numThreads,
+                             obs::Tracer& tracer,
                              ZeroRoundCheck&& zeroRoundCheck) {
   if (chain.steps.empty()) return "empty chain";
   // The Lemma 12 checks dominate the certification cost and are independent
@@ -32,9 +35,9 @@ std::string certifyChainImpl(const Chain& chain, int numThreads,
   std::vector<char> zeroRound(chain.steps.size());
   std::vector<std::exception_ptr> zeroRoundError(chain.steps.size());
   {
-    const obs::ScopedSpan certifySpan("chain.certify");
+    const obs::ScopedSpan certifySpan("chain.certify", tracer);
     util::parallel_for(numThreads, chain.steps.size(), [&](std::size_t i) {
-      const obs::ScopedSpan stepSpan("chain.certify.step");
+      const obs::ScopedSpan stepSpan("chain.certify.step", tracer);
       try {
         zeroRound[i] = zeroRoundCheck(i);
       } catch (...) {
@@ -113,19 +116,21 @@ bool familyZeroRoundSolvable(Count delta, Count a, Count x) {
 }
 
 std::string certifyChain(const Chain& chain, int numThreads) {
-  return certifyChainImpl(chain, numThreads, [&](std::size_t i) {
-    return familyZeroRoundSolvable(chain.delta, chain.steps[i].a,
-                                   chain.steps[i].x);
-  });
+  return certifyChainImpl(
+      chain, numThreads, obs::Tracer::global(), [&](std::size_t i) {
+        return familyZeroRoundSolvable(chain.delta, chain.steps[i].a,
+                                       chain.steps[i].x);
+      });
 }
 
 std::string certifyChain(const Chain& chain, re::EngineContext& context,
                          int numThreads) {
-  return certifyChainImpl(chain, numThreads, [&](std::size_t i) {
-    return context.zeroRoundSolvable(
-        familyProblem(chain.delta, chain.steps[i].a, chain.steps[i].x),
-        re::ZeroRoundMode::kSymmetricPorts);
-  });
+  return certifyChainImpl(
+      chain, numThreads, context.tracer(), [&](std::size_t i) {
+        return context.zeroRoundSolvable(
+            familyProblem(chain.delta, chain.steps[i].a, chain.steps[i].x),
+            re::ZeroRoundMode::kSymmetricPorts);
+      });
 }
 
 io::Certificate buildChainCertificate(const Chain& chain,

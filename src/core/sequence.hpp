@@ -18,7 +18,8 @@
 #include "util/thread_pool.hpp"
 
 namespace relb::re {
-class EngineContext;
+class EngineSession;
+using EngineContext = EngineSession;
 }  // namespace relb::re
 
 namespace relb::core {

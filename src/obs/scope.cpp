@@ -1,0 +1,67 @@
+#include "obs/scope.hpp"
+
+#include <utility>
+
+namespace relb::obs {
+
+namespace {
+
+// Re-dispatches every event consumed from a session tracer into the parent
+// tracer, re-based onto the parent's epoch.  consume() runs under the
+// session tracer's mutex and takes the parent's -- the lock order is always
+// session -> parent (the parent never forwards back), so this cannot
+// deadlock.
+class ForwardSink final : public TraceSink {
+ public:
+  ForwardSink(Tracer& child, Tracer& parent)
+      : parent_(parent),
+        epochDeltaMicros_((child.epochNanos() - parent.epochNanos()) / 1000) {}
+
+  void consume(const TraceEvent& event) override {
+    TraceEvent rebased = event;
+    rebased.startMicros += epochDeltaMicros_;
+    parent_.emit(std::move(rebased));
+  }
+
+  void flush() override { parent_.flush(); }
+
+ private:
+  Tracer& parent_;
+  const std::int64_t epochDeltaMicros_;
+};
+
+}  // namespace
+
+SessionScope::SessionScope(std::string label, Registry* parentRegistry,
+                           Tracer* parentTracer)
+    : label_(std::move(label)), parentRegistry_(parentRegistry) {
+  if (parentTracer != nullptr && parentTracer->enabled()) {
+    forward_ = std::make_shared<ForwardSink>(tracer_, *parentTracer);
+    tracer_.addSink(forward_);
+  }
+}
+
+SessionScope::~SessionScope() {
+  flush();
+  if (forward_ != nullptr) tracer_.removeSink(forward_.get());
+}
+
+void SessionScope::flush() {
+  if (parentRegistry_ == nullptr) return;
+  const Registry::Snapshot snap = local_.snapshot();
+  std::lock_guard lock(flushMutex_);
+  for (const auto& [name, value] : snap.counters) {
+    std::uint64_t& alreadyFlushed = flushedCounters_[name];
+    if (value > alreadyFlushed) {
+      parentRegistry_->counter(name).add(value - alreadyFlushed);
+      alreadyFlushed = value;
+    }
+  }
+  // Gauges are last-write-wins; zero-valued ones are skipped so an idle
+  // session cannot clobber a gauge another session just set.
+  for (const auto& [name, value] : snap.gauges) {
+    if (value != 0) parentRegistry_->gauge(name).set(value);
+  }
+}
+
+}  // namespace relb::obs

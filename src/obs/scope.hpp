@@ -1,0 +1,77 @@
+// Per-session observability scopes.
+//
+// A SessionScope gives one logical client (an EngineSession, a driver run, a
+// future service request) its own metric Registry and its own Tracer, so
+// concurrent sessions multiplexed onto one process produce *attributable*
+// streams instead of one indistinguishable global blur:
+//
+//   * counters/gauges ticked through scope.registry() accumulate locally;
+//     flush() (also run by the destructor) rolls the deltas up into the
+//     parent registry, so global totals still equal the sum of all sessions
+//     -- snapshot() before flushing is the per-session view;
+//   * spans emitted through scope.tracer() are forwarded into the parent
+//     tracer (timestamps re-based onto the parent's epoch), but only when
+//     the parent had a sink attached at scope construction -- a scope over
+//     a quiet parent keeps the tracer's no-sink fast path intact.  Sinks
+//     attached directly to scope.tracer() see this session's spans only.
+//
+// Lifetime rules: the scope must outlive every consumer holding references
+// into it (EngineSession caches counter references from the scope registry
+// at construction), and the parent registry/tracer must outlive the scope.
+// flush() is idempotent -- each counter's already-rolled-up amount is
+// remembered, so periodic flushing from a long-lived session never double
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace relb::obs {
+
+class SessionScope {
+ public:
+  /// `label` is cosmetic (reports, logs, debugging); sessions are
+  /// distinguished by holding distinct scopes, not by label uniqueness.
+  explicit SessionScope(std::string label = {},
+                        Registry* parentRegistry = &Registry::global(),
+                        Tracer* parentTracer = &Tracer::global());
+  ~SessionScope();
+
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  /// The session-local registry.  References returned by its counter()/
+  /// gauge() stay valid for the scope's lifetime.
+  [[nodiscard]] Registry& registry() { return local_; }
+
+  /// The session-local tracer.  Forwards into the parent tracer iff the
+  /// parent was enabled when this scope was constructed.
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// The per-session view: this scope's counters and gauges only.
+  [[nodiscard]] Registry::Snapshot snapshot() const { return local_.snapshot(); }
+
+  /// Rolls local counter deltas (since the previous flush) into the parent
+  /// registry and writes non-zero local gauges through.  Idempotent; the
+  /// destructor runs a final flush.
+  void flush();
+
+ private:
+  std::string label_;
+  Registry local_;
+  Tracer tracer_;
+  Registry* parentRegistry_;
+  std::shared_ptr<TraceSink> forward_;  // attached to tracer_, kept to detach
+  std::mutex flushMutex_;
+  std::map<std::string, std::uint64_t, std::less<>> flushedCounters_;
+};
+
+}  // namespace relb::obs

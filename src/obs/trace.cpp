@@ -202,6 +202,11 @@ void Tracer::counter(std::string_view name, std::int64_t value) {
   dispatch(std::move(event));
 }
 
+void Tracer::emit(TraceEvent event) {
+  if (!enabled()) return;
+  dispatch(std::move(event));
+}
+
 void Tracer::instant(std::string_view name) {
   if (!enabled()) return;
   TraceEvent event;

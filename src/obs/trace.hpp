@@ -162,6 +162,18 @@ class Tracer {
   /// Microseconds since this tracer's construction (monotonic clock).
   [[nodiscard]] std::int64_t nowMicros() const;
 
+  /// This tracer's epoch on the shared monotonic clock (nanoseconds).
+  /// Events carry timestamps relative to their tracer's epoch; forwarding an
+  /// event between tracers (see obs/scope.hpp) re-bases it by the epoch
+  /// delta so both timelines stay aligned.
+  [[nodiscard]] std::int64_t epochNanos() const { return epochNanos_; }
+
+  /// Dispatches a fully formed event whose startMicros is already relative
+  /// to THIS tracer's epoch.  Dropped when no sink is attached.  The entry
+  /// point for cross-tracer forwarding; normal instrumentation goes through
+  /// emitSpan/counter/instant.
+  void emit(TraceEvent event);
+
   /// Emits a completed span (normally called by ~ScopedSpan).
   void emitSpan(std::string_view name, std::int64_t startMicros,
                 std::int64_t durationMicros, int depth);

@@ -5,39 +5,14 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/scope.hpp"
 #include "obs/trace.hpp"
 #include "re/zero_round.hpp"
+#include "util/arena.hpp"
 
 namespace relb::re {
 
 namespace {
-
-// Registry counters mirrored by every EngineContext (the per-context
-// CacheStats stay the source of truth for `--stats`; the registry is what
-// the run report and the counter-based tests read).  Interned once, ticked
-// with relaxed atomic adds.
-struct EngineCounters {
-  obs::Counter& memoHit;
-  obs::Counter& memoMiss;
-  obs::Counter& zeroRoundHit;
-  obs::Counter& zeroRoundMiss;
-  obs::Counter& canonicalHit;
-  obs::Counter& canonicalMiss;
-  obs::Counter& storeHit;
-  obs::Counter& storeMiss;
-  obs::Counter& storeWrite;
-};
-
-EngineCounters& engineCounters() {
-  obs::Registry& r = obs::Registry::global();
-  static EngineCounters counters{
-      r.counter("engine.memo.hit"),       r.counter("engine.memo.miss"),
-      r.counter("engine.zero_round.hit"), r.counter("engine.zero_round.miss"),
-      r.counter("engine.canonical.hit"),  r.counter("engine.canonical.miss"),
-      r.counter("store.hit"),             r.counter("store.miss"),
-      r.counter("store.write")};
-  return counters;
-}
 
 std::uint64_t mixKey(std::uint64_t h, std::uint64_t v) {
   v += 0x9e3779b97f4a7c15ULL;
@@ -69,10 +44,10 @@ std::string CacheStats::describe() const {
 }
 
 // ---------------------------------------------------------------------------
-// EngineContext
+// EngineCore
 // ---------------------------------------------------------------------------
 
-struct EngineContext::Impl {
+struct EngineCore::Impl {
   // Every cache follows the same discipline: buckets keyed by a 64-bit
   // structural hash, entries carrying the full key for exact comparison (a
   // hash collision degrades to a miss-like scan, never to a wrong answer).
@@ -119,164 +94,265 @@ struct EngineContext::Impl {
   std::unordered_map<std::uint64_t, std::vector<ZeroRoundEntry>> zeroRound;
   std::unordered_map<std::uint64_t, std::vector<CanonicalEntry>> canonicals;
   std::unordered_map<std::uint64_t, std::vector<Problem>> interned;
+  /// Aggregate across every session over this core.
   CacheStats stats;
   /// Durable write-through backing; consulted on memo misses.  Load/store
   /// calls run OUTSIDE the mutex (the storage is thread-safe by contract).
   std::shared_ptr<StepStorage> storage;
 };
 
-EngineContext::EngineContext(PassOptions options)
-    : options_(options), impl_(std::make_unique<Impl>()) {}
+EngineCore::EngineCore() : impl_(std::make_unique<Impl>()) {}
 
-EngineContext::~EngineContext() = default;
+EngineCore::~EngineCore() = default;
 
-void EngineContext::attachStore(std::shared_ptr<StepStorage> store) {
+void EngineCore::attachStore(std::shared_ptr<StepStorage> store) {
   std::lock_guard lock(impl_->mutex);
   impl_->storage = std::move(store);
 }
 
-StepResult EngineContext::applyR(const Problem& p) {
-  const obs::ScopedSpan span("engine.applyR");
+std::shared_ptr<StepStorage> EngineCore::store() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->storage;
+}
+
+CacheStats EngineCore::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stats;
+}
+
+void EngineCore::resetStats() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->stats = CacheStats{};
+}
+
+// ---------------------------------------------------------------------------
+// EngineSession
+// ---------------------------------------------------------------------------
+
+/// Counter references mirrored into the session's registry (the per-session
+/// CacheStats stay the source of truth for `--stats`; the registry is what
+/// run reports and counter-based tests read).  Interned once per session,
+/// ticked with relaxed atomic adds.  For scope-less sessions the registry is
+/// the global one, so names collide deliberately: globals aggregate.
+struct EngineSession::ObsHooks {
+  obs::Counter& memoHit;
+  obs::Counter& memoMiss;
+  obs::Counter& zeroRoundHit;
+  obs::Counter& zeroRoundMiss;
+  obs::Counter& canonicalHit;
+  obs::Counter& canonicalMiss;
+  obs::Counter& storeHit;
+  obs::Counter& storeMiss;
+  obs::Counter& storeWrite;
+
+  explicit ObsHooks(obs::Registry& r)
+      : memoHit(r.counter("engine.memo.hit")),
+        memoMiss(r.counter("engine.memo.miss")),
+        zeroRoundHit(r.counter("engine.zero_round.hit")),
+        zeroRoundMiss(r.counter("engine.zero_round.miss")),
+        canonicalHit(r.counter("engine.canonical.hit")),
+        canonicalMiss(r.counter("engine.canonical.miss")),
+        storeHit(r.counter("store.hit")),
+        storeMiss(r.counter("store.miss")),
+        storeWrite(r.counter("store.write")) {}
+};
+
+/// The session-owned arena backing the serial Rbar sweep when the caller
+/// left StepOptions::arena unset (shared-core sessions only).  Parallel
+/// lanes and scratch buffers always use re_step.cpp's thread-local arenas.
+struct EngineSession::SessionArenas {
+  util::Arena results;
+};
+
+EngineSession::EngineSession(PassOptions options)
+    : core_(std::make_shared<EngineCore>()),
+      options_(options),
+      registry_(&obs::Registry::global()),
+      tracer_(&obs::Tracer::global()),
+      obs_(std::make_unique<ObsHooks>(*registry_)),
+      pipeline_(
+          std::make_unique<PassManager>(PassManager::speedupPipeline())) {}
+
+EngineSession::EngineSession(std::shared_ptr<EngineCore> core,
+                             PassOptions options, obs::SessionScope* scope)
+    : core_(core != nullptr ? std::move(core)
+                            : std::make_shared<EngineCore>()),
+      options_(options),
+      registry_(scope != nullptr ? &scope->registry()
+                                 : &obs::Registry::global()),
+      tracer_(scope != nullptr ? &scope->tracer() : &obs::Tracer::global()),
+      obs_(std::make_unique<ObsHooks>(*registry_)),
+      arenas_(std::make_unique<SessionArenas>()),
+      pipeline_(
+          std::make_unique<PassManager>(PassManager::speedupPipeline())) {
+  if (options_.arena == nullptr) options_.arena = &arenas_->results;
+}
+
+EngineSession::~EngineSession() = default;
+
+void EngineSession::attachStore(std::shared_ptr<StepStorage> store) {
+  core_->attachStore(std::move(store));
+}
+
+StepResult EngineSession::applyR(const Problem& p) {
+  const obs::ScopedSpan span("engine.applyR", *tracer_);
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key = mixKey(0, hash);
   std::shared_ptr<StepStorage> storage;
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->steps.find(key);
-    if (it != impl_->steps.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.steps.find(key);
+    if (it != impl.steps.end()) {
       for (const auto& e : it->second) {
         if (e.kind == 0 && e.input == p) {
-          ++impl_->stats.stepHits;
-          engineCounters().memoHit.add();
+          ++impl.stats.stepHits;
+          ++stats_.stepHits;
+          obs_->memoHit.add();
           return e.result;
         }
       }
     }
-    storage = impl_->storage;
+    storage = impl.storage;
   }
   if (storage != nullptr) {
     if (auto loaded = storage->loadStep(0, p, hash, options_)) {
-      std::lock_guard lock(impl_->mutex);
-      ++impl_->stats.storeHits;
-      engineCounters().storeHit.add();
-      impl_->steps[key].push_back({0, p, options_.maxRbarDelta,
-                                   options_.enumerationLimit, *loaded});
+      std::lock_guard lock(impl.mutex);
+      ++impl.stats.storeHits;
+      ++stats_.storeHits;
+      obs_->storeHit.add();
+      impl.steps[key].push_back({0, p, options_.maxRbarDelta,
+                                 options_.enumerationLimit, *loaded});
       return *std::move(loaded);
     }
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.storeMisses;
-    engineCounters().storeMiss.add();
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.storeMisses;
+    ++stats_.storeMisses;
+    obs_->storeMiss.add();
   }
   StepResult result = detail::applyRImpl(p, options_, this);
   {
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.stepMisses;
-    engineCounters().memoMiss.add();
-    impl_->steps[key].push_back(
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.stepMisses;
+    ++stats_.stepMisses;
+    obs_->memoMiss.add();
+    impl.steps[key].push_back(
         {0, p, options_.maxRbarDelta, options_.enumerationLimit, result});
   }
   if (storage != nullptr) {
     storage->storeStep(0, p, hash, options_, result);
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.storeWrites;
-    engineCounters().storeWrite.add();
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.storeWrites;
+    ++stats_.storeWrites;
+    obs_->storeWrite.add();
   }
   return result;
 }
 
-StepResult EngineContext::applyRbar(const Problem& p) {
-  const obs::ScopedSpan span("engine.applyRbar");
+StepResult EngineSession::applyRbar(const Problem& p) {
+  const obs::ScopedSpan span("engine.applyRbar", *tracer_);
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key = mixKey(1, hash);
   std::shared_ptr<StepStorage> storage;
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->steps.find(key);
-    if (it != impl_->steps.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.steps.find(key);
+    if (it != impl.steps.end()) {
       for (const auto& e : it->second) {
         if (e.kind == 1 && e.input == p &&
             e.maxRbarDelta == options_.maxRbarDelta &&
             e.enumerationLimit == options_.enumerationLimit) {
-          ++impl_->stats.stepHits;
-          engineCounters().memoHit.add();
+          ++impl.stats.stepHits;
+          ++stats_.stepHits;
+          obs_->memoHit.add();
           return e.result;
         }
       }
     }
-    storage = impl_->storage;
+    storage = impl.storage;
   }
   if (storage != nullptr) {
     if (auto loaded = storage->loadStep(1, p, hash, options_)) {
-      std::lock_guard lock(impl_->mutex);
-      ++impl_->stats.storeHits;
-      engineCounters().storeHit.add();
-      impl_->steps[key].push_back({1, p, options_.maxRbarDelta,
-                                   options_.enumerationLimit, *loaded});
+      std::lock_guard lock(impl.mutex);
+      ++impl.stats.storeHits;
+      ++stats_.storeHits;
+      obs_->storeHit.add();
+      impl.steps[key].push_back({1, p, options_.maxRbarDelta,
+                                 options_.enumerationLimit, *loaded});
       return *std::move(loaded);
     }
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.storeMisses;
-    engineCounters().storeMiss.add();
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.storeMisses;
+    ++stats_.storeMisses;
+    obs_->storeMiss.add();
   }
   StepResult result = detail::applyRbarImpl(p, options_, this);
   {
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.stepMisses;
-    engineCounters().memoMiss.add();
-    impl_->steps[key].push_back(
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.stepMisses;
+    ++stats_.stepMisses;
+    obs_->memoMiss.add();
+    impl.steps[key].push_back(
         {1, p, options_.maxRbarDelta, options_.enumerationLimit, result});
   }
   if (storage != nullptr) {
     storage->storeStep(1, p, hash, options_, result);
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.storeWrites;
-    engineCounters().storeWrite.add();
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.storeWrites;
+    ++stats_.storeWrites;
+    obs_->storeWrite.add();
   }
   return result;
 }
 
-Problem EngineContext::speedupStep(const Problem& p) {
+Problem EngineSession::speedupStep(const Problem& p) {
   return applyRbar(applyR(p).problem).problem;
 }
 
-std::vector<LabelSet> EngineContext::edgeCompatibility(const Constraint& edge,
+std::vector<LabelSet> EngineSession::edgeCompatibility(const Constraint& edge,
                                                        int alphabetSize) {
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t key =
       mixKey(structuralHash(edge), static_cast<std::uint64_t>(alphabetSize));
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->edgeCompat.find(key);
-    if (it != impl_->edgeCompat.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.edgeCompat.find(key);
+    if (it != impl.edgeCompat.end()) {
       for (const auto& e : it->second) {
         if (e.alphabetSize == alphabetSize && e.edge == edge) {
-          ++impl_->stats.edgeCompatHits;
+          ++impl.stats.edgeCompatHits;
+          ++stats_.edgeCompatHits;
           return e.compat;
         }
       }
     }
   }
   std::vector<LabelSet> compat = re::edgeCompatibility(edge, alphabetSize);
-  std::lock_guard lock(impl_->mutex);
-  ++impl_->stats.edgeCompatMisses;
-  impl_->edgeCompat[key].push_back({edge, alphabetSize, compat});
+  std::lock_guard lock(impl.mutex);
+  ++impl.stats.edgeCompatMisses;
+  ++stats_.edgeCompatMisses;
+  impl.edgeCompat[key].push_back({edge, alphabetSize, compat});
   return compat;
 }
 
-StrengthRelation EngineContext::strength(const Constraint& constraint,
+StrengthRelation EngineSession::strength(const Constraint& constraint,
                                          int alphabetSize,
                                          std::size_t enumerationLimit) {
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t key = mixKey(
       mixKey(structuralHash(constraint),
              static_cast<std::uint64_t>(alphabetSize)),
       enumerationLimit);
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->strengths.find(key);
-    if (it != impl_->strengths.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.strengths.find(key);
+    if (it != impl.strengths.end()) {
       for (const auto& e : it->second) {
         if (e.alphabetSize == alphabetSize && e.limit == enumerationLimit &&
             e.constraint == constraint) {
-          ++impl_->stats.strengthHits;
+          ++impl.stats.strengthHits;
+          ++stats_.strengthHits;
           return e.relation;
         }
       }
@@ -284,29 +360,32 @@ StrengthRelation EngineContext::strength(const Constraint& constraint,
   }
   StrengthRelation relation =
       computeStrength(constraint, alphabetSize, enumerationLimit);
-  std::lock_guard lock(impl_->mutex);
-  ++impl_->stats.strengthMisses;
-  impl_->strengths[key].push_back(
+  std::lock_guard lock(impl.mutex);
+  ++impl.stats.strengthMisses;
+  ++stats_.strengthMisses;
+  impl.strengths[key].push_back(
       {constraint, alphabetSize, enumerationLimit, relation});
   return relation;
 }
 
-std::vector<LabelSet> EngineContext::rightClosedSets(
+std::vector<LabelSet> EngineSession::rightClosedSets(
     const Constraint& constraint, int alphabetSize, LabelSet universe,
     std::size_t enumerationLimit) {
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t key = mixKey(
       mixKey(mixKey(structuralHash(constraint),
                     static_cast<std::uint64_t>(alphabetSize)),
              universe.bits()),
       enumerationLimit);
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->rightClosed.find(key);
-    if (it != impl_->rightClosed.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.rightClosed.find(key);
+    if (it != impl.rightClosed.end()) {
       for (const auto& e : it->second) {
         if (e.alphabetSize == alphabetSize && e.universe == universe &&
             e.limit == enumerationLimit && e.constraint == constraint) {
-          ++impl_->stats.rightClosedHits;
+          ++impl.stats.rightClosedHits;
+          ++stats_.rightClosedHits;
           return e.sets;
         }
       }
@@ -315,44 +394,49 @@ std::vector<LabelSet> EngineContext::rightClosedSets(
   std::vector<LabelSet> sets =
       strength(constraint, alphabetSize, enumerationLimit)
           .allRightClosedSets(universe);
-  std::lock_guard lock(impl_->mutex);
-  ++impl_->stats.rightClosedMisses;
-  impl_->rightClosed[key].push_back(
+  std::lock_guard lock(impl.mutex);
+  ++impl.stats.rightClosedMisses;
+  ++stats_.rightClosedMisses;
+  impl.rightClosed[key].push_back(
       {constraint, alphabetSize, universe, enumerationLimit, sets});
   return sets;
 }
 
-bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
-  const obs::ScopedSpan span("engine.zeroRound");
+bool EngineSession::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
+  const obs::ScopedSpan span("engine.zeroRound", *tracer_);
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t hash = structuralHash(p);
   const std::uint64_t key =
       mixKey(static_cast<std::uint64_t>(mode) + 7, hash);
   std::shared_ptr<StepStorage> storage;
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->zeroRound.find(key);
-    if (it != impl_->zeroRound.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.zeroRound.find(key);
+    if (it != impl.zeroRound.end()) {
       for (const auto& e : it->second) {
         if (e.mode == mode && e.input == p) {
-          ++impl_->stats.zeroRoundHits;
-          engineCounters().zeroRoundHit.add();
+          ++impl.stats.zeroRoundHits;
+          ++stats_.zeroRoundHits;
+          obs_->zeroRoundHit.add();
           return e.solvable;
         }
       }
     }
-    storage = impl_->storage;
+    storage = impl.storage;
   }
   if (storage != nullptr) {
     if (const auto loaded = storage->loadZeroRound(mode, p, hash)) {
-      std::lock_guard lock(impl_->mutex);
-      ++impl_->stats.storeHits;
-      engineCounters().storeHit.add();
-      impl_->zeroRound[key].push_back({p, mode, *loaded});
+      std::lock_guard lock(impl.mutex);
+      ++impl.stats.storeHits;
+      ++stats_.storeHits;
+      obs_->storeHit.add();
+      impl.zeroRound[key].push_back({p, mode, *loaded});
       return *loaded;
     }
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.storeMisses;
-    engineCounters().storeMiss.add();
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.storeMisses;
+    ++stats_.storeMisses;
+    obs_->storeMiss.add();
   }
   bool solvable = false;
   switch (mode) {
@@ -367,32 +451,36 @@ bool EngineContext::zeroRoundSolvable(const Problem& p, ZeroRoundMode mode) {
       break;
   }
   {
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.zeroRoundMisses;
-    engineCounters().zeroRoundMiss.add();
-    impl_->zeroRound[key].push_back({p, mode, solvable});
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.zeroRoundMisses;
+    ++stats_.zeroRoundMisses;
+    obs_->zeroRoundMiss.add();
+    impl.zeroRound[key].push_back({p, mode, solvable});
   }
   if (storage != nullptr) {
     storage->storeZeroRound(mode, p, hash, solvable);
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.storeWrites;
-    engineCounters().storeWrite.add();
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.storeWrites;
+    ++stats_.storeWrites;
+    obs_->storeWrite.add();
   }
   return solvable;
 }
 
-EngineContext::InternResult EngineContext::intern(const Problem& p) {
-  const obs::ScopedSpan span("engine.intern");
+EngineSession::InternResult EngineSession::intern(const Problem& p) {
+  const obs::ScopedSpan span("engine.intern", *tracer_);
+  EngineCore::Impl& impl = *core_->impl_;
   const std::uint64_t exactKey = structuralHash(p);
   std::optional<CanonicalForm> form;
   {
-    std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->canonicals.find(exactKey);
-    if (it != impl_->canonicals.end()) {
+    std::lock_guard lock(impl.mutex);
+    const auto it = impl.canonicals.find(exactKey);
+    if (it != impl.canonicals.end()) {
       for (const auto& e : it->second) {
         if (e.input == p) {
-          ++impl_->stats.canonicalHits;
-          engineCounters().canonicalHit.add();
+          ++impl.stats.canonicalHits;
+          ++stats_.canonicalHits;
+          obs_->canonicalHit.add();
           form = e.form;
           break;
         }
@@ -401,36 +489,38 @@ EngineContext::InternResult EngineContext::intern(const Problem& p) {
   }
   if (!form) {
     form = canonicalize(p);
-    std::lock_guard lock(impl_->mutex);
-    ++impl_->stats.canonicalMisses;
-    engineCounters().canonicalMiss.add();
-    impl_->canonicals[exactKey].push_back({p, *form});
+    std::lock_guard lock(impl.mutex);
+    ++impl.stats.canonicalMisses;
+    ++stats_.canonicalMisses;
+    obs_->canonicalMiss.add();
+    impl.canonicals[exactKey].push_back({p, *form});
   }
 
   InternResult result;
   result.hash = form->hash;
   result.canonical = std::move(*form);
-  std::lock_guard lock(impl_->mutex);
-  auto& orbit = impl_->interned[result.hash];
+  std::lock_guard lock(impl.mutex);
+  auto& orbit = impl.interned[result.hash];
   result.alreadyInterned =
       std::any_of(orbit.begin(), orbit.end(), [&](const Problem& q) {
         return q == result.canonical.problem;
       });
   if (!result.alreadyInterned) {
     orbit.push_back(result.canonical.problem);
-    ++impl_->stats.internedProblems;
+    ++impl.stats.internedProblems;
+    ++stats_.internedProblems;
   }
   return result;
 }
 
-CacheStats EngineContext::stats() const {
-  std::lock_guard lock(impl_->mutex);
-  return impl_->stats;
+CacheStats EngineSession::stats() const {
+  std::lock_guard lock(core_->impl_->mutex);
+  return stats_;
 }
 
-void EngineContext::resetStats() {
-  std::lock_guard lock(impl_->mutex);
-  impl_->stats = CacheStats{};
+void EngineSession::resetStats() {
+  std::lock_guard lock(core_->impl_->mutex);
+  stats_ = CacheStats{};
 }
 
 // ---------------------------------------------------------------------------
@@ -548,7 +638,8 @@ PassManager PassManager::speedupPipeline() {
   return pm;
 }
 
-PipelineResult PassManager::run(const Problem& p, EngineContext& ctx) const {
+PipelineResult PassManager::run(const Problem& p,
+                                EngineSession& session) const {
   PipelineResult out;
   Problem current = p;
   for (std::size_t i = 0; i < passes_.size(); ++i) {
@@ -558,26 +649,25 @@ PipelineResult PassManager::run(const Problem& p, EngineContext& ctx) const {
     st.labelsIn = current.alphabet.size();
     st.nodeConfigsIn = current.node.size();
     st.edgeConfigsIn = current.edge.size();
-    const CacheStats before = ctx.stats();
+    const CacheStats before = session.stats();
     const std::string spanName = "pass." + st.name;
     const auto t0 = std::chrono::steady_clock::now();
     PassOutput po;
     {
-      const obs::ScopedSpan span(spanName);
-      po = pass.run({current, ctx, ctx.options()});
+      const obs::ScopedSpan span(spanName, session.tracer());
+      po = pass.run({current, session, session.options()});
     }
     const auto t1 = std::chrono::steady_clock::now();
-    const CacheStats after = ctx.stats();
+    const CacheStats after = session.stats();
     st.wallMicros =
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
     st.fromCache = after.stepHits > before.stepHits &&
                    after.stepMisses == before.stepMisses;
     current = std::move(po.problem);
     {
-      static obs::Gauge& labelsGauge =
-          obs::Registry::global().gauge("re.labels.last");
-      labelsGauge.set(static_cast<std::int64_t>(current.alphabet.size()));
-      obs::Tracer& tracer = obs::Tracer::global();
+      session.registry().gauge("re.labels.last")
+          .set(static_cast<std::int64_t>(current.alphabet.size()));
+      obs::Tracer& tracer = session.tracer();
       if (tracer.enabled()) {
         tracer.counter("re.labels.last",
                        static_cast<std::int64_t>(current.alphabet.size()));

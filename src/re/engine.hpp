@@ -1,15 +1,41 @@
-// The pass-based engine core: EngineContext + PassManager.
+// The pass-based engine, split at the sharing seam into EngineCore and
+// EngineSession.
 //
-// EngineContext owns every cache the speedup machinery can share:
+// EngineCore is the thread-safe SHARED half: it owns every cache the speedup
+// machinery can reuse across requests --
 //   * a step memo (applyR / applyRbar / speedupStep results keyed by the
 //     exact structural hash of the input problem -- cache hits return
 //     bit-identical results, asserted by tests/re/engine_test.cpp);
-//   * per-context caches for edge-compatibility matrices, strength
-//     diagrams, and right-closed-set families (the sub-results every
-//     consumer used to recompute from scratch);
+//   * caches for edge-compatibility matrices, strength diagrams, and
+//     right-closed-set families (the sub-results every consumer used to
+//     recompute from scratch);
 //   * zero-round solvability caches for the three port models;
 //   * a canonical-problem intern table (see canonical.hpp): fixed-point
-//     detection reduces to "canonical form already interned".
+//     detection reduces to "canonical form already interned";
+//   * the durable StepStorage hook (see store/step_store.hpp).
+// Any number of sessions, on any threads, may share one core; results are
+// bit-identical to cold computes regardless of who warmed the cache.
+//
+// EngineSession is the cheap PER-REQUEST half: its own StepOptions, its own
+// result arena backing the serial Rbar sweep, its own pass manager, and an
+// observability scope (a session-local metric registry and tracer handle,
+// see obs/scope.hpp) so concurrent requests produce attributable counter and
+// span streams.  Creating a session performs a fixed, small amount of work
+// (interning a handful of counter names, two empty arenas) -- it is meant to
+// be done once per request, and session reuse re-uses the arenas.
+//
+// Lifetime and sharing rules (docs/architecture.md has the diagram):
+//   * core outlives every session over it (sessions hold a shared_ptr, so
+//     this is automatic);
+//   * an attached obs::SessionScope must outlive the session;
+//   * one session serves ONE logical client.  The engine's own fan-out may
+//     run a session's work on many pool threads, and certifyChain-style
+//     helpers may probe a session from worker lanes, but two independent
+//     clients must each take their own session (sharing the core).
+//   * the legacy EngineContext alias constructs a standalone session owning
+//     a private core; for backward compatibility it keeps the serial-sweep
+//     arena thread-local, so it remains safe to hammer one EngineContext
+//     from many threads as the pre-split tests do.
 //
 // The speedup step itself is decomposed into composable passes with a
 // uniform run(PassInput) -> PassOutput interface; PassManager chains them
@@ -18,12 +44,11 @@
 // bit-identical to the legacy free functions applyR/applyRbar/speedupStep
 // in re_step.hpp, which remain as thin uncached wrappers.
 //
-// Thread-safety: an EngineContext may be shared by the deterministic
-// fan-out helpers in util/thread_pool.hpp.  Lookups and insertions are
-// mutex-protected; a computation happens outside the lock, so two threads
-// missing the same key concurrently may both compute it (the first insert
-// wins and the results are identical anyway).  Statistics counters are
-// updated under the same mutex.
+// Thread-safety: core lookups and insertions are mutex-protected; a
+// computation happens outside the lock, so two sessions missing the same key
+// concurrently may both compute it (the first insert wins and the results
+// are identical anyway).  Statistics counters -- the core-wide aggregate and
+// each session's own view -- are updated under the same mutex.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +64,12 @@
 #include "re/diagram.hpp"
 #include "re/re_step.hpp"
 
+namespace relb::obs {
+class Registry;
+class SessionScope;
+class Tracer;
+}  // namespace relb::obs
+
 namespace relb::re {
 
 /// The pipeline's option block.  StepOptions carries exactly the knobs the
@@ -46,8 +77,11 @@ namespace relb::re {
 /// option type; the alias is the refactor seam promised in docs.
 using PassOptions = StepOptions;
 
-/// Counters for every per-context cache.  `hits + misses` is the number of
-/// lookups; `misses` is the number of times the underlying computation ran.
+/// Counters for every cache.  `hits + misses` is the number of lookups;
+/// `misses` is the number of times the underlying computation ran.  Both the
+/// core-wide aggregate (EngineCore::stats) and each session's attributed
+/// share (EngineSession::stats) use this shape; per session, a hit served
+/// from another session's earlier work still counts as a hit here.
 struct CacheStats {
   std::size_t stepHits = 0, stepMisses = 0;
   std::size_t edgeCompatHits = 0, edgeCompatMisses = 0;
@@ -55,7 +89,8 @@ struct CacheStats {
   std::size_t rightClosedHits = 0, rightClosedMisses = 0;
   std::size_t zeroRoundHits = 0, zeroRoundMisses = 0;
   std::size_t canonicalHits = 0, canonicalMisses = 0;
-  /// Distinct canonical forms interned so far.
+  /// Distinct canonical forms interned so far (per session: interned by
+  /// THIS session first).
   std::size_t internedProblems = 0;
   /// Attached-store traffic (zero when no store is attached).  A store hit
   /// fills the in-memory memo *without* counting a miss: "0 misses" in a
@@ -83,7 +118,7 @@ enum class ZeroRoundMode {
 ///     collision must degrade to a miss, never to a wrong answer).
 ///   * loadStep must only report a hit when the result is valid for
 ///     `options` (for Rbar: equal maxRbarDelta and enumerationLimit;
-///     numThreads never affects results and must be ignored).
+///     numThreads and arena never affect results and must be ignored).
 ///   * All methods may be called concurrently from engine worker threads.
 ///   * A load returning std::nullopt means "recompute"; corrupt entries
 ///     must not throw out of loads.
@@ -105,20 +140,75 @@ class StepStorage {
                               std::uint64_t hash, bool solvable) = 0;
 };
 
-class EngineContext {
+/// The shared, thread-safe cache core.  Holds no per-request state: options,
+/// arenas, and observability attribution all live in EngineSession.
+class EngineCore {
  public:
-  explicit EngineContext(PassOptions options = {});
-  ~EngineContext();
+  EngineCore();
+  ~EngineCore();
 
-  EngineContext(const EngineContext&) = delete;
-  EngineContext& operator=(const EngineContext&) = delete;
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  /// Attaches (or, with nullptr, detaches) a durable step store shared by
+  /// every session over this core.  Attaching is transparent to every
+  /// consumer: results are bit-identical with and without a store; only the
+  /// stats change.  Safe to call at any time, but results cached in memory
+  /// before attachment are not written back.
+  void attachStore(std::shared_ptr<StepStorage> store);
+
+  /// The currently attached store (nullptr when none).
+  [[nodiscard]] std::shared_ptr<StepStorage> store() const;
+
+  /// Aggregate cache traffic across every session that ever used this core.
+  [[nodiscard]] CacheStats stats() const;
+  void resetStats();
+
+ private:
+  friend class EngineSession;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The per-request session.  All speedup entry points live here; every
+/// lookup and computation is recorded both in the shared core's aggregate
+/// stats and in this session's own attributed stats/counters.
+class EngineSession {
+ public:
+  /// Standalone session owning a private EngineCore -- the legacy
+  /// EngineContext behavior.  Counters go to obs::Registry::global(), spans
+  /// to obs::Tracer::global(), and the serial-sweep arena stays thread-local
+  /// (safe to share this object across threads).
+  explicit EngineSession(PassOptions options = {});
+
+  /// Session over a shared core, optionally carrying an observability scope
+  /// (nullptr: global registry/tracer).  Unless `options.arena` is already
+  /// set, the serial Rbar sweep is backed by this session's own result arena
+  /// -- allocation-stable across requests, but it makes the step entry
+  /// points single-client (see the sharing rules above).
+  explicit EngineSession(std::shared_ptr<EngineCore> core,
+                         PassOptions options = {},
+                         obs::SessionScope* scope = nullptr);
+  ~EngineSession();
+
+  EngineSession(const EngineSession&) = delete;
+  EngineSession& operator=(const EngineSession&) = delete;
 
   [[nodiscard]] const PassOptions& options() const { return options_; }
 
-  /// Attaches (or, with nullptr, detaches) a durable step store.  Attaching
-  /// is transparent to every consumer: results are bit-identical with and
-  /// without a store; only the stats change.  Safe to call at any time, but
-  /// results cached in memory before attachment are not written back.
+  [[nodiscard]] EngineCore& core() { return *core_; }
+  [[nodiscard]] const std::shared_ptr<EngineCore>& coreHandle() const {
+    return core_;
+  }
+
+  /// The metric registry this session's counters land in (the scope's local
+  /// registry, or the global one for scope-less sessions).
+  [[nodiscard]] obs::Registry& registry() const { return *registry_; }
+  /// The tracer this session's spans are emitted through.
+  [[nodiscard]] obs::Tracer& tracer() const { return *tracer_; }
+
+  /// Delegates to the shared core (kept on the session for source
+  /// compatibility with the pre-split EngineContext).
   void attachStore(std::shared_ptr<StepStorage> store);
 
   // -- Memoized speedup operators (bit-identical to the free functions) ----
@@ -153,7 +243,8 @@ class EngineContext {
 
   struct InternResult {
     std::uint64_t hash = 0;
-    /// True iff an identical canonical form was interned before this call.
+    /// True iff an identical canonical form was interned before this call
+    /// (by any session sharing the core).
     bool alreadyInterned = false;
     CanonicalForm canonical;
   };
@@ -164,15 +255,33 @@ class EngineContext {
   /// canonical.hpp); callers needing a fallback should catch it.
   [[nodiscard]] InternResult intern(const Problem& p);
 
+  // -- Pass pipeline -------------------------------------------------------
+
+  /// This session's pass manager (defaults to the speedup pipeline
+  /// ApplyR -> ApplyRbar); replace or extend it per request.
+  [[nodiscard]] class PassManager& pipeline() { return *pipeline_; }
+
   // -- Statistics ----------------------------------------------------------
 
+  /// This session's attributed cache traffic.
   [[nodiscard]] CacheStats stats() const;
+  /// Resets this session's view only (the core aggregate is untouched).
   void resetStats();
 
  private:
-  struct Impl;
+  struct ObsHooks;       // interned counter references (engine.cpp)
+  struct SessionArenas;  // serial-sweep result arena (engine.cpp)
+
+  std::shared_ptr<EngineCore> core_;
   PassOptions options_;
-  std::unique_ptr<Impl> impl_;
+  obs::Registry* registry_;
+  obs::Tracer* tracer_;
+  std::unique_ptr<ObsHooks> obs_;
+  std::unique_ptr<SessionArenas> arenas_;
+  std::unique_ptr<class PassManager> pipeline_;
+  /// Session-attributed stats; guarded by the core's mutex (every update
+  /// site already holds it).
+  CacheStats stats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -181,7 +290,7 @@ class EngineContext {
 
 struct PassInput {
   const Problem& problem;
-  EngineContext& context;
+  EngineSession& context;
   const PassOptions& options;
 };
 
@@ -206,7 +315,7 @@ struct PassStats {
   std::size_t nodeConfigsOut = 0;
   std::size_t edgeConfigsIn = 0;
   std::size_t edgeConfigsOut = 0;
-  /// True iff the pass was served from the context's step memo.
+  /// True iff the pass was served from the step memo.
   bool fromCache = false;
   std::string note;
 };
@@ -238,8 +347,9 @@ class PassManager {
   PassManager& add(std::unique_ptr<Pass> pass);
   [[nodiscard]] std::size_t size() const { return passes_.size(); }
 
-  /// Runs the pipeline on `p`, using (and warming) the context's caches.
-  [[nodiscard]] PipelineResult run(const Problem& p, EngineContext& ctx) const;
+  /// Runs the pipeline on `p`, using (and warming) the session's caches.
+  [[nodiscard]] PipelineResult run(const Problem& p,
+                                   EngineSession& session) const;
 
   /// The default speedup pipeline ApplyR -> ApplyRbar: bit-identical to
   /// re_step.hpp's speedupStep.

@@ -44,7 +44,11 @@ class Arena;
 
 namespace relb::re {
 
-class EngineContext;
+// The cached engine entry points live on EngineSession (re/engine.hpp); the
+// pre-split name EngineContext survives as an alias for source
+// compatibility.
+class EngineSession;
+using EngineContext = EngineSession;
 
 struct StepResult {
   Problem problem;

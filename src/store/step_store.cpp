@@ -83,8 +83,10 @@ std::string StoreStats::describe() const {
          " writes / " + std::to_string(quarantined) + " quarantined\n";
 }
 
-DiskStepStore::DiskStepStore(std::filesystem::path root)
-    : root_(std::move(root)) {
+DiskStepStore::DiskStepStore(std::filesystem::path root,
+                             obs::Registry& registry)
+    : root_(std::move(root)),
+      quarantinedCounter_(registry.counter("store.quarantine")) {
   std::filesystem::create_directories(root_ / "objects");
   std::filesystem::create_directories(root_ / "quarantine");
   const std::filesystem::path stamp = root_ / "FORMAT";
@@ -115,9 +117,7 @@ void DiskStepStore::quarantine(const std::filesystem::path& path) {
   std::filesystem::rename(path, root_ / "quarantine" / path.filename(), ec);
   if (ec) std::filesystem::remove(path, ec);
   count(&StoreStats::quarantined);
-  static obs::Counter& quarantined =
-      obs::Registry::global().counter("store.quarantine");
-  quarantined.add();
+  quarantinedCounter_.add();
 }
 
 void DiskStepStore::count(std::size_t StoreStats::* counter) {

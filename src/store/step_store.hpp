@@ -32,6 +32,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "re/engine.hpp"
 
 namespace relb::store {
@@ -48,8 +49,12 @@ struct StoreStats {
 class DiskStepStore final : public re::StepStorage {
  public:
   /// Opens `root`, initializing the layout on first use.  Throws re::Error
-  /// if `root` carries a FORMAT stamp of an incompatible version.
-  explicit DiskStepStore(std::filesystem::path root);
+  /// if `root` carries a FORMAT stamp of an incompatible version.  The
+  /// store.quarantine counter is interned in `registry` (global by default;
+  /// inject a session registry for per-client attribution).  The registry
+  /// must outlive the store.
+  explicit DiskStepStore(std::filesystem::path root,
+                         obs::Registry& registry = obs::Registry::global());
 
   [[nodiscard]] std::optional<re::StepResult> loadStep(
       int kind, const re::Problem& input, std::uint64_t hash,
@@ -78,6 +83,7 @@ class DiskStepStore final : public re::StepStorage {
   void count(std::size_t StoreStats::* counter);
 
   std::filesystem::path root_;
+  obs::Counter& quarantinedCounter_;
   mutable std::mutex mutex_;
   StoreStats stats_;
 };

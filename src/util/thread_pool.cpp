@@ -6,22 +6,6 @@ namespace relb::util {
 
 namespace {
 thread_local bool tlsInsideWorker = false;
-
-struct PoolMetrics {
-  obs::Counter& batches;
-  obs::Counter& items;
-  obs::Gauge& concurrency;
-  obs::Gauge& active;
-  obs::Gauge& maxBatch;
-};
-
-PoolMetrics& poolMetrics() {
-  auto& reg = obs::Registry::global();
-  static PoolMetrics m{reg.counter("pool.batches"), reg.counter("pool.items"),
-                       reg.gauge("pool.concurrency"), reg.gauge("pool.active"),
-                       reg.gauge("pool.max_batch")};
-  return m;
-}
 }  // namespace
 
 int resolveThreadCount(int requested) {
@@ -32,7 +16,12 @@ int resolveThreadCount(int requested) {
 
 bool insideWorker() { return tlsInsideWorker; }
 
-ThreadPool::ThreadPool(int numThreads) {
+ThreadPool::ThreadPool(int numThreads, obs::Registry& registry)
+    : batchesCounter_(registry.counter("pool.batches")),
+      itemsCounter_(registry.counter("pool.items")),
+      concurrencyGauge_(registry.gauge("pool.concurrency")),
+      activeGauge_(registry.gauge("pool.active")),
+      maxBatchGauge_(registry.gauge("pool.max_batch")) {
   std::lock_guard<std::mutex> lock(mutex_);
   spawnWorkersLocked(resolveThreadCount(numThreads) - 1);
 }
@@ -64,8 +53,7 @@ void ThreadPool::spawnWorkersLocked(int count) {
   for (int i = 0; i < count; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
   }
-  poolMetrics().concurrency.setMax(static_cast<std::int64_t>(workers_.size()) +
-                                   1);
+  concurrencyGauge_.setMax(static_cast<std::int64_t>(workers_.size()) + 1);
 }
 
 void ThreadPool::runItems(const std::function<void(std::size_t)>* fn,
@@ -98,7 +86,7 @@ void ThreadPool::workerLoop() {
     const auto* job = job_;
     const std::size_t n = jobSize_;
     ++running_;
-    poolMetrics().active.setMax(running_ + 1);  // +1: the participating caller
+    activeGauge_.setMax(running_ + 1);  // +1: the participating caller
     lock.unlock();
     runItems(job, n);
     lock.lock();
@@ -119,9 +107,9 @@ void ThreadPool::forEachIndex(std::size_t n,
     return;
   }
   std::lock_guard<std::mutex> batch(batchMutex_);
-  poolMetrics().batches.add();
-  poolMetrics().items.add(n);
-  poolMetrics().maxBatch.setMax(static_cast<std::int64_t>(n));
+  batchesCounter_.add();
+  itemsCounter_.add(n);
+  maxBatchGauge_.setMax(static_cast<std::int64_t>(n));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;

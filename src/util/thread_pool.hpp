@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace relb::util {
 
 /// The engine-wide default for every user-facing thread-count knob
@@ -53,8 +55,11 @@ class ThreadPool {
  public:
   /// Spawns `resolveThreadCount(numThreads) - 1` workers; the thread calling
   /// forEachIndex always participates, so total concurrency is the resolved
-  /// count.
-  explicit ThreadPool(int numThreads = 0);
+  /// count.  The pool.* counters/gauges are interned in `registry` (the
+  /// global one by default; inject a session registry to attribute pool
+  /// traffic to one client).  The registry must outlive the pool.
+  explicit ThreadPool(int numThreads = 0,
+                      obs::Registry& registry = obs::Registry::global());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -80,6 +85,13 @@ class ThreadPool {
   void workerLoop();
   void runItems(const std::function<void(std::size_t)>* fn, std::size_t n);
   void spawnWorkersLocked(int count);
+
+  // pool.* instrumentation, interned once from the injected registry.
+  obs::Counter& batchesCounter_;
+  obs::Counter& itemsCounter_;
+  obs::Gauge& concurrencyGauge_;
+  obs::Gauge& activeGauge_;
+  obs::Gauge& maxBatchGauge_;
 
   std::vector<std::thread> workers_;
 

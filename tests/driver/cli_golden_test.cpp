@@ -1,0 +1,140 @@
+// Golden contract of the CLI, enforced at the driver library layer: the
+// usage text is pinned byte-for-byte (tools/check_docs.sh cross-checks the
+// documented flags against it, and embedders key off the same string), the
+// flag grammar of parseArgs() is stable, and the exit-code contract is
+//   0 = success, 1 = step/certification/verification failure,
+//   2 = usage or parse error.
+// If a change here is intentional, update docs/cli.md and the README in the
+// same commit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+
+namespace relb::driver {
+namespace {
+
+ParseOutcome parse(std::vector<const char*> argv) {
+  return parseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliGolden, UsageTextIsPinnedByteForByte) {
+  const std::string expected =
+      "usage: round_eliminator_cli [flags] \"<node configs>\" "
+      "\"<edge configs>\" [maxSteps] [threads]\n"
+      "       round_eliminator_cli [flags] --chain DELTA [--x0 K]\n"
+      "       round_eliminator_cli --verify-cert FILE\n"
+      "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
+      "threads: 0 = hardware concurrency (default), 1 = serial\n"
+      "flags: --stats --store DIR --resume --save-cert FILE\n"
+      "       --verify-cert FILE --chain DELTA --x0 K\n"
+      "       --trace FILE --trace-format {chrome,text} --report FILE\n";
+  EXPECT_EQ(usageText("round_eliminator_cli"), expected);
+}
+
+TEST(CliGolden, HelpRequestsUsageNotAnError) {
+  for (const char* flag : {"--help", "-h"}) {
+    const ParseOutcome outcome = parse({"cli", flag});
+    EXPECT_TRUE(outcome.helpRequested) << flag;
+    EXPECT_TRUE(outcome.error.empty()) << flag;
+  }
+}
+
+TEST(CliGolden, MissingFlagValueIsAParseError) {
+  const ParseOutcome outcome = parse({"cli", "--store"});
+  EXPECT_EQ(outcome.error, "--store requires a value");
+}
+
+TEST(CliGolden, BadTraceFormatIsAParseError) {
+  const ParseOutcome outcome = parse({"cli", "--trace-format", "xml"});
+  EXPECT_EQ(outcome.error, "--trace-format must be 'chrome' or 'text'");
+}
+
+TEST(CliGolden, PositionalGrammar) {
+  const ParseOutcome outcome =
+      parse({"cli", "M M M; P O O", "M P; O O", "3", "1"});
+  ASSERT_TRUE(outcome.error.empty());
+  ASSERT_FALSE(outcome.helpRequested);
+  const RunRequest& req = outcome.request;
+  EXPECT_EQ(req.mode, RunRequest::Mode::kProblem);
+  EXPECT_EQ(req.nodeSpec, "M M M; P O O");
+  EXPECT_EQ(req.edgeSpec, "M P; O O");
+  EXPECT_EQ(req.maxSteps, 3);
+  EXPECT_EQ(req.numThreads, 1);
+}
+
+TEST(CliGolden, ChainModeShiftsPositionals) {
+  const ParseOutcome outcome = parse({"cli", "--chain", "8", "--x0", "2",
+                                      "4", "1"});
+  ASSERT_TRUE(outcome.error.empty());
+  const RunRequest& req = outcome.request;
+  EXPECT_EQ(req.mode, RunRequest::Mode::kChain);
+  EXPECT_EQ(req.chainDelta, 8);
+  EXPECT_EQ(req.chainX0, 2);
+  // With the problem text implied, [maxSteps] [threads] move up front.
+  EXPECT_EQ(req.maxSteps, 4);
+  EXPECT_EQ(req.numThreads, 1);
+}
+
+TEST(CliGolden, UnknownFlagsStayPositional) {
+  const ParseOutcome outcome = parse({"cli", "--bogus", "M P; O O"});
+  ASSERT_TRUE(outcome.error.empty());
+  EXPECT_EQ(outcome.request.nodeSpec, "--bogus");
+  EXPECT_EQ(outcome.request.edgeSpec, "M P; O O");
+}
+
+TEST(CliGolden, SuccessfulProblemRunExitsZero) {
+  RunRequest req;
+  req.nodeSpec = "M M M; P O O";
+  req.edgeSpec = "M P; O O";
+  req.maxSteps = 1;
+  req.numThreads = 1;
+  const RunResult result = run(req);
+  EXPECT_EQ(result.exitCode(), 0);
+  EXPECT_EQ(result.status, RunStatus::kOk);
+  EXPECT_NE(result.output.find("problem (Delta = 3"), std::string::npos);
+  EXPECT_TRUE(result.diagnostics.empty()) << result.diagnostics;
+}
+
+TEST(CliGolden, MissingPositionalsExitTwoWithUsage) {
+  const RunResult result = run(RunRequest{});  // no node/edge spec
+  EXPECT_EQ(result.exitCode(), 2);
+  EXPECT_EQ(result.status, RunStatus::kUsage);
+  EXPECT_NE(result.diagnostics.find("usage: round_eliminator_cli"),
+            std::string::npos);
+}
+
+TEST(CliGolden, ParseErrorExitsTwo) {
+  RunRequest req;
+  req.nodeSpec = "M ^^ not a config";
+  req.edgeSpec = "M P";
+  const RunResult result = run(req);
+  EXPECT_EQ(result.exitCode(), 2);
+  EXPECT_NE(result.diagnostics.find("parse error"), std::string::npos);
+}
+
+TEST(CliGolden, ResumeWithoutStoreExitsTwo) {
+  RunRequest req;
+  req.nodeSpec = "M M M; P O O";
+  req.edgeSpec = "M P; O O";
+  req.resume = true;
+  const RunResult result = run(req);
+  EXPECT_EQ(result.exitCode(), 2);
+  EXPECT_NE(result.diagnostics.find("--resume requires --store DIR"),
+            std::string::npos);
+}
+
+TEST(CliGolden, BadCertificateExitsOne) {
+  RunRequest req;
+  req.mode = RunRequest::Mode::kVerifyCertificate;
+  req.verifyCertPath = "/nonexistent/cert.json";
+  const RunResult result = run(req);
+  EXPECT_EQ(result.exitCode(), 1);
+  EXPECT_EQ(result.status, RunStatus::kFailure);
+  EXPECT_NE(result.diagnostics.find("verify error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relb::driver

@@ -1,0 +1,111 @@
+// SessionScope (obs/scope.hpp): session-local counters roll up into the
+// parent exactly once, the per-session snapshot stays isolated, and span
+// forwarding into the parent tracer follows the enabled-at-construction
+// rule with timestamps re-based onto the parent's epoch.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
+
+namespace relb::obs {
+namespace {
+
+std::uint64_t counterValue(const Registry::Snapshot& snap,
+                           const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+TEST(SessionScope, CountersRollUpIntoParentOnFlush) {
+  Registry parent;
+  {
+    SessionScope scope("s1", &parent, nullptr);
+    scope.registry().counter("engine.memo.hit").add(3);
+    scope.registry().counter("engine.memo.miss").add();
+    // Nothing reaches the parent before a flush.
+    EXPECT_EQ(counterValue(parent.snapshot(), "engine.memo.hit"), 0u);
+    scope.flush();
+    EXPECT_EQ(counterValue(parent.snapshot(), "engine.memo.hit"), 3u);
+    // A second flush with no new traffic adds nothing (idempotence) ...
+    scope.flush();
+    EXPECT_EQ(counterValue(parent.snapshot(), "engine.memo.hit"), 3u);
+    // ... and later traffic rolls up only its delta.
+    scope.registry().counter("engine.memo.hit").add(2);
+  }  // destructor runs the final flush
+  EXPECT_EQ(counterValue(parent.snapshot(), "engine.memo.hit"), 5u);
+  EXPECT_EQ(counterValue(parent.snapshot(), "engine.memo.miss"), 1u);
+}
+
+TEST(SessionScope, SnapshotIsThePerSessionView) {
+  Registry parent;
+  parent.counter("engine.memo.hit").add(100);
+  SessionScope scope("s1", &parent, nullptr);
+  scope.registry().counter("engine.memo.hit").add(7);
+  EXPECT_EQ(counterValue(scope.snapshot(), "engine.memo.hit"), 7u);
+  scope.flush();
+  // The parent aggregates; the session view is unchanged by flushing.
+  EXPECT_EQ(counterValue(parent.snapshot(), "engine.memo.hit"), 107u);
+  EXPECT_EQ(counterValue(scope.snapshot(), "engine.memo.hit"), 7u);
+}
+
+TEST(SessionScope, TwoScopesSumIntoOneParent) {
+  Registry parent;
+  SessionScope a("a", &parent, nullptr);
+  SessionScope b("b", &parent, nullptr);
+  a.registry().counter("work").add(2);
+  b.registry().counter("work").add(5);
+  a.flush();
+  b.flush();
+  EXPECT_EQ(counterValue(parent.snapshot(), "work"), 7u);
+  EXPECT_EQ(counterValue(a.snapshot(), "work"), 2u);
+  EXPECT_EQ(counterValue(b.snapshot(), "work"), 5u);
+}
+
+TEST(SessionScope, ForwardsSpansWhenParentEnabledAtConstruction) {
+  Tracer parent;
+  const auto ring = std::make_shared<RingBufferSink>(16);
+  parent.addSink(ring);
+  SessionScope scope("traced", nullptr, &parent);
+  {
+    const ScopedSpan span("session.work", scope.tracer());
+  }
+  ASSERT_EQ(ring->size(), 1u);
+  const TraceEvent event = ring->events().front();
+  EXPECT_EQ(event.name, "session.work");
+  // Re-based onto the parent's epoch: the child tracer was constructed
+  // after the parent, so the forwarded start cannot be negative.
+  EXPECT_GE(event.startMicros, 0);
+  parent.clearSinks();
+}
+
+TEST(SessionScope, QuietParentKeepsFastPath) {
+  Tracer parent;  // no sink attached
+  SessionScope scope("quiet", nullptr, &parent);
+  // No forward sink was attached, so the scope tracer stays disabled and
+  // ScopedSpan takes the no-op path.
+  EXPECT_FALSE(scope.tracer().enabled());
+  const auto ring = std::make_shared<RingBufferSink>(4);
+  parent.addSink(ring);  // attached AFTER scope construction: not forwarded
+  { const ScopedSpan span("session.work", scope.tracer()); }
+  EXPECT_EQ(ring->size(), 0u);
+  parent.clearSinks();
+}
+
+TEST(SessionScope, DirectSinksSeeOnlyThisSessionsSpans) {
+  Tracer parent;
+  SessionScope scope("mine", nullptr, &parent);
+  const auto ring = std::make_shared<RingBufferSink>(4);
+  scope.tracer().addSink(ring);
+  { const ScopedSpan span("mine.only", scope.tracer()); }
+  { const ScopedSpan span("parent.span", parent); }  // parent disabled: no-op
+  ASSERT_EQ(ring->size(), 1u);
+  EXPECT_EQ(ring->events().front().name, "mine.only");
+}
+
+}  // namespace
+}  // namespace relb::obs
