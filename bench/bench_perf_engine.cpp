@@ -16,9 +16,13 @@
 //     at 6 to keep full bench runs interactive.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <memory>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "core/lemma6.hpp"
 #include "gen/random_problem.hpp"
@@ -34,6 +38,8 @@
 #include "re/cycle_verifier.hpp"
 #include "re/tree_verifier.hpp"
 #include "re/zero_round.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "store/step_store.hpp"
 
 namespace {
@@ -454,6 +460,97 @@ void BM_CertifyChainWarmStore(benchmark::State& state) {
 BENCHMARK(BM_CertifyChainWarmStore)
     ->Arg(1 << 10)
     ->Arg(1 << 20)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Service benchmarks (src/serve): the daemon measured through its own unix
+// socket.  One shared Server over a warm core for the whole benchmark
+// process; every timed request is a cache hit, so the rows price the serve
+// layer itself -- framing, scheduling, session setup, socket hops -- not the
+// engine.  BM_ServeRoundTrip is the single-request end-to-end latency floor;
+// BM_ServeThroughput keeps `clients` connections in flight at once
+// (send-all, then receive-all, per iteration), which is the concurrency the
+// per-connection threads and scheduler lanes are supposed to deliver.  Real
+// time throughout: the work happens on server threads, not the caller's.
+// ---------------------------------------------------------------------------
+
+const std::string& benchSocketPath() {
+  static const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("relb-bench-serve-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  return path;
+}
+
+serve::Request benchServeRequest() {
+  serve::Request request;
+  request.kind = serve::Request::Kind::kProblem;
+  request.id = 1;
+  request.nodeSpec = "M^3; P O^2";
+  request.edgeSpec = "M [P O]; O O";
+  request.maxSteps = 3;
+  request.wantStats = false;
+  return request;
+}
+
+serve::Server& benchServer() {
+  static const auto server = [] {
+    serve::ServeConfig config;
+    config.unixSocketPath = benchSocketPath();
+    auto owned = std::make_unique<serve::Server>(config);
+    owned->start();
+    // Warm the shared core once, outside any timing loop.
+    serve::Client warm = serve::Client::connectUnix(benchSocketPath());
+    if (!warm.roundTrip(benchServeRequest()).ok()) {
+      std::abort();  // a broken server would silently poison every row
+    }
+    return owned;
+  }();
+  return *server;
+}
+
+void BM_ServeRoundTrip(benchmark::State& state) {
+  benchServer();
+  serve::Client client = serve::Client::connectUnix(benchSocketPath());
+  const serve::Request request = benchServeRequest();
+  for (auto _ : state) {
+    const serve::Response response = client.roundTrip(request);
+    if (!response.ok()) {
+      state.SkipWithError(response.status.c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeRoundTrip)->UseRealTime();
+
+void BM_ServeThroughput(benchmark::State& state) {
+  benchServer();
+  const int clients = static_cast<int>(state.range(0));
+  std::vector<serve::Client> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    pool.push_back(serve::Client::connectUnix(benchSocketPath()));
+  }
+  const serve::Request request = benchServeRequest();
+  for (auto _ : state) {
+    for (serve::Client& client : pool) {
+      client.send(request);
+    }
+    for (serve::Client& client : pool) {
+      const serve::Response response = client.receive();
+      if (!response.ok()) {
+        state.SkipWithError(response.status.c_str());
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_ServeThroughput)
+    ->ArgNames({"clients"})
+    ->Arg(2)
+    ->Arg(8)
     ->UseRealTime();
 
 // ---------------------------------------------------------------------------

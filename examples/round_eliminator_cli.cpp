@@ -60,7 +60,11 @@ int main(int argc, char** argv) {
     std::cerr << driver::usageText(parsed.request.programName);
     return 2;
   }
-  const driver::RunResult result = driver::run(parsed.request);
+  driver::RunRequest request = parsed.request;
+  // ^C / SIGTERM drain instead of dying mid-run: long runs stop at the next
+  // phase boundary and still flush partial --report/--trace output.
+  request.drainOnSignal = true;
+  const driver::RunResult result = driver::run(request);
   std::cout << result.output;
   std::cerr << result.diagnostics;
   return result.exitCode();

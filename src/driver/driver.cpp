@@ -21,6 +21,7 @@
 #include "re/problem.hpp"
 #include "re/zero_round.hpp"
 #include "store/step_store.hpp"
+#include "util/shutdown.hpp"
 #include "util/thread_pool.hpp"
 
 namespace relb::driver {
@@ -280,13 +281,33 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
   std::ostringstream out;
   std::ostringstream err;
 
+  // Cooperative drain: reuse an externally installed ShutdownSignal (the
+  // daemon's, a test's) or install one for the duration of this run.  The
+  // checkpoints below stop the run between phases/steps, so the finish()
+  // path still flushes trace/report output on ^C.
+  std::optional<util::ShutdownSignal> ownGuard;
+  if (request.drainOnSignal && util::ShutdownSignal::active() == nullptr) {
+    ownGuard.emplace();
+  }
+  const auto interrupted = [&] {
+    return request.drainOnSignal && util::ShutdownSignal::drainRequested();
+  };
+
+  re::EngineSession* sessionStatsFrom = nullptr;
   ObsWiring session(request);
   session.attach();
   const auto finish = [&](int code) {
+    if (sessionStatsFrom != nullptr) {
+      result.sessionStats = sessionStatsFrom->stats();
+    }
     result.status = toStatus(session.finish(code, out, err));
     result.output = out.str();
     result.diagnostics = err.str();
     return result;
+  };
+  const auto finishInterrupted = [&] {
+    err << "interrupted: shutdown requested; partial output flushed\n";
+    return finish(1);
   };
 
   // Certificate verification stands alone: load, re-verify, report.
@@ -337,8 +358,9 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
   re::PassOptions passOptions;
   passOptions.numThreads = numThreads;
   if (core == nullptr) core = std::make_shared<re::EngineCore>();
-  re::EngineSession ctx(core, passOptions);
+  re::EngineSession ctx(core, passOptions, request.scope);
   if (stepStore != nullptr) ctx.attachStore(stepStore);
+  sessionStatsFrom = &ctx;
 
   // Chain mode: build, certify, and optionally persist the family chain.
   if (request.mode == RunRequest::Mode::kChain) {
@@ -360,6 +382,7 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
       for (const core::ChainStep& step : chain.steps) {
         session.chainSteps.push_back({step.a, step.x});
       }
+      if (interrupted()) return finishInterrupted();
       io::Certificate cert;
       {
         const obs::ScopedSpan phase("phase.chain.certify");
@@ -371,6 +394,9 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
         const obs::ScopedSpan phase("phase.cert.save");
         io::saveCertificate(request.saveCertPath, cert);
         out << "certificate written to " << request.saveCertPath << "\n";
+      }
+      if (request.captureCert) {
+        result.certificateBytes = io::certificateToJson(cert).dumpPretty();
       }
       if (request.showStats) {
         out << "\nengine cache statistics:\n" << ctx.stats().describe();
@@ -401,6 +427,7 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
       << p.render() << "\n";
 
   try {
+    if (interrupted()) return finishInterrupted();
     {
       const obs::ScopedSpan phase("phase.analyze");
       const auto edgeRel = re::computeStrength(p.edge, p.alphabet.size());
@@ -428,6 +455,7 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
       const obs::ScopedSpan phase("phase.pipeline");
       re::Problem current = p;
       for (int step = 1; step <= maxSteps; ++step) {
+        if (interrupted()) return finishInterrupted();
         try {
           auto stepResult = ctx.pipeline().run(current, ctx);
           out << "speedup step " << step << ":\n"
@@ -443,6 +471,7 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
       }
     }
 
+    if (interrupted()) return finishInterrupted();
     {
       const obs::ScopedSpan phase("phase.iterate");
       re::IterateOptions options;
@@ -461,14 +490,20 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
       }
     }
 
-    if (!request.saveCertPath.empty()) {
+    if (!request.saveCertPath.empty() || request.captureCert) {
       const obs::ScopedSpan phase("phase.cert.save");
       const io::Certificate cert = buildTraceCertificate(p, ctx, maxSteps, 16);
-      io::saveCertificate(request.saveCertPath, cert);
-      out << "\nspeedup-trace certificate (" << cert.steps.size()
-          << " steps) written to " << request.saveCertPath << "\n";
+      if (!request.saveCertPath.empty()) {
+        io::saveCertificate(request.saveCertPath, cert);
+        out << "\nspeedup-trace certificate (" << cert.steps.size()
+            << " steps) written to " << request.saveCertPath << "\n";
+      }
+      if (request.captureCert) {
+        result.certificateBytes = io::certificateToJson(cert).dumpPretty();
+      }
     }
 
+    if (interrupted()) return finishInterrupted();
     // Automatic lower bound: speedup + hardness-preserving label merging.
     try {
       const obs::ScopedSpan phase("phase.autobound");

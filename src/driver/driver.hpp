@@ -29,9 +29,11 @@
 #include <string>
 #include <string_view>
 
-namespace relb::re {
-class EngineCore;
-}  // namespace relb::re
+#include "re/engine.hpp"
+
+namespace relb::obs {
+class SessionScope;
+}  // namespace relb::obs
 
 namespace relb::driver {
 
@@ -83,6 +85,26 @@ struct RunRequest {
   std::string traceFormat = "chrome";  // "chrome" or "text"
   std::string reportPath;
 
+  /// Also capture the certificate bytes this run would write (the exact
+  /// bytes saveCertPath would contain) into RunResult::certificateBytes.
+  /// Works with or without saveCertPath; the service uses this to ship
+  /// certificates in responses without touching the filesystem.
+  bool captureCert = false;
+
+  /// Observability scope the run's EngineSession attributes its counters
+  /// and spans to (nullptr = the process-global registry/tracer).  Must
+  /// outlive run(); the service passes one scope per request.
+  obs::SessionScope* scope = nullptr;
+
+  /// Cooperative SIGINT/SIGTERM drain: when set, run() checks the process
+  /// ShutdownSignal (installing one for the duration of the run if none is
+  /// active) at phase boundaries and between speedup steps; on the first
+  /// signal it stops early with status kFailure, noting the interruption in
+  /// the diagnostics -- but still flushes --trace/--report output and the
+  /// partial printed output.  The CLI sets this; embedders that own their
+  /// signal policy (the service daemon) leave it off.
+  bool drainOnSignal = false;
+
   /// Copied verbatim into the run report (the CLI passes its argv join);
   /// `programName` prefixes usage text in diagnostics.
   std::string commandLine;
@@ -95,6 +117,14 @@ struct RunResult {
   std::string output;
   /// Errors and usage text (the CLI prints this to stderr).
   std::string diagnostics;
+  /// With RunRequest::captureCert: the serialized certificate, byte-equal
+  /// to the file a saveCertPath run writes.  Empty when no certificate was
+  /// produced.
+  std::string certificateBytes;
+  /// The run's per-session cache traffic (hits/misses per cache plus
+  /// attached-store loads and writes).  A warm re-run of an identical
+  /// request over a shared core shows zero misses and zero store writes.
+  re::CacheStats sessionStats;
 
   [[nodiscard]] int exitCode() const { return static_cast<int>(status); }
 };

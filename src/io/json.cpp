@@ -169,7 +169,15 @@ class Parser {
       if (pos_ >= text_.size()) fail("unterminated string");
       const char ch = text_[pos_++];
       if (ch == '"') return out;
+      // RFC 8259: control characters (U+0000..U+001F) must be escaped inside
+      // strings.  The writer always escapes them (writeEscaped above), so a
+      // raw one here is a corrupt or hand-forged document -- and letting it
+      // through would make dump(parse(text)) disagree with text, breaking
+      // the checksum reproducibility the formats rely on.
       if (ch == '\n') fail("raw newline in string");
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("raw control character in string (escape it as \\u00xx)");
+      }
       if (ch != '\\') {
         out += ch;
         continue;

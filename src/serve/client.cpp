@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/json.hpp"
+#include "re/types.hpp"
+
+namespace relb::serve {
+
+using re::Error;
+
+namespace {
+
+[[noreturn]] void socketError(const std::string& what) {
+  throw Error("serve client: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) socketError("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("serve client: not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    socketError("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return Client(fd);
+}
+
+Client Client::connectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw Error("serve client: unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) socketError("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    socketError("connect('" + path + "')");
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const Request& request) {
+  if (fd_ < 0) throw Error("serve client: not connected");
+  const std::string frame = encodeFrame(requestToJson(request).dump());
+  std::string_view rest = frame;
+  while (!rest.empty()) {
+    const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      socketError("send");
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::receive() {
+  if (fd_ < 0) throw Error("serve client: not connected");
+  char buffer[65536];
+  for (;;) {
+    if (std::optional<std::string> payload = decoder_.next();
+        payload.has_value()) {
+      return responseFromJson(io::Json::parse(*payload));
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      close();
+      throw Error("serve client: connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      socketError("recv");
+    }
+    decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+Response Client::roundTrip(const Request& request) {
+  send(request);
+  return receive();
+}
+
+}  // namespace relb::serve

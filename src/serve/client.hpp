@@ -1,0 +1,55 @@
+// The relb service client: a blocking, single-connection protocol speaker.
+//
+// One Client owns one connected socket and a FrameDecoder.  send() writes a
+// framed request; receive() blocks for the next framed response; roundTrip()
+// does both.  Requests MAY be pipelined (several send()s before the first
+// receive()): the server answers in order per connection, and the envelope
+// id lets callers re-associate.  Any protocol violation from the peer, and
+// EOF mid-conversation, surface as re::Error -- after which the connection
+// is closed and the client unusable.
+//
+// This is the substance of tools/relb_loadgen.cpp and of every serve test;
+// it is deliberately transport-thin so that what it measures is the server.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace relb::serve {
+
+class Client {
+ public:
+  /// Connects to a TCP endpoint ("127.0.0.1", port) or a unix-domain
+  /// socket path.  Throw re::Error on any connect failure.
+  [[nodiscard]] static Client connectTcp(const std::string& host, int port);
+  [[nodiscard]] static Client connectUnix(const std::string& path);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Frames and writes one request; throws re::Error if the peer hung up.
+  void send(const Request& request);
+
+  /// Blocks for the next complete response frame.  Throws re::Error on EOF,
+  /// on a framing violation, and on an undecodable envelope.
+  [[nodiscard]] Response receive();
+
+  /// send() + receive().
+  [[nodiscard]] Response roundTrip(const Request& request);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace relb::serve

@@ -1,0 +1,98 @@
+#include "serve/scheduler.hpp"
+
+#include <utility>
+
+namespace relb::serve {
+
+Scheduler::Scheduler(const SchedulerConfig& config, obs::Registry& registry)
+    : acceptedCounter_(registry.counter("serve.accepted")),
+      rejectedCounter_(registry.counter("serve.rejected")),
+      expiredCounter_(registry.counter("serve.expired")),
+      completedCounter_(registry.counter("serve.completed")),
+      failedCounter_(registry.counter("serve.failed")),
+      queueDepthGauge_(registry.gauge("serve.queue_depth")),
+      queueHighWaterGauge_(registry.gauge("serve.queue_high_water")),
+      capacity_(config.queueCapacity),
+      pool_(config.workers, registry),
+      laneCount_(util::resolveThreadCount(config.workers)) {
+  dispatcher_ = std::thread([this] {
+    pool_.forEachIndex(static_cast<std::size_t>(laneCount_),
+                       [this](std::size_t) { laneLoop(); });
+  });
+}
+
+Scheduler::~Scheduler() { drain(); }
+
+Scheduler::Admit Scheduler::submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      rejectedCounter_.add();
+      return Admit::kDraining;
+    }
+    if (queue_.size() >= capacity_) {
+      rejectedCounter_.add();
+      return Admit::kQueueFull;
+    }
+    queue_.push_back(std::move(job));
+    acceptedCounter_.add();
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    queueDepthGauge_.set(depth);
+    queueHighWaterGauge_.setMax(depth);
+  }
+  hasWork_.notify_one();
+  return Admit::kAccepted;
+}
+
+void Scheduler::laneLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      hasWork_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining_ and nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    // Deadlines govern queueing: checked once, at dequeue.  A job that makes
+    // it past this point runs to completion even if it is slow.
+    if (job.deadline != std::chrono::steady_clock::time_point::min() &&
+        std::chrono::steady_clock::now() > job.deadline) {
+      expiredCounter_.add();
+      if (job.expire) job.expire();
+      continue;
+    }
+    try {
+      job.run();
+      completedCounter_.add();
+    } catch (...) {
+      // Jobs are expected to answer their client themselves; an escaped
+      // exception must not take down the lane (or, via forEachIndex's
+      // rethrow, the whole scheduler).
+      failedCounter_.add();
+    }
+  }
+}
+
+void Scheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  hasWork_.notify_all();
+  // Exactly one caller joins (thread::join from two threads is UB); every
+  // caller returns only after the lanes have finished.
+  std::lock_guard<std::mutex> joinLock(drainMutex_);
+  if (!dispatcherJoined_) {
+    dispatcher_.join();
+    dispatcherJoined_ = true;
+  }
+}
+
+std::size_t Scheduler::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace relb::serve

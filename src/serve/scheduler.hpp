@@ -1,0 +1,117 @@
+// The request scheduler: a bounded admission queue drained by worker lanes
+// running on the existing util::ThreadPool.
+//
+// Admission model:
+//   * submit() either accepts a job (bounded FIFO queue) or rejects it
+//     immediately -- kQueueFull when the queue is at capacity (the caller
+//     answers 429), kDraining once drain() started (the caller answers 503).
+//     Nothing ever blocks on admission, so a saturated server sheds load in
+//     O(1) instead of stacking clients.
+//   * every job may carry an absolute deadline.  Deadlines govern QUEUEING:
+//     a job whose deadline passed before a lane picked it up runs its
+//     expire() callback (the caller answers 504) instead of run(); a job
+//     that started in time always runs to completion.
+//
+// Execution model: the scheduler owns a private ThreadPool and occupies it
+// with one long-running lane per resolved thread (the pool's dynamic
+// fan-out, deliberately used as a fixed lane set).  Because lanes are pool
+// workers, any parallel_for the engine reaches from inside a request runs
+// inline on that lane (nested-section rule in thread_pool.hpp): requests
+// are serial inside, concurrent across -- exactly the scaling the shared
+// warm EngineCore wants, and still bit-identical by the width-invariance
+// guarantee.
+//
+// Draining: drain() stops admission, lets every queued job run (or expire)
+// to completion, and joins the lanes.  Idempotent; the destructor drains.
+//
+// Observability (the serve.* glossary in docs/observability.md): counters
+// serve.accepted / serve.rejected / serve.expired / serve.completed /
+// serve.failed, gauges serve.queue_depth (current) and
+// serve.queue_high_water (all-time max), interned in the injected registry.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace relb::serve {
+
+struct SchedulerConfig {
+  /// Lane count, util::ThreadPool width semantics (0 = one per core).
+  int workers = 0;
+  /// Maximum number of ADMITTED-but-not-started jobs; submissions beyond it
+  /// are rejected with kQueueFull.
+  std::size_t queueCapacity = 64;
+};
+
+class Scheduler {
+ public:
+  enum class Admit { kAccepted, kQueueFull, kDraining };
+
+  struct Job {
+    /// Executed on a lane.  Must not throw; a defensive catch counts
+    /// serve.failed and swallows.
+    std::function<void()> run;
+    /// Executed instead of run() when the deadline passed while queued.
+    /// Optional; an expired job without one is simply dropped (counted).
+    std::function<void()> expire;
+    /// Absolute admission deadline; time_point::min() = none.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::min();
+  };
+
+  explicit Scheduler(const SchedulerConfig& config,
+                     obs::Registry& registry = obs::Registry::global());
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Admit submit(Job job);
+
+  /// Stops admission, completes (or expires) every queued job, joins the
+  /// lanes.  Safe to call repeatedly and from any thread.
+  void drain();
+
+  /// Jobs admitted but not yet picked up by a lane.
+  [[nodiscard]] std::size_t queueDepth() const;
+
+  /// Resolved lane count.
+  [[nodiscard]] int workers() const { return laneCount_; }
+
+ private:
+  void laneLoop();
+
+  obs::Counter& acceptedCounter_;
+  obs::Counter& rejectedCounter_;
+  obs::Counter& expiredCounter_;
+  obs::Counter& completedCounter_;
+  obs::Counter& failedCounter_;
+  obs::Gauge& queueDepthGauge_;
+  obs::Gauge& queueHighWaterGauge_;
+
+  std::size_t capacity_;
+  util::ThreadPool pool_;
+  int laneCount_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable hasWork_;
+  std::deque<Job> queue_;
+  bool draining_ = false;
+
+  /// Runs pool_.forEachIndex(laneCount_, lane) -- forEachIndex blocks for
+  /// the batch's lifetime, so it needs a thread of its own (and contributes
+  /// the calling-thread lane, making laneCount_ total).
+  std::thread dispatcher_;
+  std::mutex drainMutex_;  // serializes the join in drain()
+  bool dispatcherJoined_ = false;  // guarded by drainMutex_
+};
+
+}  // namespace relb::serve

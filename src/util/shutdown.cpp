@@ -1,0 +1,89 @@
+#include "util/shutdown.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "re/types.hpp"
+
+namespace relb::util {
+
+namespace {
+
+// The handler reaches the active instance through these globals; both are
+// written only while installing/removing an instance, which is serialized by
+// the one-instance rule.
+std::atomic<bool> gRequested{false};
+std::atomic<int> gPipeWriteFd{-1};
+std::atomic<ShutdownSignal*> gActive{nullptr};
+
+struct sigaction gPreviousInt;
+struct sigaction gPreviousTerm;
+
+extern "C" void relbShutdownHandler(int /*signo*/) {
+  // Async-signal-safe: one atomic store, one write.  The pipe is
+  // non-blocking, so a flood of signals cannot wedge the handler once the
+  // buffer is full (one readable byte is all pollers need).
+  gRequested.store(true, std::memory_order_release);
+  const int fd = gPipeWriteFd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+ShutdownSignal::ShutdownSignal() {
+  ShutdownSignal* expected = nullptr;
+  if (!gActive.compare_exchange_strong(expected, this)) {
+    throw re::Error("shutdown: a ShutdownSignal is already installed");
+  }
+  if (::pipe(pipeFds_) != 0) {
+    gActive.store(nullptr);
+    throw re::Error("shutdown: cannot create self-pipe");
+  }
+  for (const int fd : pipeFds_) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  gRequested.store(false);
+  gPipeWriteFd.store(pipeFds_[1]);
+
+  struct sigaction action = {};
+  action.sa_handler = relbShutdownHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART: blocked reads wake up
+  ::sigaction(SIGINT, &action, &gPreviousInt);
+  ::sigaction(SIGTERM, &action, &gPreviousTerm);
+}
+
+ShutdownSignal::~ShutdownSignal() {
+  ::sigaction(SIGINT, &gPreviousInt, nullptr);
+  ::sigaction(SIGTERM, &gPreviousTerm, nullptr);
+  gPipeWriteFd.store(-1);
+  gActive.store(nullptr);
+  ::close(pipeFds_[0]);
+  ::close(pipeFds_[1]);
+}
+
+bool ShutdownSignal::requested() const {
+  return gRequested.load(std::memory_order_acquire);
+}
+
+int ShutdownSignal::pollFd() const { return pipeFds_[0]; }
+
+void ShutdownSignal::trigger() { relbShutdownHandler(0); }
+
+ShutdownSignal* ShutdownSignal::active() {
+  return gActive.load(std::memory_order_acquire);
+}
+
+bool ShutdownSignal::drainRequested() {
+  const ShutdownSignal* signal = active();
+  return signal != nullptr && signal->requested();
+}
+
+}  // namespace relb::util

@@ -1,0 +1,55 @@
+// Cooperative SIGINT/SIGTERM drain support, shared by the CLI driver and
+// the relb-served daemon.
+//
+// A ShutdownSignal installs handlers for SIGINT and SIGTERM that do exactly
+// two async-signal-safe things: set a flag and write one byte to a self-pipe.
+// Long-running code polls `requested()` at natural checkpoints (between
+// speedup steps, between requests) and drains instead of dying, so partial
+// --report/--trace output still gets flushed and in-flight service requests
+// still get answered; blocking loops add `pollFd()` to their poll set so a
+// signal wakes them immediately.
+//
+// Exactly one instance may be active per process (the second constructor
+// throws re::Error); the destructor restores the previous handlers.  Code
+// that merely wants to *observe* an externally installed guard -- the driver
+// checking for interruption inside run() -- uses the static `active()`
+// accessor and treats "no guard installed" as "never requested".
+#pragma once
+
+namespace relb::util {
+
+class ShutdownSignal {
+ public:
+  /// Installs the SIGINT/SIGTERM handlers.  Throws re::Error if another
+  /// instance is already active in this process.
+  ShutdownSignal();
+  /// Restores the handlers that were active before construction.
+  ~ShutdownSignal();
+
+  ShutdownSignal(const ShutdownSignal&) = delete;
+  ShutdownSignal& operator=(const ShutdownSignal&) = delete;
+
+  /// True once a signal arrived (or trigger() ran).  Monotonic.
+  [[nodiscard]] bool requested() const;
+
+  /// Read end of the self-pipe: becomes readable on the first request and
+  /// stays readable, so it can sit in any poll set.  Never read from it --
+  /// poll for readability only.
+  [[nodiscard]] int pollFd() const;
+
+  /// Requests shutdown programmatically (tests, embedders).  Idempotent and
+  /// safe to call from any thread.
+  void trigger();
+
+  /// The active instance, or nullptr when none is installed.
+  [[nodiscard]] static ShutdownSignal* active();
+
+  /// Convenience for checkpoints: true iff a guard is installed AND a
+  /// shutdown was requested.  No guard means "run to completion".
+  [[nodiscard]] static bool drainRequested();
+
+ private:
+  int pipeFds_[2] = {-1, -1};
+};
+
+}  // namespace relb::util

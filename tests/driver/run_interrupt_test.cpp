@@ -1,0 +1,85 @@
+// Cooperative-drain behavior of driver::run (RunRequest::drainOnSignal):
+// an interrupted run stops at the next checkpoint with exit code 1, says so
+// in the diagnostics, and still flushes the partial output and the
+// --report file -- the whole point of draining instead of dying.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "driver/driver.hpp"
+#include "util/shutdown.hpp"
+
+namespace relb::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+RunRequest problemRequest() {
+  RunRequest request;
+  request.mode = RunRequest::Mode::kProblem;
+  request.nodeSpec = "M^3; P O^2";
+  request.edgeSpec = "M [P O]; O O";
+  request.maxSteps = 3;
+  return request;
+}
+
+TEST(RunInterrupt, InterruptedProblemRunStopsEarlyAndFlushesReport) {
+  const fs::path report =
+      fs::path(testing::TempDir()) / "interrupt_report.json";
+  fs::remove(report);
+
+  util::ShutdownSignal guard;
+  guard.trigger();  // the signal arrives before the run even starts
+
+  RunRequest request = problemRequest();
+  request.drainOnSignal = true;
+  request.reportPath = report.string();
+  const RunResult result = run(request);
+
+  EXPECT_EQ(result.exitCode(), 1);
+  EXPECT_NE(result.diagnostics.find("interrupted"), std::string::npos)
+      << result.diagnostics;
+  // Partial output was flushed: the problem header prints before the first
+  // checkpoint.
+  EXPECT_NE(result.output.find("problem (Delta = 3"), std::string::npos)
+      << result.output;
+  // And the report file still got written.
+  EXPECT_TRUE(fs::exists(report));
+}
+
+TEST(RunInterrupt, InterruptedChainRunStopsBeforeCertification) {
+  util::ShutdownSignal guard;
+  guard.trigger();
+
+  RunRequest request;
+  request.mode = RunRequest::Mode::kChain;
+  request.chainDelta = 3;
+  request.drainOnSignal = true;
+  const RunResult result = run(request);
+  EXPECT_EQ(result.exitCode(), 1);
+  EXPECT_NE(result.diagnostics.find("interrupted"), std::string::npos);
+}
+
+TEST(RunInterrupt, WithoutDrainFlagTheSignalIsIgnored) {
+  util::ShutdownSignal guard;
+  guard.trigger();
+
+  RunRequest request = problemRequest();
+  request.drainOnSignal = false;  // embedder owns its own signal policy
+  const RunResult result = run(request);
+  EXPECT_EQ(result.exitCode(), 0) << result.diagnostics;
+}
+
+TEST(RunInterrupt, UninterruptedRunInstallsAndRemovesItsOwnGuard) {
+  ASSERT_EQ(util::ShutdownSignal::active(), nullptr);
+  RunRequest request = problemRequest();
+  request.drainOnSignal = true;  // the CLI configuration
+  const RunResult result = run(request);
+  EXPECT_EQ(result.exitCode(), 0) << result.diagnostics;
+  // The run's own guard was uninstalled on the way out.
+  EXPECT_EQ(util::ShutdownSignal::active(), nullptr);
+}
+
+}  // namespace
+}  // namespace relb::driver

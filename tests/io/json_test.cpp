@@ -40,6 +40,49 @@ TEST(Json, StringEscapes) {
   EXPECT_EQ(Json::parse(ctrl.dump()), ctrl);
 }
 
+// Pinned regression for the service protocol (docs/service.md): every
+// control character U+0000..U+001F embedded in a string value or object key
+// -- parser diagnostics echoed into protocol error responses routinely carry
+// tabs and newlines -- must be emitted as a JSON escape, never raw, so the
+// emitted document is always valid JSON and round-trips byte-for-byte.
+TEST(Json, ControlCharactersAreAlwaysEscaped) {
+  std::string all;
+  for (int c = 0; c < 0x20; ++c) all += static_cast<char>(c);
+  const Json value(all);
+  const std::string dumped = value.dump();
+  // The exact emission is pinned: short escapes for \n \r \t, \u00xx for
+  // the rest (includes \b and \f -- the schemas do not use their short
+  // forms).
+  EXPECT_EQ(dumped,
+            "\"\\u0000\\u0001\\u0002\\u0003\\u0004\\u0005\\u0006\\u0007"
+            "\\u0008\\t\\n\\u000b\\u000c\\r\\u000e\\u000f"
+            "\\u0010\\u0011\\u0012\\u0013\\u0014\\u0015\\u0016\\u0017"
+            "\\u0018\\u0019\\u001a\\u001b\\u001c\\u001d\\u001e\\u001f\"");
+  // No raw control byte anywhere in the emission...
+  for (const char ch : dumped) {
+    EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+  // ...and the bytes round-trip exactly, keys included.
+  EXPECT_EQ(Json::parse(dumped), value);
+  Json obj = Json::object();
+  obj.set("diag\x01nostic\ttext\n", Json("a\x1f b"));
+  EXPECT_EQ(Json::parse(obj.dump()), obj);
+  EXPECT_EQ(Json::parse(obj.dump()).dump(), obj.dump());
+}
+
+// The parser side of the same contract: RFC 8259 forbids raw control
+// characters inside strings, and accepting them would let a hand-forged
+// document parse to a value whose re-dump disagrees with the input bytes.
+TEST(Json, ParserRejectsRawControlCharactersInStrings) {
+  EXPECT_THROW((void)Json::parse("\"a\nb\""), re::Error);
+  EXPECT_THROW((void)Json::parse(std::string("\"a\tb\"")), re::Error);
+  EXPECT_THROW((void)Json::parse(std::string("\"a\x01") + "b\""), re::Error);
+  EXPECT_THROW((void)Json::parse(std::string("\"\x1f\"")), re::Error);
+  // Their escaped forms are of course fine.
+  EXPECT_EQ(Json::parse("\"a\\tb\"").asString(), "a\tb");
+  EXPECT_EQ(Json::parse("\"\\u0001\"").asString(), std::string("\x01"));
+}
+
 TEST(Json, CheckedAccessorsThrow) {
   const Json j(std::int64_t{1});
   EXPECT_THROW((void)j.asString(), re::Error);

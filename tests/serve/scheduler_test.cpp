@@ -1,0 +1,176 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace relb::serve {
+namespace {
+
+using Admit = Scheduler::Admit;
+
+TEST(Scheduler, RunsSubmittedJobs) {
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{2, 16}, registry);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    Scheduler::Job job;
+    job.run = [&ran] { ran.fetch_add(1); };
+    ASSERT_EQ(scheduler.submit(std::move(job)), Admit::kAccepted);
+  }
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 10);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counterValue("serve.accepted"), 10u);
+  EXPECT_EQ(snapshot.counterValue("serve.completed"), 10u);
+  EXPECT_EQ(snapshot.counterValue("serve.rejected"), 0u);
+  EXPECT_EQ(snapshot.counterValue("serve.expired"), 0u);
+}
+
+TEST(Scheduler, ZeroCapacityRejectsEverySubmission) {
+  // The deterministic queue-full path: with capacity 0 every submission is
+  // rejected at admission, before any lane is involved.
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{1, 0}, registry);
+  std::atomic<int> ran{0};
+  Scheduler::Job job;
+  job.run = [&ran] { ran.fetch_add(1); };
+  EXPECT_EQ(scheduler.submit(std::move(job)), Admit::kQueueFull);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(registry.snapshot().counterValue("serve.rejected"), 1u);
+}
+
+TEST(Scheduler, BoundedQueueRejectsBeyondCapacity) {
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{1, 2}, registry);
+
+  // Plug the single lane so queued jobs stay queued.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> plugged{false};
+  Scheduler::Job plug;
+  plug.run = [&] {
+    plugged.store(true);
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  };
+  ASSERT_EQ(scheduler.submit(std::move(plug)), Admit::kAccepted);
+  while (!plugged.load()) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  const auto makeJob = [&ran] {
+    Scheduler::Job job;
+    job.run = [&ran] { ran.fetch_add(1); };
+    return job;
+  };
+  EXPECT_EQ(scheduler.submit(makeJob()), Admit::kAccepted);
+  EXPECT_EQ(scheduler.submit(makeJob()), Admit::kAccepted);
+  EXPECT_EQ(scheduler.queueDepth(), 2u);
+  // Queue full now.
+  EXPECT_EQ(scheduler.submit(makeJob()), Admit::kQueueFull);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 2);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counterValue("serve.rejected"), 1u);
+  EXPECT_EQ(snapshot.gaugeValue("serve.queue_high_water"), 2);
+}
+
+TEST(Scheduler, ExpiredJobsRunExpireInsteadOfRun) {
+  // A deadline in the past is already expired at dequeue: run() must never
+  // fire, expire() must fire exactly once.
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{1, 16}, registry);
+  std::atomic<int> ran{0};
+  std::atomic<int> expired{0};
+  Scheduler::Job job;
+  job.run = [&ran] { ran.fetch_add(1); };
+  job.expire = [&expired] { expired.fetch_add(1); };
+  job.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  ASSERT_EQ(scheduler.submit(std::move(job)), Admit::kAccepted);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(expired.load(), 1);
+  EXPECT_EQ(registry.snapshot().counterValue("serve.expired"), 1u);
+}
+
+TEST(Scheduler, FutureDeadlineDoesNotExpireAnIdleQueue) {
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{1, 16}, registry);
+  std::atomic<int> ran{0};
+  Scheduler::Job job;
+  job.run = [&ran] { ran.fetch_add(1); };
+  job.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  ASSERT_EQ(scheduler.submit(std::move(job)), Admit::kAccepted);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(registry.snapshot().counterValue("serve.expired"), 0u);
+}
+
+TEST(Scheduler, DrainCompletesQueuedJobsAndRejectsNewOnes) {
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{2, 64}, registry);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    Scheduler::Job job;
+    job.run = [&ran] { ran.fetch_add(1); };
+    ASSERT_EQ(scheduler.submit(std::move(job)), Admit::kAccepted);
+  }
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 32);  // graceful: everything admitted was answered
+  Scheduler::Job late;
+  late.run = [&ran] { ran.fetch_add(1); };
+  EXPECT_EQ(scheduler.submit(std::move(late)), Admit::kDraining);
+  EXPECT_EQ(ran.load(), 32);
+  // Idempotent from any thread.
+  scheduler.drain();
+}
+
+TEST(Scheduler, ThrowingJobCountsAsFailedAndLaneSurvives) {
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{1, 16}, registry);
+  std::atomic<int> ran{0};
+  Scheduler::Job bad;
+  bad.run = [] { throw std::runtime_error("boom"); };
+  ASSERT_EQ(scheduler.submit(std::move(bad)), Admit::kAccepted);
+  Scheduler::Job good;
+  good.run = [&ran] { ran.fetch_add(1); };
+  ASSERT_EQ(scheduler.submit(std::move(good)), Admit::kAccepted);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 1);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counterValue("serve.failed"), 1u);
+  EXPECT_EQ(snapshot.counterValue("serve.completed"), 1u);
+}
+
+TEST(Scheduler, LanesRunOnTheInjectedThreadPool) {
+  // The "fans work onto the existing ThreadPool" contract, visible through
+  // the pool.* instrumentation of the injected registry.
+  obs::Registry registry;
+  Scheduler scheduler(SchedulerConfig{2, 16}, registry);
+  Scheduler::Job job;
+  job.run = [] {};
+  ASSERT_EQ(scheduler.submit(std::move(job)), Admit::kAccepted);
+  scheduler.drain();
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counterValue("pool.batches"), 1u);
+  EXPECT_EQ(snapshot.counterValue("pool.items"),
+            static_cast<std::uint64_t>(scheduler.workers()));
+}
+
+}  // namespace
+}  // namespace relb::serve

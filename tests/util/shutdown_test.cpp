@@ -1,0 +1,67 @@
+#include "util/shutdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <poll.h>
+
+#include "re/types.hpp"
+
+namespace relb::util {
+namespace {
+
+bool readable(int fd) {
+  pollfd p{fd, POLLIN, 0};
+  return ::poll(&p, 1, 0) == 1 && (p.revents & POLLIN) != 0;
+}
+
+TEST(ShutdownSignal, TriggerSetsFlagAndWakesPollFd) {
+  ShutdownSignal signal;
+  EXPECT_FALSE(signal.requested());
+  EXPECT_FALSE(readable(signal.pollFd()));
+  signal.trigger();
+  EXPECT_TRUE(signal.requested());
+  EXPECT_TRUE(readable(signal.pollFd()));
+  // Idempotent, and the pipe stays readable (it is never drained).
+  signal.trigger();
+  EXPECT_TRUE(readable(signal.pollFd()));
+}
+
+TEST(ShutdownSignal, RealSignalIsCaught) {
+  ShutdownSignal signal;
+  EXPECT_FALSE(signal.requested());
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_TRUE(signal.requested());
+  EXPECT_TRUE(readable(signal.pollFd()));
+}
+
+TEST(ShutdownSignal, SingleInstanceRule) {
+  ShutdownSignal first;
+  EXPECT_EQ(ShutdownSignal::active(), &first);
+  EXPECT_THROW({ ShutdownSignal second; }, re::Error);
+  // The failed construction must not have unseated the active instance.
+  EXPECT_EQ(ShutdownSignal::active(), &first);
+}
+
+TEST(ShutdownSignal, DestructorRestoresHandlersAndClearsActive) {
+  {
+    ShutdownSignal signal;
+    EXPECT_NE(ShutdownSignal::active(), nullptr);
+  }
+  EXPECT_EQ(ShutdownSignal::active(), nullptr);
+  // A fresh instance installs cleanly afterwards, with a reset flag.
+  ShutdownSignal again;
+  EXPECT_FALSE(again.requested());
+  EXPECT_FALSE(readable(again.pollFd()));
+}
+
+TEST(ShutdownSignal, DrainRequestedNeedsBothGuardAndRequest) {
+  EXPECT_FALSE(ShutdownSignal::drainRequested());  // no guard installed
+  ShutdownSignal signal;
+  EXPECT_FALSE(ShutdownSignal::drainRequested());  // guard, no request
+  signal.trigger();
+  EXPECT_TRUE(ShutdownSignal::drainRequested());
+}
+
+}  // namespace
+}  // namespace relb::util
