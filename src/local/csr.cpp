@@ -1,0 +1,130 @@
+#include "local/csr.hpp"
+
+#include <algorithm>
+
+#include "re/types.hpp"
+
+namespace relb::local {
+
+namespace {
+
+struct CsrArrays {
+  std::unique_ptr<util::Arena> arena;
+  std::uint32_t* offsets = nullptr;
+  Vertex* neighbors = nullptr;
+};
+
+/// One arena sized for the whole layout up front, so construction performs
+/// exactly one chunk allocation.
+CsrArrays allocateArrays(Vertex numNodes, std::uint64_t halfEdges) {
+  CsrArrays out;
+  const std::size_t bytes =
+      sizeof(std::uint32_t) * (static_cast<std::size_t>(numNodes) + 1) +
+      sizeof(Vertex) * static_cast<std::size_t>(halfEdges) + 64;
+  out.arena = std::make_unique<util::Arena>(bytes);
+  out.offsets = out.arena->allocate<std::uint32_t>(
+      static_cast<std::size_t>(numNodes) + 1);
+  out.neighbors =
+      out.arena->allocate<Vertex>(static_cast<std::size_t>(halfEdges));
+  return out;
+}
+
+/// Turns per-node degrees (stored in offsets[1..n]) into the exclusive
+/// prefix-sum offset table and returns the half-edge total.
+std::uint64_t prefixSum(std::uint32_t* offsets, Vertex numNodes) {
+  std::uint64_t total = 0;
+  offsets[0] = 0;
+  for (Vertex v = 0; v < numNodes; ++v) {
+    total += offsets[v + 1];
+    if (total > 0xffffffffull) {
+      throw re::Error("CsrGraph: more than 2^32 - 1 half-edges");
+    }
+    offsets[v + 1] = static_cast<std::uint32_t>(total);
+  }
+  return total;
+}
+
+std::uint32_t maxDegreeOf(const std::uint32_t* offsets, Vertex numNodes) {
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < numNodes; ++v) {
+    best = std::max(best, offsets[v + 1] - offsets[v]);
+  }
+  return best;
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::fromParents(std::span<const Vertex> parents) {
+  if (parents.empty()) throw re::Error("CsrGraph: need at least one node");
+  if (parents.size() >= static_cast<std::size_t>(kInvalidVertex)) {
+    throw re::Error("CsrGraph: too many nodes for uint32 ids");
+  }
+  const Vertex n = static_cast<Vertex>(parents.size());
+  if (parents[0] != 0) {
+    throw re::Error("CsrGraph: parents[0] must be 0 (node 0 is the root)");
+  }
+  for (Vertex v = 1; v < n; ++v) {
+    if (parents[v] >= v) {
+      throw re::Error("CsrGraph: parents[v] < v required for v > 0");
+    }
+  }
+
+  CsrArrays arrays = allocateArrays(n, 2 * (static_cast<std::uint64_t>(n) - 1));
+  std::uint32_t* offsets = arrays.offsets;
+
+  // Degree count into offsets[1..n], then exclusive prefix sum.
+  std::fill(offsets, offsets + n + 1, 0u);
+  for (Vertex v = 1; v < n; ++v) {
+    ++offsets[v + 1];
+    ++offsets[parents[v] + 1];
+  }
+  prefixSum(offsets, n);
+
+  // Fill in ascending v order: node u receives its parent entry at v == u
+  // and its children at v > u in increasing order, which yields the
+  // documented [parent, children ascending] neighbor layout.
+  std::vector<std::uint32_t> cursor(offsets, offsets + n);
+  for (Vertex v = 1; v < n; ++v) {
+    const Vertex p = parents[v];
+    arrays.neighbors[cursor[v]++] = p;
+    arrays.neighbors[cursor[p]++] = v;
+  }
+
+  const std::uint32_t maxDeg = maxDegreeOf(offsets, n);
+  return CsrGraph(std::move(arrays.arena), offsets, arrays.neighbors, n,
+                  maxDeg);
+}
+
+CsrGraph CsrGraph::fromEdges(Vertex numNodes,
+                             std::span<const std::pair<Vertex, Vertex>> edges) {
+  if (numNodes == 0) throw re::Error("CsrGraph: need at least one node");
+  if (numNodes == kInvalidVertex) {
+    throw re::Error("CsrGraph: too many nodes for uint32 ids");
+  }
+  for (const auto& [u, v] : edges) {
+    if (u >= numNodes || v >= numNodes || u == v) {
+      throw re::Error("CsrGraph::fromEdges: bad endpoints");
+    }
+  }
+
+  CsrArrays arrays = allocateArrays(numNodes, 2 * edges.size());
+  std::uint32_t* offsets = arrays.offsets;
+  std::fill(offsets, offsets + numNodes + 1, 0u);
+  for (const auto& [u, v] : edges) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  prefixSum(offsets, numNodes);
+
+  std::vector<std::uint32_t> cursor(offsets, offsets + numNodes);
+  for (const auto& [u, v] : edges) {
+    arrays.neighbors[cursor[u]++] = v;
+    arrays.neighbors[cursor[v]++] = u;
+  }
+
+  const std::uint32_t maxDeg = maxDegreeOf(offsets, numNodes);
+  return CsrGraph(std::move(arrays.arena), offsets, arrays.neighbors, numNodes,
+                  maxDeg);
+}
+
+}  // namespace relb::local

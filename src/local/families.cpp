@@ -1,0 +1,148 @@
+#include "local/families.hpp"
+
+#include "re/types.hpp"
+
+namespace relb::local {
+
+namespace {
+
+/// splitmix64: the simulator's only randomness primitive.  A counter-based
+/// generator (no sequential state) keeps generation order-free and the
+/// kernels' per-(seed, round, vertex) priorities reproducible.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Vertex checkedNodeCount(std::uint64_t nodes) {
+  if (nodes == 0) throw re::Error("makeTree: need at least one node");
+  if (nodes >= kInvalidVertex) {
+    throw re::Error("makeTree: too many nodes for uint32 ids");
+  }
+  return static_cast<Vertex>(nodes);
+}
+
+/// Uniform attachment: node v picks an earlier node.  With a cap, full
+/// candidates are skipped by a deterministic downward probe (slightly
+/// non-uniform, but every probe sequence is a pure function of the seed).
+std::vector<Vertex> attachmentParents(Vertex n, std::uint32_t cap,
+                                      std::uint64_t seed) {
+  std::vector<Vertex> parents(n, 0);
+  std::vector<std::uint32_t> degree(n, 0);
+  for (Vertex v = 1; v < n; ++v) {
+    Vertex u = static_cast<Vertex>(splitmix64(seed ^ (0xa11ac4edull << 20) ^ v) %
+                                   v);
+    if (cap > 0) {
+      Vertex probes = 0;
+      while (degree[u] >= cap && probes < v) {
+        u = (u == 0) ? v - 1 : u - 1;
+        ++probes;
+      }
+      if (degree[u] >= cap) {
+        throw re::Error("makeTree: degree cap too low for node count");
+      }
+    }
+    parents[v] = u;
+    ++degree[u];
+    ++degree[v];
+  }
+  return parents;
+}
+
+/// Complete Delta-regular tree in BFS order: level sizes 1, Delta,
+/// Delta(Delta-1), ...; generation stops at the requested node count, so the
+/// last level may be partial (degrees stay <= Delta either way).
+std::vector<Vertex> completeTreeParents(Vertex n, std::uint32_t delta) {
+  std::vector<Vertex> parents(n, 0);
+  if (n == 1) return parents;
+  // Nodes 1..delta hang off the root; from there every internal node gets
+  // delta - 1 children, assigned in index order.
+  for (Vertex v = 1; v < n && v <= delta; ++v) parents[v] = 0;
+  Vertex nextParent = 1;          // first node of the previous level
+  std::uint32_t childrenLeft = delta - 1;
+  for (Vertex v = delta + 1; v < n; ++v) {
+    parents[v] = nextParent;
+    if (--childrenLeft == 0) {
+      ++nextParent;
+      childrenLeft = delta - 1;
+    }
+  }
+  return parents;
+}
+
+std::vector<Vertex> pathParents(Vertex n) {
+  std::vector<Vertex> parents(n, 0);
+  for (Vertex v = 1; v < n; ++v) parents[v] = v - 1;
+  return parents;
+}
+
+std::vector<Vertex> broomParents(Vertex n) {
+  std::vector<Vertex> parents(n, 0);
+  const Vertex handle = n / 2 == 0 ? 1 : n / 2;
+  for (Vertex v = 1; v < n; ++v) {
+    parents[v] = v < handle ? v - 1 : handle - 1;
+  }
+  return parents;
+}
+
+}  // namespace
+
+std::optional<Family> familyFromName(std::string_view name) {
+  if (name == "random-tree") return Family::kRandomTree;
+  if (name == "bounded-tree") return Family::kBoundedDegreeTree;
+  if (name == "complete-tree") return Family::kCompleteTree;
+  if (name == "path") return Family::kPath;
+  if (name == "broom") return Family::kBroom;
+  return std::nullopt;
+}
+
+const char* familyName(Family family) {
+  switch (family) {
+    case Family::kRandomTree: return "random-tree";
+    case Family::kBoundedDegreeTree: return "bounded-tree";
+    case Family::kCompleteTree: return "complete-tree";
+    case Family::kPath: return "path";
+    case Family::kBroom: return "broom";
+  }
+  return "?";
+}
+
+std::vector<Family> allFamilies() {
+  return {Family::kRandomTree, Family::kBoundedDegreeTree,
+          Family::kCompleteTree, Family::kPath, Family::kBroom};
+}
+
+TreeInstance makeTree(Family family, std::uint64_t nodes,
+                      std::uint32_t maxDegree, std::uint64_t seed) {
+  const Vertex n = checkedNodeCount(nodes);
+  TreeInstance out;
+  switch (family) {
+    case Family::kRandomTree:
+      out.parents = attachmentParents(n, 0, seed);
+      break;
+    case Family::kBoundedDegreeTree: {
+      const std::uint32_t cap = maxDegree == 0 ? 8 : maxDegree;
+      if (cap < 2) throw re::Error("makeTree: bounded-tree needs cap >= 2");
+      out.parents = attachmentParents(n, cap, seed);
+      break;
+    }
+    case Family::kCompleteTree: {
+      const std::uint32_t delta = maxDegree == 0 ? 3 : maxDegree;
+      if (delta < 2) throw re::Error("makeTree: complete-tree needs Delta >= 2");
+      out.parents = completeTreeParents(n, delta);
+      break;
+    }
+    case Family::kPath:
+      out.parents = pathParents(n);
+      break;
+    case Family::kBroom:
+      out.parents = broomParents(n);
+      break;
+  }
+  out.graph = CsrGraph::fromParents(out.parents);
+  return out;
+}
+
+}  // namespace relb::local

@@ -1,0 +1,55 @@
+// Deterministic seeded tree generators for the massive-scale simulator.
+//
+// Every family is generated as a parent array (parents[v] < v, node 0 the
+// root) and converted to CSR by CsrGraph::fromParents, so a (family, nodes,
+// maxDegree, seed) tuple names one exact graph on every machine and at
+// every thread width -- the precondition for the kernels' bit-identity
+// contract.  The gadget-sized builders in local/graph.hpp remain the tool
+// for port-numbering arguments (symmetricPortGadget and friends); these
+// builders exist to run the paper's *upper bounds* at 10^7-10^8 nodes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "local/csr.hpp"
+
+namespace relb::local {
+
+enum class Family {
+  /// Uniform random attachment, unbounded degree (max degree O(log n) whp).
+  kRandomTree,
+  /// Uniform random attachment with a hard degree cap (default 8).
+  kBoundedDegreeTree,
+  /// Complete Delta-regular tree (default Delta 3): every internal node has
+  /// degree exactly Delta -- the host family of the paper's Theorem 1
+  /// lower-bound instances.
+  kCompleteTree,
+  /// Path on n nodes (Delta = 2 extreme of the lower-bound family).
+  kPath,
+  /// Path whose far end carries n/2 leaves -- the classic MIS adversary.
+  kBroom,
+};
+
+[[nodiscard]] std::optional<Family> familyFromName(std::string_view name);
+[[nodiscard]] const char* familyName(Family family);
+/// All families, in CLI listing order.
+[[nodiscard]] std::vector<Family> allFamilies();
+
+/// One generated instance: the CSR graph plus the rooted-tree structure the
+/// color-reduction kernel consumes (parents[root] == root == 0).
+struct TreeInstance {
+  CsrGraph graph;
+  std::vector<Vertex> parents;
+};
+
+/// Generates `family` on `nodes` nodes.  `maxDegree` 0 picks the family
+/// default (8 for bounded-degree, 3 for complete trees; ignored by path and
+/// broom).  `seed` only matters for the randomized families.
+[[nodiscard]] TreeInstance makeTree(Family family, std::uint64_t nodes,
+                                    std::uint32_t maxDegree,
+                                    std::uint64_t seed);
+
+}  // namespace relb::local

@@ -1,0 +1,76 @@
+// Frontier semantics and the blocked-range fan-out the round kernels share.
+//
+// A frontier is the sorted list of vertices still active for a kernel (for
+// Luby's MIS: still UNDECIDED).  Round kernels are functions
+// frontier -> frontier: they read only round-start state, write each vertex's
+// slots exclusively from the lane that owns it, and assemble the next
+// frontier from per-block accumulators merged in block order.
+//
+// Determinism contract (pinned by tests/local/sim_parallel_test.cpp and the
+// TSan CI job): the block size is a compile-time constant, so block
+// boundaries -- unlike the width-dependent chunking of parallel_reduce --
+// are the same at every thread width.  Blocks are claimed dynamically by
+// util::parallel_for, but each block writes only its own slot and the merge
+// walks slots in block order on the calling thread, so kernel output is
+// bit-identical for numThreads = 1, 2, 8, ... by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "local/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace relb::local {
+
+/// Sorted (ascending) vertex ids active in the next round.
+using Frontier = std::vector<Vertex>;
+
+/// Every vertex, the round-0 frontier of a full-graph kernel.
+[[nodiscard]] inline Frontier fullFrontier(Vertex numNodes) {
+  Frontier f(numNodes);
+  for (Vertex v = 0; v < numNodes; ++v) f[v] = v;
+  return f;
+}
+
+/// Items per block.  Large enough that the per-block std::function dispatch
+/// of the pool amortizes to noise, small enough that a 10^6-node frontier
+/// still fans out over ~100 blocks.
+inline constexpr std::size_t kFrontierBlockSize = std::size_t{1} << 13;
+
+[[nodiscard]] inline std::size_t numBlocks(std::size_t items) {
+  return (items + kFrontierBlockSize - 1) / kFrontierBlockSize;
+}
+
+/// Runs fn(block, begin, end) over the fixed-size blocks of [0, items) on up
+/// to numThreads lanes.  Block boundaries depend only on `items`.
+template <typename Fn>
+void forBlocks(std::size_t items, int numThreads, Fn&& fn) {
+  const std::size_t blocks = numBlocks(items);
+  util::parallel_for(numThreads, blocks, [&](std::size_t b) {
+    const std::size_t begin = b * kFrontierBlockSize;
+    const std::size_t end =
+        begin + kFrontierBlockSize < items ? begin + kFrontierBlockSize : items;
+    fn(b, begin, end);
+  });
+}
+
+/// Concatenates per-block accumulators in block order.  Because block b only
+/// collects vertices from its own contiguous, ascending slice of the current
+/// frontier, the result is globally sorted -- and independent of how blocks
+/// were scheduled.
+[[nodiscard]] inline Frontier mergeBlocks(
+    std::vector<Frontier>& perBlock) {
+  std::size_t total = 0;
+  for (const Frontier& part : perBlock) total += part.size();
+  Frontier out;
+  out.reserve(total);
+  for (Frontier& part : perBlock) {
+    out.insert(out.end(), part.begin(), part.end());
+    part.clear();
+  }
+  return out;
+}
+
+}  // namespace relb::local

@@ -1,0 +1,265 @@
+#include "local/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/trace.hpp"
+#include "re/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace relb::local {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// (priority, id) lexicographic win for v over w.
+bool beats(std::uint64_t pv, Vertex v, std::uint64_t pw, Vertex w) {
+  return pv != pw ? pv > pw : v > w;
+}
+
+}  // namespace
+
+std::uint64_t lubyPriority(std::uint64_t seed, int round, Vertex v) {
+  return splitmix64(seed ^ (static_cast<std::uint64_t>(round) << 32) ^ v);
+}
+
+Frontier lubyMisRound(const CsrGraph& g, const Frontier& frontier,
+                      std::vector<MisFlag>& state,
+                      std::vector<std::uint8_t>& inMark, std::uint64_t seed,
+                      int round, int numThreads) {
+  if (state.size() != g.numNodes() || inMark.size() != g.numNodes()) {
+    throw re::Error("lubyMisRound: state arrays must have one slot per node");
+  }
+  // Phase 1: mark local maxima.  Reads round-start `state` only; writes
+  // inMark[v] from the lane owning v.
+  forBlocks(frontier.size(), numThreads, [&](std::size_t, std::size_t begin,
+                                             std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vertex v = frontier[i];
+      const std::uint64_t pv = lubyPriority(seed, round, v);
+      std::uint8_t in = 1;
+      for (const Vertex w : g.neighbors(v)) {
+        if (state[w] != MisFlag::kUndecided) continue;
+        if (!beats(pv, v, lubyPriority(seed, round, w), w)) {
+          in = 0;
+          break;
+        }
+      }
+      inMark[v] = in;
+    }
+  });
+
+  // Phase 2: commit kIn/kOut and collect survivors.  Reads ONLY inMark
+  // (fixed since phase 1's barrier -- reading `state` here would race with
+  // the commits below); writes state[v] from the lane owning v.  A stale
+  // inMark[w] = 1 from an earlier round would mean w is already kIn, which
+  // the frontier invariant (no survivor has a kIn neighbor) rules out.
+  std::vector<Frontier> perBlock(numBlocks(frontier.size()));
+  forBlocks(frontier.size(), numThreads, [&](std::size_t b, std::size_t begin,
+                                             std::size_t end) {
+    Frontier& out = perBlock[b];
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vertex v = frontier[i];
+      if (inMark[v] != 0) {
+        state[v] = MisFlag::kIn;
+        continue;
+      }
+      bool dominated = false;
+      for (const Vertex w : g.neighbors(v)) {
+        if (inMark[w] != 0) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        state[v] = MisFlag::kOut;
+      } else {
+        out.push_back(v);
+      }
+    }
+  });
+  return mergeBlocks(perBlock);
+}
+
+MisRun lubyMis(const CsrGraph& g, std::uint64_t seed, int numThreads,
+               const RoundHook& hook) {
+  MisRun run;
+  run.state.assign(g.numNodes(), MisFlag::kUndecided);
+  std::vector<std::uint8_t> inMark(g.numNodes(), 0);
+  Frontier frontier = fullFrontier(g.numNodes());
+  while (!frontier.empty()) {
+    obs::ScopedSpan span("local.round.luby");
+    const std::uint64_t active = frontier.size();
+    frontier = lubyMisRound(g, frontier, run.state, inMark, seed, run.rounds,
+                            numThreads);
+    if (hook) hook(run.rounds, active);
+    ++run.rounds;
+  }
+  run.misSize = util::parallel_reduce<std::uint64_t>(
+      numThreads, g.numNodes(), 0,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint64_t count = 0;
+        for (std::size_t v = begin; v < end; ++v) {
+          if (run.state[v] == MisFlag::kIn) ++count;
+        }
+        return count;
+      },
+      [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
+  return run;
+}
+
+void cvColorRound(const CsrGraph& g, std::span<const Vertex> parents,
+                  std::span<const std::uint32_t> cur,
+                  std::span<std::uint32_t> next, int numThreads) {
+  forBlocks(g.numNodes(), numThreads, [&](std::size_t, std::size_t begin,
+                                          std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vertex v = static_cast<Vertex>(i);
+      const std::uint32_t mine = cur[v];
+      // The root compares against a virtual parent differing in bit 0, so
+      // the same map applies everywhere.
+      const std::uint32_t theirs = parents[v] == v ? mine ^ 1u : cur[parents[v]];
+      const std::uint32_t diff = mine ^ theirs;
+      const std::uint32_t bit =
+          static_cast<std::uint32_t>(std::countr_zero(diff));
+      next[v] = 2 * bit + ((mine >> bit) & 1u);
+    }
+  });
+}
+
+ColorRun treeColorReduce(const CsrGraph& g, std::span<const Vertex> parents,
+                         int numThreads, const RoundHook& hook) {
+  if (parents.size() != g.numNodes()) {
+    throw re::Error("treeColorReduce: parents must have one slot per node");
+  }
+  const Vertex n = g.numNodes();
+  ColorRun run;
+  run.colors.resize(n);
+  for (Vertex v = 0; v < n; ++v) run.colors[v] = v;  // the id-coloring
+  std::vector<std::uint32_t> next(n);
+
+  const auto maxColor = [&](const std::vector<std::uint32_t>& colors) {
+    return util::parallel_reduce<std::uint32_t>(
+        numThreads, n, 0,
+        [&](std::size_t begin, std::size_t end) {
+          std::uint32_t best = 0;
+          for (std::size_t v = begin; v < end; ++v) {
+            best = std::max(best, colors[v]);
+          }
+          return best;
+        },
+        [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+  };
+
+  const auto endRound = [&](std::uint64_t active) {
+    run.colors.swap(next);
+    if (hook) hook(run.rounds, active);
+    ++run.rounds;
+  };
+
+  // Cole-Vishkin until <= 6 colors (values 0..5): log* n + O(1) rounds.
+  while (maxColor(run.colors) > 5) {
+    obs::ScopedSpan span("local.round.cv");
+    cvColorRound(g, parents, run.colors, next, numThreads);
+    endRound(n);
+  }
+
+  // Remove the classes 5, 4, 3, each with a shift-down round (children
+  // adopt the parent's color; the root picks the smallest of {0,1,2} not
+  // equal to its own) followed by a recolor round in which the -- now
+  // independent, sibling-aligned -- class picks the smallest color of
+  // {0,1,2} unused by its parent and its (monochromatic) children.
+  for (std::uint32_t target = 5; target >= 3; --target) {
+    {
+      obs::ScopedSpan span("local.round.shift_down");
+      forBlocks(n, numThreads, [&](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex v = static_cast<Vertex>(i);
+          if (parents[v] == v) {
+            next[v] = run.colors[v] == 0 ? 1 : 0;
+          } else {
+            next[v] = run.colors[parents[v]];
+          }
+        }
+      });
+      endRound(n);
+    }
+    {
+      obs::ScopedSpan span("local.round.recolor");
+      forBlocks(n, numThreads, [&](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex v = static_cast<Vertex>(i);
+          if (run.colors[v] != target) {
+            next[v] = run.colors[v];
+            continue;
+          }
+          bool used[3] = {false, false, false};
+          if (parents[v] != v && run.colors[parents[v]] < 3) {
+            used[run.colors[parents[v]]] = true;
+          }
+          for (const Vertex w : g.neighbors(v)) {
+            if (w == parents[v]) continue;  // children only
+            if (run.colors[w] < 3) used[run.colors[w]] = true;
+          }
+          std::uint32_t pick = 0;
+          while (pick < 3 && used[pick]) ++pick;
+          next[v] = pick;
+        }
+      });
+      endRound(n);
+    }
+  }
+
+  run.numColors = maxColor(run.colors) + 1;
+  return run;
+}
+
+DomsetRun domsetFromMis(const CsrGraph& g, std::span<const MisFlag> mis,
+                        int numThreads, const RoundHook& hook) {
+  if (mis.size() != g.numNodes()) {
+    throw re::Error("domsetFromMis: state must have one slot per node");
+  }
+  const Vertex n = g.numNodes();
+  DomsetRun run;
+  run.inSet.assign(n, 0);
+  run.dominator.assign(n, kInvalidVertex);
+  obs::ScopedSpan span("local.round.domset");
+  forBlocks(n, numThreads, [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vertex v = static_cast<Vertex>(i);
+      if (mis[v] == MisFlag::kIn) {
+        run.inSet[v] = 1;
+        run.dominator[v] = v;
+        continue;
+      }
+      for (const Vertex w : g.neighbors(v)) {
+        if (mis[w] == MisFlag::kIn) {
+          run.dominator[v] = w;  // first MIS neighbor in port order
+          break;
+        }
+      }
+    }
+  });
+  if (hook) hook(0, n);
+  run.rounds = 1;
+  run.setSize = util::parallel_reduce<std::uint64_t>(
+      numThreads, n, 0,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint64_t count = 0;
+        for (std::size_t v = begin; v < end; ++v) count += run.inSet[v];
+        return count;
+      },
+      [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
+  return run;
+}
+
+}  // namespace relb::local

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "re/types.hpp"
+#include "util/thread_pool.hpp"
 
 namespace relb::local {
 
@@ -12,6 +13,31 @@ void requireSize(const Graph& g, const std::vector<bool>& inSet) {
   if (static_cast<NodeId>(inSet.size()) != g.numNodes()) {
     throw re::Error("verify: set size does not match node count");
   }
+}
+
+void requireCsrSize(const CsrGraph& g, std::size_t slots, const char* what) {
+  if (slots != g.numNodes()) {
+    throw re::Error(std::string("verify: ") + what +
+                    " size does not match node count");
+  }
+}
+
+/// AND of perNode(v) over all vertices, swept in parallel chunks.  The
+/// accumulator is uint8_t, not bool: parallel_reduce stores parts in a
+/// std::vector<T>, and vector<bool>'s proxy references don't bind.
+template <typename PerNode>
+bool allNodes(const CsrGraph& g, int numThreads, PerNode&& perNode) {
+  return util::parallel_reduce<std::uint8_t>(
+             numThreads, g.numNodes(), 1,
+             [&](std::size_t begin, std::size_t end) -> std::uint8_t {
+               for (std::size_t v = begin; v < end; ++v) {
+                 if (!perNode(static_cast<Vertex>(v))) return 0;
+               }
+               return 1;
+             },
+             [](std::uint8_t acc, std::uint8_t part) -> std::uint8_t {
+               return acc & part;
+             }) != 0;
 }
 
 }  // namespace
@@ -109,6 +135,77 @@ EdgeOrientation orientInduced(const Graph& g, const std::vector<bool>& inSet) {
     }
   }
   return orientation;
+}
+
+bool csrIsIndependentSet(const CsrGraph& g, std::span<const MisFlag> state,
+                         int numThreads) {
+  requireCsrSize(g, state.size(), "state");
+  return allNodes(g, numThreads, [&](Vertex v) {
+    if (state[v] == MisFlag::kUndecided) return false;
+    if (state[v] != MisFlag::kIn) return true;
+    for (const Vertex w : g.neighbors(v)) {
+      if (state[w] == MisFlag::kIn) return false;
+    }
+    return true;
+  });
+}
+
+bool csrIsDominatingSet(const CsrGraph& g, std::span<const MisFlag> state,
+                        int numThreads) {
+  requireCsrSize(g, state.size(), "state");
+  return allNodes(g, numThreads, [&](Vertex v) {
+    if (state[v] == MisFlag::kUndecided) return false;
+    if (state[v] != MisFlag::kOut) return true;
+    for (const Vertex w : g.neighbors(v)) {
+      if (state[w] == MisFlag::kIn) return true;
+    }
+    return false;
+  });
+}
+
+bool csrIsMaximalIndependentSet(const CsrGraph& g,
+                                std::span<const MisFlag> state,
+                                int numThreads) {
+  return csrIsIndependentSet(g, state, numThreads) &&
+         csrIsDominatingSet(g, state, numThreads);
+}
+
+bool csrIsProperColoring(const CsrGraph& g,
+                         std::span<const std::uint32_t> colors,
+                         std::uint32_t numColors, int numThreads) {
+  requireCsrSize(g, colors.size(), "colors");
+  return allNodes(g, numThreads, [&](Vertex v) {
+    if (colors[v] >= numColors) return false;
+    for (const Vertex w : g.neighbors(v)) {
+      if (colors[w] == colors[v]) return false;
+    }
+    return true;
+  });
+}
+
+bool csrIsZeroOutdegreeDominatingSet(const CsrGraph& g,
+                                     std::span<const std::uint8_t> inSet,
+                                     std::span<const Vertex> dominator,
+                                     int numThreads) {
+  requireCsrSize(g, inSet.size(), "inSet");
+  requireCsrSize(g, dominator.size(), "dominator");
+  return allNodes(g, numThreads, [&](Vertex v) {
+    if (inSet[v] != 0) {
+      // Members must certify themselves and induce no G[S] edge (outdegree 0
+      // under the empty orientation needs G[S] edgeless).
+      if (dominator[v] != v) return false;
+      for (const Vertex w : g.neighbors(v)) {
+        if (inSet[w] != 0) return false;
+      }
+      return true;
+    }
+    const Vertex d = dominator[v];
+    if (d == kInvalidVertex || d >= g.numNodes() || inSet[d] == 0) return false;
+    for (const Vertex w : g.neighbors(v)) {
+      if (w == d) return true;
+    }
+    return false;
+  });
 }
 
 }  // namespace relb::local

@@ -5,8 +5,11 @@
 // k; for k = 0 both notions coincide with MIS).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "local/csr.hpp"
 #include "local/graph.hpp"
 
 namespace relb::local {
@@ -53,5 +56,42 @@ using EdgeOrientation = std::vector<int>;
 /// k-outdegree dominating set under *any* orientation).
 [[nodiscard]] EdgeOrientation orientInduced(const Graph& g,
                                             const std::vector<bool>& inSet);
+
+// ---------------------------------------------------------------------------
+// Per-node-state verifiers over the CSR layout (the massive-scale simulator's
+// outputs; docs/simulator.md).  Each sweeps the vertex table in parallel --
+// the verdict is a pure AND over per-node checks, so it is deterministic at
+// every thread width -- and each check reads only the node's own slot and its
+// neighbors' slots, exactly the locality a LOCAL-model checker is allowed.
+// ---------------------------------------------------------------------------
+
+/// No kIn vertex has a kIn neighbor, and no vertex is kUndecided.
+[[nodiscard]] bool csrIsIndependentSet(const CsrGraph& g,
+                                       std::span<const MisFlag> state,
+                                       int numThreads);
+
+/// Every kOut vertex has a kIn neighbor, and no vertex is kUndecided.
+[[nodiscard]] bool csrIsDominatingSet(const CsrGraph& g,
+                                      std::span<const MisFlag> state,
+                                      int numThreads);
+
+/// Independent + dominating.
+[[nodiscard]] bool csrIsMaximalIndependentSet(const CsrGraph& g,
+                                              std::span<const MisFlag> state,
+                                              int numThreads);
+
+/// Colors are < numColors and no edge is monochromatic.
+[[nodiscard]] bool csrIsProperColoring(const CsrGraph& g,
+                                       std::span<const std::uint32_t> colors,
+                                       std::uint32_t numColors,
+                                       int numThreads);
+
+/// The Section 1.1 reduction's certificate: members dominate themselves,
+/// every non-member's `dominator` is an adjacent member, and G[S] is
+/// edgeless -- so the (empty) orientation has outdegree 0, making `inSet` a
+/// 0-outdegree (hence k-outdegree, for every k >= 0) dominating set.
+[[nodiscard]] bool csrIsZeroOutdegreeDominatingSet(
+    const CsrGraph& g, std::span<const std::uint8_t> inSet,
+    std::span<const Vertex> dominator, int numThreads);
 
 }  // namespace relb::local

@@ -1,0 +1,161 @@
+#include "local/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "local/families.hpp"
+#include "local/graph.hpp"
+#include "re/types.hpp"
+
+namespace relb::local {
+namespace {
+
+/// The legacy pointer-per-node Graph built from the same parent array --
+/// the round-trip oracle for the CSR layout.
+Graph legacyFromParents(const std::vector<Vertex>& parents) {
+  Graph g(static_cast<NodeId>(parents.size()));
+  for (std::size_t v = 1; v < parents.size(); ++v) {
+    g.addEdge(static_cast<NodeId>(parents[v]), static_cast<NodeId>(v));
+  }
+  return g;
+}
+
+std::vector<Vertex> sortedNeighbors(const CsrGraph& g, Vertex v) {
+  const auto span = g.neighbors(v);
+  std::vector<Vertex> out(span.begin(), span.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Vertex> sortedLegacyNeighbors(const Graph& g, NodeId v) {
+  std::vector<Vertex> out;
+  for (const HalfEdge& he : g.neighbors(v)) {
+    out.push_back(static_cast<Vertex>(he.neighbor));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Csr, FromParentsRoundTripsAgainstLegacyGraph) {
+  const TreeInstance inst = makeTree(Family::kRandomTree, 500, 0, 42);
+  const Graph legacy = legacyFromParents(inst.parents);
+
+  ASSERT_EQ(inst.graph.numNodes(), 500u);
+  EXPECT_EQ(inst.graph.numHalfEdges(), 2u * 499u);
+  EXPECT_EQ(static_cast<int>(inst.graph.maxDegree()), legacy.maxDegree());
+  for (Vertex v = 0; v < inst.graph.numNodes(); ++v) {
+    EXPECT_EQ(static_cast<int>(inst.graph.degree(v)),
+              legacy.degree(static_cast<NodeId>(v)));
+    EXPECT_EQ(sortedNeighbors(inst.graph, v),
+              sortedLegacyNeighbors(legacy, static_cast<NodeId>(v)));
+  }
+}
+
+TEST(Csr, NeighborOrderIsParentFirstThenChildrenAscending) {
+  //      0
+  //     / \
+  //    1   2
+  //   /|   |
+  //  3 4   5
+  const std::vector<Vertex> parents{0, 0, 0, 1, 1, 2};
+  const CsrGraph g = CsrGraph::fromParents(parents);
+  const auto row = [&](Vertex v) {
+    const auto span = g.neighbors(v);
+    return std::vector<Vertex>(span.begin(), span.end());
+  };
+  EXPECT_EQ(row(0), (std::vector<Vertex>{1, 2}));  // root: children only
+  EXPECT_EQ(row(1), (std::vector<Vertex>{0, 3, 4}));
+  EXPECT_EQ(row(2), (std::vector<Vertex>{0, 5}));
+  EXPECT_EQ(row(3), (std::vector<Vertex>{1}));
+  EXPECT_EQ(g.maxDegree(), 3u);
+}
+
+TEST(Csr, FromEdgesMatchesFromParents) {
+  const TreeInstance inst = makeTree(Family::kBoundedDegreeTree, 300, 4, 7);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 1; v < 300; ++v) edges.emplace_back(inst.parents[v], v);
+  const CsrGraph g = CsrGraph::fromEdges(300, edges);
+
+  EXPECT_EQ(g.numNodes(), inst.graph.numNodes());
+  EXPECT_EQ(g.numHalfEdges(), inst.graph.numHalfEdges());
+  EXPECT_EQ(g.maxDegree(), inst.graph.maxDegree());
+  for (Vertex v = 0; v < g.numNodes(); ++v) {
+    EXPECT_EQ(sortedNeighbors(g, v), sortedNeighbors(inst.graph, v));
+  }
+}
+
+TEST(Csr, LayoutBytesMatchTheDocumentedMemoryMath) {
+  const TreeInstance inst = makeTree(Family::kPath, 1000, 0, 0);
+  // offsets: 4(n + 1) bytes; neighbors: 4 * 2(n - 1) bytes.
+  EXPECT_EQ(inst.graph.layoutBytes(), 4u * 1001u + 4u * 2u * 999u);
+  EXPECT_GE(inst.graph.arenaBytes(), inst.graph.layoutBytes());
+}
+
+TEST(Csr, SingleNodeGraph) {
+  const std::vector<Vertex> parents{0};
+  const CsrGraph g = CsrGraph::fromParents(parents);
+  EXPECT_EQ(g.numNodes(), 1u);
+  EXPECT_EQ(g.numHalfEdges(), 0u);
+  EXPECT_EQ(g.maxDegree(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Csr, RejectsMalformedInput) {
+  EXPECT_THROW(CsrGraph::fromParents({}), re::Error);
+  const std::vector<Vertex> rootNotZero{1, 0};
+  EXPECT_THROW(CsrGraph::fromParents(rootNotZero), re::Error);
+  const std::vector<Vertex> forwardParent{0, 2, 0};  // parents[1] >= 1
+  EXPECT_THROW(CsrGraph::fromParents(forwardParent), re::Error);
+
+  const std::vector<std::pair<Vertex, Vertex>> loop{{0, 0}};
+  EXPECT_THROW(CsrGraph::fromEdges(2, loop), re::Error);
+  const std::vector<std::pair<Vertex, Vertex>> outOfRange{{0, 5}};
+  EXPECT_THROW(CsrGraph::fromEdges(2, outOfRange), re::Error);
+  EXPECT_THROW(CsrGraph::fromEdges(0, {}), re::Error);
+}
+
+TEST(Csr, FamilyShapesAndDegreeBounds) {
+  for (const Family family : allFamilies()) {
+    const TreeInstance inst = makeTree(family, 200, 0, 5);
+    EXPECT_EQ(inst.graph.numNodes(), 200u) << familyName(family);
+    EXPECT_EQ(inst.graph.numHalfEdges(), 2u * 199u) << familyName(family);
+    ASSERT_EQ(inst.parents.size(), 200u);
+    EXPECT_EQ(inst.parents[0], 0u);
+    for (Vertex v = 1; v < 200; ++v) {
+      EXPECT_LT(inst.parents[v], v) << familyName(family);
+    }
+  }
+  EXPECT_LE(makeTree(Family::kBoundedDegreeTree, 200, 0, 5).graph.maxDegree(),
+            8u);
+  EXPECT_LE(makeTree(Family::kCompleteTree, 200, 0, 5).graph.maxDegree(), 3u);
+  EXPECT_LE(makeTree(Family::kPath, 200, 0, 5).graph.maxDegree(), 2u);
+}
+
+TEST(Csr, BoundedTreeRespectsExplicitCap) {
+  const TreeInstance inst = makeTree(Family::kBoundedDegreeTree, 2000, 4, 9);
+  EXPECT_LE(inst.graph.maxDegree(), 4u);
+  EXPECT_GE(inst.graph.maxDegree(), 2u);
+}
+
+TEST(Csr, FamiliesAreSeedDeterministic) {
+  const TreeInstance a = makeTree(Family::kRandomTree, 1000, 0, 11);
+  const TreeInstance b = makeTree(Family::kRandomTree, 1000, 0, 11);
+  const TreeInstance c = makeTree(Family::kRandomTree, 1000, 0, 12);
+  EXPECT_EQ(a.parents, b.parents);
+  EXPECT_NE(a.parents, c.parents);
+}
+
+TEST(Csr, FamilyNamesRoundTrip) {
+  for (const Family family : allFamilies()) {
+    const auto parsed = familyFromName(familyName(family));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, family);
+  }
+  EXPECT_FALSE(familyFromName("no-such-family").has_value());
+}
+
+}  // namespace
+}  // namespace relb::local

@@ -40,6 +40,8 @@ KEY_PREFIXES = (
     "BM_DominationFilter/",
     "BM_RightClosure/",
     "BM_SubsetSweep/",
+    "BM_CsrBuild/",
+    "BM_LubyMisRound/",
 )
 
 # Benchmarks where the last argument is StepOptions::numThreads; only their
@@ -50,6 +52,7 @@ THREADED_PREFIXES = (
     "BM_SpeedupStepFamily/",
     "BM_MaximalEdgePairs/",
     "BM_CertifyChain/",
+    "BM_LubyMisRound/",
 )
 
 TIME_SUFFIXES = ("real_time", "process_time")

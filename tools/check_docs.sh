@@ -6,18 +6,26 @@
 #      links are skipped);
 #   2. every --flag appearing in a fenced round_eliminator_cli invocation is
 #      actually listed by the built binary's --help, so the tutorials cannot
-#      drift ahead of (or behind) the CLI.
+#      drift ahead of (or behind) the CLI;
+#   3. the same cross-check for fenced relb_localsim invocations against the
+#      simulator binary's --help (docs/simulator.md).
 #
-# Usage: tools/check_docs.sh [build-dir]   (default: build; the CLI binary
-# must already be built there).  Exit 0 = clean, 1 = drift found.
+# Usage: tools/check_docs.sh [build-dir]   (default: build; the CLI and
+# relb_localsim binaries must already be built there).  Exit 0 = clean,
+# 1 = drift found.
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 CLI="$BUILD_DIR/examples/round_eliminator_cli"
+LOCALSIM="$BUILD_DIR/examples/relb_localsim"
 
 if [ ! -x "$CLI" ]; then
   echo "error: $CLI not built (run: cmake --build $BUILD_DIR --target round_eliminator_cli)" >&2
+  exit 1
+fi
+if [ ! -x "$LOCALSIM" ]; then
+  echo "error: $LOCALSIM not built (run: cmake --build $BUILD_DIR --target relb_localsim)" >&2
   exit 1
 fi
 
@@ -55,7 +63,20 @@ for flag in $flags; do
   fi
 done
 
+# --- 3. simulator flags used in fenced code blocks -----------------------
+sim_help=$("$LOCALSIM" --help 2>&1) || true
+sim_flags=$(awk '/^```/{infence=!infence; next} infence' README.md docs/*.md \
+  | sed ':a;/\\$/{N;s/\\\n/ /;ba}' \
+  | grep 'relb_localsim' \
+  | grep -o -- '--[a-z0-9-][a-z0-9-]*' | sort -u) || true
+for flag in $sim_flags; do
+  if ! printf '%s' "$sim_help" | grep -q -- "$flag"; then
+    echo "doc flag not in relb_localsim --help: $flag"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs check passed ($(printf '%s\n' $flags | wc -l) CLI flags cross-checked)"
+  echo "docs check passed ($(printf '%s\n' $flags | wc -l) CLI flags, $(printf '%s\n' $sim_flags | wc -l) simulator flags cross-checked)"
 fi
 exit "$fail"

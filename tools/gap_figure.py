@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Join measured upper bounds with engine-certified lower bounds.
+
+The two halves of the reproduction meet here:
+
+  * relb_localsim run reports (relb-run-report JSON, --report) carry the
+    *measured* LOCAL round count of an upper-bound kernel on a concrete
+    instance -- the local.rounds.total counter plus the instance shape in
+    the local.nodes / local.max_degree gauges.
+  * round_eliminator_cli certificates (relb-certificate JSON, --save-cert,
+    params.kind == "family-chain") carry a PN-model chain of length t for
+    Pi_Delta, which Theorem 14 lifts to Omega(min{t, log_Delta n})
+    deterministic LOCAL rounds at n nodes.
+
+For every (run, certificate) pair with a matching Delta -- or every pair at
+all with --all-pairs -- the script emits one row: instance shape, measured
+rounds, the lifted lower bound at that instance's n, the Theorem 1 bound
+min{log2 Delta, log_Delta n} with unit constants, and the measured/lifted
+gap factor.  Output is an aligned table on stdout and, with --csv FILE, a
+machine-readable CSV.  Only the Python standard library is used.
+
+Usage:
+  tools/gap_figure.py --run report.json [--run ...] \
+                      --cert cert.json [--cert ...] [--csv out.csv]
+                      [--all-pairs]
+
+Exit codes: 0 = table written, 1 = no joinable rows, 2 = bad input.
+"""
+
+import argparse
+import csv
+import json
+import math
+import sys
+
+
+def fail(message):
+    print(f"gap_figure: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def parse_cert(path):
+    """A family-chain certificate -> {delta, t, path}."""
+    doc = load_json(path)
+    if doc.get("format") != "relb-certificate":
+        fail(f"{path}: not a relb-certificate (format = {doc.get('format')!r})")
+    params = doc.get("params", {})
+    if params.get("kind") != "family-chain":
+        fail(f"{path}: params.kind is {params.get('kind')!r}, need a "
+             "'family-chain' certificate (round_eliminator_cli --chain DELTA "
+             "--save-cert FILE)")
+    delta = int(params.get("delta", -1))
+    steps = doc.get("steps", [])
+    if delta < 2 or not steps:
+        fail(f"{path}: missing delta or steps")
+    # The chain walks t+1 problems Pi(x0), ..., Pi(x_t); its PN-model round
+    # lower bound t is the number of *steps between* them.
+    return {"path": path, "delta": delta, "t": len(steps) - 1}
+
+
+def section(report, name):
+    """A counters/gauges section -> dict, tolerating list-of-pairs form."""
+    raw = report.get(name, {})
+    if isinstance(raw, dict):
+        return raw
+    return {str(k): v for k, v in raw}
+
+
+def parse_run(path):
+    """A relb_localsim run report -> {algo, nodes, delta, rounds, path}."""
+    doc = load_json(path)
+    if doc.get("format") != "relb-run-report":
+        fail(f"{path}: not a relb-run-report (format = {doc.get('format')!r})")
+    counters = section(doc, "counters")
+    gauges = section(doc, "gauges")
+    for key in ("local.rounds.total",):
+        if key not in counters:
+            fail(f"{path}: counter {key} missing -- was this report written "
+                 "by relb_localsim?")
+    for key in ("local.nodes", "local.max_degree"):
+        if key not in gauges:
+            fail(f"{path}: gauge {key} missing")
+    ops = doc.get("run", {}).get("ops_walked") or []
+    return {
+        "path": path,
+        "algo": ops[0] if ops else "?",
+        "nodes": int(gauges["local.nodes"]),
+        "delta": int(gauges["local.max_degree"]),
+        "rounds": int(counters["local.rounds.total"]),
+    }
+
+
+def lift_deterministic(t, nodes, delta):
+    """Theorem 14 with unit constants: min{t, log_Delta n} LOCAL rounds."""
+    if delta < 2 or nodes < 2:
+        return 0.0
+    return min(float(t), math.log(nodes) / math.log(delta))
+
+
+def theorem1_deterministic(nodes, delta):
+    """Theorem 1 with unit constants: min{log2 Delta, log_Delta n}."""
+    if delta < 2 or nodes < 2:
+        return 0.0
+    return min(math.log2(delta), math.log(nodes) / math.log(delta))
+
+
+def build_rows(runs, certs, all_pairs):
+    rows = []
+    for run in runs:
+        matched = [c for c in certs
+                   if all_pairs or c["delta"] == run["delta"]]
+        if not matched and certs:
+            # Fall back to the strongest chain available: a chain for any
+            # Delta' <= Delta also lower-bounds the Delta instance family.
+            usable = [c for c in certs if c["delta"] <= run["delta"]]
+            matched = [max(usable, key=lambda c: c["t"])] if usable else []
+        for cert in matched:
+            lifted = lift_deterministic(cert["t"], run["nodes"], run["delta"])
+            thm1 = theorem1_deterministic(run["nodes"], run["delta"])
+            rows.append({
+                "algo": run["algo"],
+                "nodes": run["nodes"],
+                "delta": run["delta"],
+                "measured_rounds": run["rounds"],
+                "chain_delta": cert["delta"],
+                "chain_t": cert["t"],
+                "lifted_lower_bound": round(lifted, 3),
+                "theorem1_lower_bound": round(thm1, 3),
+                "gap_factor": (round(run["rounds"] / lifted, 3)
+                               if lifted > 0 else float("inf")),
+            })
+    return rows
+
+
+COLUMNS = ("algo", "nodes", "delta", "measured_rounds", "chain_delta",
+           "chain_t", "lifted_lower_bound", "theorem1_lower_bound",
+           "gap_factor")
+
+
+def render_table(rows):
+    widths = {c: len(c) for c in COLUMNS}
+    for row in rows:
+        for c in COLUMNS:
+            widths[c] = max(widths[c], len(str(row[c])))
+    lines = ["  ".join(c.ljust(widths[c]) for c in COLUMNS)]
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in COLUMNS))
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="join relb_localsim upper bounds with certified "
+                    "lower bounds")
+    parser.add_argument("--run", action="append", default=[],
+                        help="relb_localsim --report JSON (repeatable)")
+    parser.add_argument("--cert", action="append", default=[],
+                        help="family-chain certificate JSON (repeatable)")
+    parser.add_argument("--csv", help="also write the rows as CSV")
+    parser.add_argument("--all-pairs", action="store_true",
+                        help="join every run with every certificate instead "
+                             "of matching on Delta")
+    args = parser.parse_args()
+    if not args.run or not args.cert:
+        fail("need at least one --run and one --cert")
+
+    runs = [parse_run(p) for p in args.run]
+    certs = [parse_cert(p) for p in args.cert]
+    rows = build_rows(runs, certs, args.all_pairs)
+    if not rows:
+        print("gap_figure: no joinable (run, certificate) rows",
+              file=sys.stderr)
+        return 1
+
+    print(render_table(rows))
+    if args.csv:
+        with open(args.csv, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=COLUMNS)
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {args.csv} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
