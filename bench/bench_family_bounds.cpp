@@ -1,0 +1,41 @@
+// C2 -- the family workload bound table: for every built-in family
+// definition (docs/families.md), instantiate at the parameter defaults,
+// re-derive the lower bound automatically (autoLowerBound: speedup +
+// hardness-preserving merging), and hold the derivation to the
+// definition's published bound.  The emitted speedup-trace certificate
+// must verify engine-free.  This is the same contract the CLI's --family
+// mode and the CI families job enforce, printed as one table with
+// per-family derivation times.
+#include "bench_util.hpp"
+#include "family/builtin.hpp"
+#include "family/derive.hpp"
+#include "io/verify.hpp"
+#include "re/engine.hpp"
+
+int main() {
+  using namespace relb;
+  bench::banner("Family workloads: derived vs published lower bounds");
+
+  auto core = std::make_shared<re::EngineCore>();
+  bench::Table t({"family", "labels", "derived", "published", "meets",
+                  "cert steps", "verifies", "ms"});
+  bool allPass = true;
+  for (const auto& def : family::builtinFamilies()) {
+    bench::Stopwatch sw;
+    re::EngineSession session(core);
+    const auto d = family::deriveFamilyBound(def, {}, session);
+    const double ms = sw.ms();
+    const auto report = io::verifyCertificate(d.certificate);
+    const bool ok = d.meetsPublishedBound() && report.ok;
+    allPass &= ok;
+    t.row(def.name, d.problem.alphabet.size(),
+          static_cast<long long>(d.bound.rounds),
+          d.published ? std::to_string(*d.published) : "-",
+          d.meetsPublishedBound(), d.certificate.steps.size(), report.ok, ms);
+  }
+  t.print();
+  bench::verdict(allPass,
+                 "every built-in re-derives its published bound and the "
+                 "certificate verifies engine-free");
+  return allPass ? 0 : 1;
+}

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "core/sequence.hpp"
+#include "family/builtin.hpp"
+#include "family/derive.hpp"
+#include "family/text.hpp"
 #include "io/certificate.hpp"
 #include "io/verify.hpp"
 #include "obs/chrome_sink.hpp"
@@ -127,41 +130,6 @@ struct ObsWiring {
   }
 };
 
-// Drives maxSteps of R / Rbar through the session, recording every operator,
-// renaming map, and zero-round verdict as a "speedup-trace" certificate.
-io::Certificate buildTraceCertificate(const re::Problem& start,
-                                      re::EngineSession& session,
-                                      int maxSteps, int maxLabels) {
-  io::Certificate cert;
-  cert.kind = "speedup-trace";
-  cert.engineInfo.emplace_back("generator", "relb");
-
-  const auto record = [&](const std::string& op, re::Problem problem,
-                          std::optional<std::vector<re::LabelSet>> meaning) {
-    io::CertificateStep step;
-    step.op = op;
-    step.meaning = std::move(meaning);
-    step.zeroRoundSolvable = session.zeroRoundSolvable(
-        problem, re::ZeroRoundMode::kSymmetricPorts);
-    step.problem = std::move(problem);
-    const bool stop = step.zeroRoundSolvable;
-    cert.steps.push_back(std::move(step));
-    return stop;
-  };
-
-  if (record("input", start, std::nullopt)) return cert;
-  re::Problem current = start;
-  for (int i = 0; i < maxSteps; ++i) {
-    re::StepResult r = session.applyR(current);
-    if (record("R", r.problem, r.meaning)) return cert;
-    re::StepResult rbar = session.applyRbar(r.problem);
-    if (record("Rbar", rbar.problem, rbar.meaning)) return cert;
-    current = std::move(rbar.problem);
-    if (current.alphabet.size() > maxLabels) return cert;
-  }
-  return cert;
-}
-
 RunStatus toStatus(int code) {
   switch (code) {
     case 0:
@@ -185,11 +153,15 @@ std::string usageText(std::string_view prog) {
          " [flags] --chain DELTA [--x0 K]\n"
          "       " +
          p +
+         " [flags] --family NAME | --family-def FILE [maxSteps] [threads]\n"
+         "       " +
+         p +
          " --verify-cert FILE\n"
          "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
          "threads: 0 = hardware concurrency (default), 1 = serial\n"
          "flags: --stats --store DIR --resume --save-cert FILE\n"
          "       --verify-cert FILE --chain DELTA --x0 K\n"
+         "       --family NAME --family-def FILE --param NAME=VALUE\n"
          "       --trace FILE --trace-format {chrome,text} --report FILE\n";
 }
 
@@ -235,6 +207,19 @@ ParseOutcome parseArgs(int argc, const char* const* argv) {
     } else if (arg == "--x0") {
       if (!flagValue(i, arg, value)) return outcome;
       req.chainX0 = std::atol(value.c_str());
+    } else if (arg == "--family") {
+      if (!flagValue(i, arg, req.familyName)) return outcome;
+    } else if (arg == "--family-def") {
+      if (!flagValue(i, arg, req.familyDefPath)) return outcome;
+    } else if (arg == "--param") {
+      if (!flagValue(i, arg, value)) return outcome;
+      const std::size_t eq = value.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 == value.size()) {
+        outcome.error = "--param expects NAME=VALUE, got '" + value + "'";
+        return outcome;
+      }
+      req.familyParams.emplace_back(value.substr(0, eq),
+                                    std::atol(value.c_str() + eq + 1));
     } else if (arg == "--trace") {
       if (!flagValue(i, arg, req.tracePath)) return outcome;
     } else if (arg == "--trace-format") {
@@ -257,14 +242,18 @@ ParseOutcome parseArgs(int argc, const char* const* argv) {
     req.mode = RunRequest::Mode::kVerifyCertificate;
   } else if (req.chainDelta >= 0) {
     req.mode = RunRequest::Mode::kChain;
+  } else if (!req.familyName.empty() || !req.familyDefPath.empty()) {
+    req.mode = RunRequest::Mode::kFamily;
   } else {
     req.mode = RunRequest::Mode::kProblem;
   }
 
-  // In --chain mode the problem text is implied, so [maxSteps] [threads]
-  // shift to the front of the positional list.
-  const std::size_t stepsIdx =
-      req.mode == RunRequest::Mode::kChain ? 0 : 2;
+  // In --chain and --family modes the problem text is implied, so
+  // [maxSteps] [threads] shift to the front of the positional list.
+  const std::size_t stepsIdx = (req.mode == RunRequest::Mode::kChain ||
+                                req.mode == RunRequest::Mode::kFamily)
+                                   ? 0
+                                   : 2;
   if (positional.size() > 0 && stepsIdx >= 1) req.nodeSpec = positional[0];
   if (positional.size() > 1 && stepsIdx >= 2) req.edgeSpec = positional[1];
   if (positional.size() > stepsIdx) {
@@ -409,6 +398,85 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
     return finish(code);
   }
 
+  // Family mode: load or look up the definition, instantiate it, re-derive
+  // its lower bound, and gate on the published bound.
+  if (request.mode == RunRequest::Mode::kFamily) {
+    int code = 0;
+    try {
+      family::FamilyDef def;
+      {
+        const obs::ScopedSpan phase("phase.family.load");
+        if (!request.familyDefPath.empty()) {
+          def = family::loadFamilyFile(request.familyDefPath);
+        } else if (auto builtin = family::findBuiltin(request.familyName)) {
+          def = std::move(*builtin);
+        } else {
+          std::string known;
+          for (const family::FamilyDef& b : family::builtinFamilies()) {
+            known += known.empty() ? b.name : ", " + b.name;
+          }
+          throw re::Error("unknown built-in family '" + request.familyName +
+                          "' (known: " + known + ")");
+        }
+      }
+      family::Env overrides;
+      for (const auto& [name, value] : request.familyParams) {
+        overrides[name] = value;
+      }
+      family::DeriveOptions options;
+      options.maxSteps = maxSteps;
+      std::optional<family::FamilyDerivation> derived;
+      {
+        const obs::ScopedSpan phase("phase.family.derive");
+        derived.emplace(family::deriveFamilyBound(def, overrides, ctx,
+                                                  options));
+      }
+      const family::FamilyDerivation& d = *derived;
+      out << "family " << def.name;
+      if (!def.title.empty()) out << ": " << def.title;
+      out << "\n";
+      if (!def.model.empty()) out << "model: " << def.model << "\n";
+      if (!def.cite.empty()) out << "source: " << def.cite << "\n";
+      out << "parameters:";
+      for (const auto& [name, value] : d.params) {
+        out << " " << name << "=" << value;
+      }
+      out << "\n\ninstantiated problem (Delta = " << d.problem.delta()
+          << ", " << d.problem.alphabet.size() << " labels):\n"
+          << d.problem.render() << "\n";
+      out << "automatic lower bound: >= " << d.bound.rounds
+          << " rounds (deterministic PN, high girth)\n";
+      if (d.published.has_value()) {
+        out << "published bound at these parameters: >= " << *d.published
+            << " rounds\n";
+        if (!d.meetsPublishedBound()) {
+          err << "family error: derived bound " << d.bound.rounds
+              << " falls short of the published bound " << *d.published
+              << "\n";
+          code = 1;
+        }
+      }
+      if (!request.saveCertPath.empty()) {
+        const obs::ScopedSpan phase("phase.cert.save");
+        io::saveCertificate(request.saveCertPath, d.certificate);
+        out << "speedup-trace certificate (" << d.certificate.steps.size()
+            << " steps) written to " << request.saveCertPath << "\n";
+      }
+      if (request.captureCert) {
+        result.certificateBytes =
+            io::certificateToJson(d.certificate).dumpPretty();
+      }
+      if (request.showStats) {
+        out << "\nengine cache statistics:\n" << ctx.stats().describe();
+        if (stepStore != nullptr) out << stepStore->stats().describe();
+      }
+    } catch (const re::Error& e) {
+      err << "family error: " << e.what() << "\n";
+      code = 1;
+    }
+    return finish(code);
+  }
+
   if (request.nodeSpec.empty() || request.edgeSpec.empty()) {
     err << usageText(request.programName);
     return finish(2);
@@ -492,7 +560,8 @@ RunResult run(const RunRequest& request, std::shared_ptr<re::EngineCore> core) {
 
     if (!request.saveCertPath.empty() || request.captureCert) {
       const obs::ScopedSpan phase("phase.cert.save");
-      const io::Certificate cert = buildTraceCertificate(p, ctx, maxSteps, 16);
+      const io::Certificate cert =
+          family::buildTraceCertificate(p, ctx, maxSteps, 16);
       if (!request.saveCertPath.empty()) {
         io::saveCertificate(request.saveCertPath, cert);
         out << "\nspeedup-trace certificate (" << cert.steps.size()

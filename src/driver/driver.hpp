@@ -28,6 +28,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "re/engine.hpp"
 
@@ -48,6 +50,7 @@ struct RunRequest {
   enum class Mode {
     kProblem,            // analyze + iterate a problem given in text form
     kChain,              // build + certify the exact Lemma 13 family chain
+    kFamily,             // instantiate + derive a family-definition bound
     kVerifyCertificate,  // load + re-verify a stored certificate
   };
   Mode mode = Mode::kProblem;
@@ -66,6 +69,16 @@ struct RunRequest {
   /// kChain: the family parameters of exactChain(delta, x0).
   long chainDelta = -1;
   long chainX0 = 1;
+
+  /// kFamily: a built-in family name (--family) or a definition file in the
+  /// family DSL (--family-def; wins when both are set), plus parameter
+  /// overrides from repeated --param NAME=VALUE flags (unset parameters take
+  /// the definition's defaults).  The run instantiates the family, re-runs
+  /// the automatic lower-bound search, and exits 1 when the derived bound
+  /// falls short of the definition's published bound.
+  std::string familyName;
+  std::string familyDefPath;
+  std::vector<std::pair<std::string, long>> familyParams;
 
   /// kVerifyCertificate: the certificate file to re-verify.
   std::string verifyCertPath;

@@ -1,0 +1,107 @@
+#include "family/builtin.hpp"
+
+#include "family/text.hpp"
+
+namespace relb::family {
+
+namespace {
+
+// The built-ins are *defined* in the DSL's own text form, so the text
+// format is exercised on every lookup and the families/ directory can pin
+// the canonical serialization of exactly these strings.
+
+constexpr std::string_view kPi = R"(family pi
+title Pi_Delta(a, x) lower-bound family (MIS / bounded out-degree domsets)
+model det-PN high-girth
+cite doi:10.1145/3465084.3467901 (PODC 2021)
+
+param delta range 1 .. 16 default 4
+param a range 0 .. delta default 2
+param x range 0 .. delta default 0
+bound 1
+
+alphabet M P O A X
+
+node M^(delta - x) X^x
+node A^a X^(delta - a)
+node P O^(delta - 1)
+
+edge M [P A O X]
+edge O [M A O X]
+edge P [M X]
+edge A [M O X]
+edge X [M P A O X]
+)";
+
+constexpr std::string_view kTwoRulingSet = R"(family two_ruling_set
+title 2-ruling set (selected nodes within distance 2 of every node)
+model det-PN high-girth
+cite arXiv:2004.08282 (Balliu-Brandt-Olivetti)
+
+param delta range 2 .. 6 default 3
+bound 2
+
+alphabet S P1 O1 P2 O2
+
+node S^delta
+node P1 O1^(delta - 1)
+node P2 O2^(delta - 1)
+
+edge S [P1 O1]
+edge O1 [O1 P2 O2]
+edge O2 O2
+)";
+
+constexpr std::string_view kMaximalMatching = R"(family maximal_matching
+title Maximal matching (port-numbering encoding)
+model det-PN high-girth
+cite arXiv:2505.15654 (Khoury-Schild)
+
+param delta range 1 .. 8 default 3
+bound 3
+
+alphabet M O P
+
+node M O^(delta - 1)
+node P^delta
+
+edge M M
+edge O [O P]
+)";
+
+constexpr std::string_view kDeltaColoring = R"(family delta_coloring
+title Delta-coloring (parameterized alphabet C1..C_delta)
+model det-PN high-girth
+cite arXiv:2110.00643
+
+param delta range 3 .. 6 default 3
+bound 2
+
+alphabet C{c=1..delta}
+
+node C{c}^delta | for c=1..delta
+edge C{c} [C{j} | j=1..delta if j != c] | for c=1..delta
+)";
+
+}  // namespace
+
+const std::vector<FamilyDef>& builtinFamilies() {
+  static const std::vector<FamilyDef> families = [] {
+    std::vector<FamilyDef> out;
+    for (const std::string_view text :
+         {kPi, kTwoRulingSet, kMaximalMatching, kDeltaColoring}) {
+      out.push_back(parseFamilyText(text));
+    }
+    return out;
+  }();
+  return families;
+}
+
+std::optional<FamilyDef> findBuiltin(std::string_view name) {
+  for (const FamilyDef& def : builtinFamilies()) {
+    if (def.name == name) return def;
+  }
+  return std::nullopt;
+}
+
+}  // namespace relb::family

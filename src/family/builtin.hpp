@@ -1,0 +1,37 @@
+// The four built-in family definitions (docs/families.md has the bound
+// table and citations):
+//
+//   pi                the paper's Pi_Delta(a, x) hardness family,
+//                     re-expressed in the DSL; instantiation is bit-for-bit
+//                     identical to core::familyProblem (pinned by tests)
+//   two_ruling_set    2-ruling sets (Balliu-Brandt-Olivetti,
+//                     arXiv 2004.08282)
+//   maximal_matching  maximal matching in the port-numbering encoding
+//                     (Khoury-Schild, arXiv 2505.15654)
+//   delta_coloring    Delta-coloring with a parameterized alphabet
+//                     (arXiv 2110.00643)
+//
+// Each definition's `bound` is the round lower bound autoLowerBound
+// re-derives at the parameter defaults -- the mechanized floor of the
+// published asymptotic bound, enforced by the driver's --family mode and
+// the CI families job.  The same definitions ship as text under families/;
+// a tier-1 test pins those files byte-for-byte to the canonical
+// serialization of these built-ins.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "family/def.hpp"
+
+namespace relb::family {
+
+/// All built-ins, in the fixed order pi, two_ruling_set, maximal_matching,
+/// delta_coloring.  Parsed once and cached; cheap to call repeatedly.
+[[nodiscard]] const std::vector<FamilyDef>& builtinFamilies();
+
+/// The built-in named `name`, or nullopt.
+[[nodiscard]] std::optional<FamilyDef> findBuiltin(std::string_view name);
+
+}  // namespace relb::family

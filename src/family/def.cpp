@@ -1,0 +1,289 @@
+#include "family/def.hpp"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace relb::family {
+
+using re::Configuration;
+using re::Constraint;
+using re::Count;
+using re::Error;
+using re::Group;
+using re::LabelSet;
+using re::Problem;
+
+namespace {
+
+// Comprehension ranges are expanded eagerly; cap the width so a typo like
+// `1..100000` fails fast instead of building an absurd alphabet (the
+// alphabet itself is further capped at re::kMaxLabels by Alphabet::add).
+constexpr Count kMaxComprehensionWidth = 4096;
+
+void checkWidth(Count lo, Count hi, const std::string& var) {
+  if (hi - lo + 1 > kMaxComprehensionWidth) {
+    throw Error("family: comprehension over '" + var + "' spans " +
+                std::to_string(hi - lo + 1) + " values (limit " +
+                std::to_string(kMaxComprehensionWidth) + ")");
+  }
+}
+
+/// Runs `body(env')` once per binding var=lo..hi (increasing) that passes
+/// `cond`, where env' extends `env` with the binding.  A reversed (lo > hi)
+/// range is simply empty.
+template <typename Body>
+void forEachBinding(const Env& env, const std::string& var, const Expr& lo,
+                    const Expr& hi, const Cond& cond, Body&& body) {
+  const Count l = eval(lo, env);
+  const Count h = eval(hi, env);
+  if (l > h) return;
+  checkWidth(l, h, var);
+  Env extended = env;
+  for (Count v = l; v <= h; ++v) {
+    extended[var] = v;
+    if (!eval(cond, extended)) continue;
+    body(extended);
+  }
+}
+
+std::string labelName(const LabelRef& ref, const Env& env) {
+  if (!ref.indexed) return ref.name;
+  return ref.name + std::to_string(eval(ref.index, env));
+}
+
+LabelSet resolveAtom(const SetAtom& atom, const Env& env,
+                     const re::Alphabet& alphabet) {
+  LabelSet set;
+  const auto addRef = [&](const LabelRef& ref, const Env& e) {
+    const std::string name = labelName(ref, e);
+    const auto label = alphabet.find(name);
+    if (!label) {
+      throw Error("family: configuration references unknown label '" + name +
+                  "'");
+    }
+    set.insert(*label);
+  };
+  if (atom.comprehension) {
+    forEachBinding(env, atom.var, atom.lo, atom.hi, atom.cond,
+                   [&](const Env& e) { addRef(atom.refs.front(), e); });
+  } else {
+    for (const LabelRef& ref : atom.refs) addRef(ref, env);
+  }
+  return set;
+}
+
+Configuration expandConfig(const ConfigTemplate& tmpl, const Env& env,
+                           const re::Alphabet& alphabet) {
+  std::vector<Group> groups;
+  for (const GroupTemplate& g : tmpl.groups) {
+    const Count count = eval(g.count, env);
+    if (count < 0) {
+      throw Error("family: negative exponent " + std::to_string(count) +
+                  " in configuration template");
+    }
+    if (count == 0) continue;  // matches Configuration's normalization
+    const LabelSet set = resolveAtom(g.atom, env, alphabet);
+    if (set.empty()) {
+      throw Error(
+          "family: empty label set with positive exponent in configuration "
+          "template");
+    }
+    groups.push_back({set, count});
+  }
+  if (groups.empty()) {
+    throw Error("family: configuration template expands to degree 0");
+  }
+  return Configuration(std::move(groups));
+}
+
+void expandInto(Constraint& constraint, const ConfigTemplate& tmpl,
+                const Env& env, const re::Alphabet& alphabet) {
+  if (tmpl.comprehension) {
+    forEachBinding(env, tmpl.var, tmpl.lo, tmpl.hi, tmpl.cond,
+                   [&](const Env& e) {
+                     constraint.add(expandConfig(tmpl, e, alphabet));
+                   });
+  } else {
+    constraint.add(expandConfig(tmpl, env, alphabet));
+  }
+}
+
+/// The degree of the first configuration a template list produces (the node
+/// constraint's Delta comes from here; every later configuration must
+/// match, which Constraint::add enforces).
+Count firstDegree(const std::vector<ConfigTemplate>& templates, const Env& env,
+                  const char* side) {
+  for (const ConfigTemplate& tmpl : templates) {
+    std::optional<Count> degree;
+    const auto probe = [&](const Env& e) {
+      if (degree) return;
+      Count d = 0;
+      for (const GroupTemplate& g : tmpl.groups) {
+        const Count count = eval(g.count, e);
+        if (count > 0) d += count;
+      }
+      if (d > 0) degree = d;
+    };
+    if (tmpl.comprehension) {
+      forEachBinding(env, tmpl.var, tmpl.lo, tmpl.hi, tmpl.cond, probe);
+    } else {
+      probe(env);
+    }
+    if (degree) return *degree;
+  }
+  throw Error(std::string("family: ") + side +
+              " templates expand to no configurations");
+}
+
+void checkCompVar(const std::set<std::string>& paramNames,
+                  const std::string& var, const char* where) {
+  if (var.empty()) {
+    throw Error(std::string("family: empty comprehension variable in ") +
+                where);
+  }
+  if (paramNames.count(var) != 0) {
+    throw Error("family: comprehension variable '" + var +
+                "' shadows a parameter");
+  }
+}
+
+}  // namespace
+
+Env resolveParams(const FamilyDef& def, const Env& overrides) {
+  validateDef(def);
+  Env env;
+  for (const ParamDecl& p : def.params) {
+    Count value = 0;
+    const auto it = overrides.find(p.name);
+    if (it != overrides.end()) {
+      value = it->second;
+    } else if (p.defaultValue) {
+      value = eval(*p.defaultValue, env);
+    } else {
+      throw Error("family '" + def.name + "': parameter '" + p.name +
+                  "' has no default and no override");
+    }
+    const Count lo = eval(p.lo, env);
+    const Count hi = eval(p.hi, env);
+    if (lo > hi) {
+      throw Error("family '" + def.name + "': parameter '" + p.name +
+                  "' has empty range [" + std::to_string(lo) + ", " +
+                  std::to_string(hi) + "]");
+    }
+    if (value < lo || value > hi) {
+      throw Error("family '" + def.name + "': parameter '" + p.name + "' = " +
+                  std::to_string(value) + " outside range [" +
+                  std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    env[p.name] = value;
+  }
+  for (const auto& [name, value] : overrides) {
+    if (env.find(name) == env.end()) {
+      throw Error("family '" + def.name + "': unknown parameter override '" +
+                  name + "'");
+    }
+  }
+  for (const Cond& req : def.requirements) {
+    if (!eval(req, env)) {
+      throw Error("family '" + def.name + "': requirement '" + render(req) +
+                  "' violated");
+    }
+  }
+  return env;
+}
+
+void validateDef(const FamilyDef& def) {
+  if (def.name.empty()) throw Error("family: missing name");
+  if (def.alphabet.empty()) {
+    throw Error("family '" + def.name + "': empty alphabet");
+  }
+  if (def.node.empty() || def.edge.empty()) {
+    throw Error("family '" + def.name +
+                "': need at least one node and one edge template");
+  }
+  std::set<std::string> paramNames;
+  for (const ParamDecl& p : def.params) {
+    if (p.name.empty()) {
+      throw Error("family '" + def.name + "': empty parameter name");
+    }
+    if (!paramNames.insert(p.name).second) {
+      throw Error("family '" + def.name + "': duplicate parameter '" +
+                  p.name + "'");
+    }
+  }
+  for (const AlphabetItem& item : def.alphabet) {
+    if (item.name.empty()) {
+      throw Error("family '" + def.name + "': empty alphabet entry");
+    }
+    if (item.comprehension) checkCompVar(paramNames, item.var, "alphabet");
+  }
+  const auto checkTemplates = [&](const std::vector<ConfigTemplate>& list,
+                                  const char* side) {
+    for (const ConfigTemplate& tmpl : list) {
+      if (tmpl.groups.empty()) {
+        throw Error(std::string("family '") + def.name + "': empty " + side +
+                    " configuration template");
+      }
+      if (tmpl.comprehension) checkCompVar(paramNames, tmpl.var, side);
+      for (const GroupTemplate& g : tmpl.groups) {
+        if (g.atom.refs.empty()) {
+          throw Error(std::string("family '") + def.name +
+                      "': empty label-set atom in " + side + " template");
+        }
+        if (g.atom.comprehension) {
+          checkCompVar(paramNames, g.atom.var, side);
+          if (g.atom.refs.size() != 1) {
+            throw Error(std::string("family '") + def.name +
+                        "': set comprehension must have exactly one "
+                        "reference");
+          }
+        }
+      }
+    }
+  };
+  checkTemplates(def.node, "node");
+  checkTemplates(def.edge, "edge");
+}
+
+Problem instantiate(const FamilyDef& def, const Env& params) {
+  validateDef(def);
+  Problem p;
+  for (const AlphabetItem& item : def.alphabet) {
+    if (item.comprehension) {
+      forEachBinding(params, item.var, item.lo, item.hi, item.cond,
+                     [&](const Env& e) {
+                       p.alphabet.add(item.name +
+                                      std::to_string(e.at(item.var)));
+                     });
+    } else {
+      p.alphabet.add(item.name);
+    }
+  }
+
+  Constraint node(firstDegree(def.node, params, "node"), {});
+  for (const ConfigTemplate& tmpl : def.node) {
+    expandInto(node, tmpl, params, p.alphabet);
+  }
+  p.node = std::move(node);
+
+  Constraint edge(2, {});
+  for (const ConfigTemplate& tmpl : def.edge) {
+    expandInto(edge, tmpl, params, p.alphabet);
+  }
+  p.edge = std::move(edge);
+
+  p.validate();
+  return p;
+}
+
+Problem instantiateWithDefaults(const FamilyDef& def, const Env& overrides) {
+  return instantiate(def, resolveParams(def, overrides));
+}
+
+std::optional<Count> publishedBound(const FamilyDef& def, const Env& params) {
+  if (!def.bound) return std::nullopt;
+  return eval(*def.bound, params);
+}
+
+}  // namespace relb::family

@@ -1,0 +1,138 @@
+// FamilyDef: a parameterized LCL problem family (docs/families.md).
+//
+// A definition carries
+//   * metadata -- name, human title, complexity model, citation, and the
+//     published lower bound (an expression over the parameters, understood
+//     at the parameter defaults);
+//   * parameters with inclusive validity ranges (later ranges may reference
+//     earlier parameters: `param a range 0 .. delta`) and optional defaults;
+//   * `require` side conditions over the full parameter vector;
+//   * an alphabet of plain labels and indexed comprehensions
+//     (`C{i=1..delta}` names labels C1..C<delta>);
+//   * node and edge configuration templates whose groups are label-set
+//     atoms raised to expression exponents, optionally replicated by a
+//     per-configuration comprehension (`... | for c=1..delta`).
+//
+// instantiate() turns (definition, parameter values) into a re::Problem by
+// exactly the construction core::familyProblem uses -- templates expand in
+// declaration order, zero-count groups vanish inside Configuration's
+// normalization, Constraint::add drops exact duplicates -- so a DSL
+// transcription of a hard-coded constructor reproduces it bit for bit
+// (asserted for Pi_Delta(a, x) in tests/family and tests/prop).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "family/expr.hpp"
+#include "re/problem.hpp"
+
+namespace relb::family {
+
+struct ParamDecl {
+  std::string name;
+  Expr lo;  // inclusive; may reference earlier parameters
+  Expr hi;
+  std::optional<Expr> defaultValue;
+  friend bool operator==(const ParamDecl&, const ParamDecl&) = default;
+};
+
+/// One alphabet entry: a plain label name, or an indexed comprehension
+/// `name{var=lo..hi [if cond]}` producing labels `name<var>`.
+struct AlphabetItem {
+  std::string name;
+  bool comprehension = false;
+  std::string var;
+  Expr lo;
+  Expr hi;
+  Cond cond;  // empty conjunction = unconditional
+  friend bool operator==(const AlphabetItem&, const AlphabetItem&) = default;
+};
+
+/// A reference to one label: `M` or `C{expr}` (name-plus-index).
+struct LabelRef {
+  std::string name;
+  bool indexed = false;
+  Expr index;
+  friend bool operator==(const LabelRef&, const LabelRef&) = default;
+};
+
+/// A label-set atom: a single reference, an explicit set `[A B C]`, or a
+/// set comprehension `[C{j} | j=lo..hi if cond]`.
+struct SetAtom {
+  std::vector<LabelRef> refs;  // exactly 1 for a comprehension
+  bool comprehension = false;
+  std::string var;
+  Expr lo;
+  Expr hi;
+  Cond cond;
+  friend bool operator==(const SetAtom&, const SetAtom&) = default;
+};
+
+struct GroupTemplate {
+  SetAtom atom;
+  Expr count;  // defaults to the literal 1 in the text form
+  friend bool operator==(const GroupTemplate&, const GroupTemplate&) = default;
+};
+
+struct ConfigTemplate {
+  std::vector<GroupTemplate> groups;
+  /// Optional trailing `| for var=lo..hi [if cond]`: the template expands
+  /// once per binding, in increasing order of `var`.
+  bool comprehension = false;
+  std::string var;
+  Expr lo;
+  Expr hi;
+  Cond cond;
+  friend bool operator==(const ConfigTemplate&, const ConfigTemplate&) =
+      default;
+};
+
+struct FamilyDef {
+  std::string name;
+  std::string title;  // "" = absent (same for model / cite)
+  std::string model;
+  std::string cite;
+  std::vector<ParamDecl> params;
+  std::vector<Cond> requirements;
+  /// Published round lower bound at the parameter defaults; absent when the
+  /// family ships without a pinned bound.
+  std::optional<Expr> bound;
+  std::vector<AlphabetItem> alphabet;
+  std::vector<ConfigTemplate> node;
+  std::vector<ConfigTemplate> edge;
+
+  friend bool operator==(const FamilyDef&, const FamilyDef&) = default;
+};
+
+/// Resolves the full parameter vector: overrides win, defaults fill the
+/// rest, every value is validated against its (evaluated) range and every
+/// `require` condition.  Throws re::Error on unknown override names,
+/// missing values, empty ranges, out-of-range values, or failed
+/// requirements.
+[[nodiscard]] Env resolveParams(const FamilyDef& def, const Env& overrides);
+
+/// Structural sanity independent of parameter values: non-empty name and
+/// alphabet, at least one node and edge template, no duplicate parameter
+/// names, comprehension variables distinct from parameters.  Throws
+/// re::Error; parse and the builders call this, instantiate re-checks.
+void validateDef(const FamilyDef& def);
+
+/// Expands the definition under a fully resolved environment (use
+/// resolveParams) into a validated problem.  Deterministic; throws
+/// re::Error on any ill-formed expansion (duplicate labels, unknown label
+/// references, negative exponents, empty sets with positive exponents,
+/// non-uniform node degrees, edge degree != 2).
+[[nodiscard]] re::Problem instantiate(const FamilyDef& def, const Env& params);
+
+/// Convenience: resolveParams + instantiate.
+[[nodiscard]] re::Problem instantiateWithDefaults(const FamilyDef& def,
+                                                  const Env& overrides = {});
+
+/// The published bound evaluated under `params`; nullopt when the
+/// definition declares none.
+[[nodiscard]] std::optional<re::Count> publishedBound(const FamilyDef& def,
+                                                      const Env& params);
+
+}  // namespace relb::family

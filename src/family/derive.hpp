@@ -1,0 +1,72 @@
+// Re-deriving a family's lower bound and certifying the run.
+//
+// deriveFamilyBound() instantiates a definition, runs the automatic
+// lower-bound search (speedup + hardness-preserving merging, re/autobound),
+// and builds a "speedup-trace" certificate of the R/Rbar iteration --
+// byte-for-byte the certificate the CLI's --save-cert writes for the same
+// problem and budgets, with the family name and parameter vector recorded
+// in the engineInfo section.  Certificates stay engine-free verifiable
+// through io::verifyCertificate / examples/certificate_verifier.
+//
+// The built-ins pin their expected derived bound in `bound`;
+// FamilyDerivation::meetsPublishedBound() is what the driver's --family
+// mode and the CI families job gate on.
+#pragma once
+
+#include <optional>
+
+#include "family/def.hpp"
+#include "io/certificate.hpp"
+#include "re/autobound.hpp"
+#include "re/engine.hpp"
+
+namespace relb::family {
+
+struct DeriveOptions {
+  /// Speedup budget shared by the autobound chain and the certificate
+  /// trace (the CLI's [maxSteps] positional).
+  int maxSteps = 6;
+  /// Merge target of the autobound chain (mirrors the driver).
+  int autoboundMaxLabels = 10;
+  /// The trace stops once the alphabet outgrows this (mirrors the driver).
+  int traceMaxLabels = 16;
+};
+
+struct FamilyDerivation {
+  Env params;
+  re::Problem problem;
+  re::AutoLowerBound bound;
+  /// The definition's published bound under `params` (nullopt if none).
+  std::optional<re::Count> published;
+  io::Certificate certificate;
+
+  /// True when no bound is declared or the derived bound reaches it.
+  [[nodiscard]] bool meetsPublishedBound() const {
+    return !published || bound.rounds >= *published;
+  }
+};
+
+/// Records maxSteps of R / Rbar through the session as a "speedup-trace"
+/// certificate (operator, renaming map, symmetric-ports verdict per step;
+/// stops early on a solvable step or past maxLabels).  Identical semantics
+/// to the driver's certificate path -- the driver calls this.
+[[nodiscard]] io::Certificate buildTraceCertificate(const re::Problem& start,
+                                                    re::EngineSession& session,
+                                                    int maxSteps,
+                                                    int maxLabels);
+
+/// Appends the family name and parameter vector to a certificate's
+/// engineInfo section (deterministic order: name first, then parameters
+/// alphabetically).
+void annotateCertificate(io::Certificate& cert, const FamilyDef& def,
+                         const Env& params);
+
+/// resolveParams + instantiate + autoLowerBound + annotated trace
+/// certificate.  Throws re::Error on definition/parameter problems; engine
+/// guards inside the bound search are absorbed into the returned bound's
+/// StopReason (kEngineLimit), not thrown.
+[[nodiscard]] FamilyDerivation deriveFamilyBound(
+    const FamilyDef& def, const Env& overrides, re::EngineSession& session,
+    const DeriveOptions& options = {});
+
+}  // namespace relb::family

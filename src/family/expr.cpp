@@ -1,0 +1,347 @@
+#include "family/expr.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace relb::family {
+
+using re::Count;
+using re::Error;
+
+namespace {
+
+// Magnitude guard: |operand| stays below 2^40, so sums fit trivially and a
+// product of two guarded values fits in the 63 bits of Count.  Family
+// parameters are degrees and exponents; nothing legitimate gets near this.
+constexpr Count kMagnitudeGuard = Count{1} << 40;
+
+Count guarded(Count v, const char* what) {
+  if (v >= kMagnitudeGuard || v <= -kMagnitudeGuard) {
+    throw Error(std::string("family expr: ") + what + " overflows the " +
+                "evaluation guard");
+  }
+  return v;
+}
+
+Count floorDiv(Count a, Count b) {
+  if (b == 0) throw Error("family expr: division by zero");
+  Count q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int precedence(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+      return 1;
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv:
+      return 2;
+    case Expr::Kind::kNeg:
+      return 3;
+    case Expr::Kind::kInt:
+    case Expr::Kind::kVar:
+      return 4;
+  }
+  return 4;
+}
+
+void renderInto(const Expr& e, std::string& out) {
+  const auto child = [&](const Expr& c, bool needParens) {
+    if (needParens) out += '(';
+    renderInto(c, out);
+    if (needParens) out += ')';
+  };
+  const int prec = precedence(e.kind);
+  switch (e.kind) {
+    case Expr::Kind::kInt:
+      out += std::to_string(e.value);
+      return;
+    case Expr::Kind::kVar:
+      out += e.name;
+      return;
+    case Expr::Kind::kNeg:
+      out += '-';
+      child(e.args[0], precedence(e.args[0].kind) < prec);
+      return;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv: {
+      // The parser is left-associative, so the right child needs parentheses
+      // already at equal precedence to round-trip structurally.
+      child(e.args[0], precedence(e.args[0].kind) < prec);
+      switch (e.kind) {
+        case Expr::Kind::kAdd: out += " + "; break;
+        case Expr::Kind::kSub: out += " - "; break;
+        case Expr::Kind::kMul: out += " * "; break;
+        default: out += " / "; break;
+      }
+      child(e.args[1], precedence(e.args[1].kind) <= prec);
+      return;
+    }
+  }
+}
+
+Expr binary(Expr::Kind kind, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind = kind;
+  e.args.push_back(std::move(lhs));
+  e.args.push_back(std::move(rhs));
+  return e;
+}
+
+}  // namespace
+
+Expr Expr::integer(Count v) {
+  Expr e;
+  e.kind = Kind::kInt;
+  e.value = v;
+  return e;
+}
+
+Expr Expr::variable(std::string name) {
+  Expr e;
+  e.kind = Kind::kVar;
+  e.name = std::move(name);
+  return e;
+}
+
+Count eval(const Expr& e, const Env& env) {
+  switch (e.kind) {
+    case Expr::Kind::kInt:
+      return guarded(e.value, "literal");
+    case Expr::Kind::kVar: {
+      const auto it = env.find(e.name);
+      if (it == env.end()) {
+        throw Error("family expr: unbound variable '" + e.name + "'");
+      }
+      return guarded(it->second, "variable");
+    }
+    case Expr::Kind::kNeg:
+      return -eval(e.args[0], env);
+    case Expr::Kind::kAdd:
+      return guarded(eval(e.args[0], env) + eval(e.args[1], env), "sum");
+    case Expr::Kind::kSub:
+      return guarded(eval(e.args[0], env) - eval(e.args[1], env),
+                     "difference");
+    case Expr::Kind::kMul: {
+      // Sub-results are each guarded below 2^40, so the product needs a
+      // 128-bit intermediate to detect overflow rather than commit it.
+      const auto product = static_cast<__int128>(eval(e.args[0], env)) *
+                           static_cast<__int128>(eval(e.args[1], env));
+      if (product >= kMagnitudeGuard || product <= -kMagnitudeGuard) {
+        throw Error("family expr: product overflows the evaluation guard");
+      }
+      return static_cast<Count>(product);
+    }
+    case Expr::Kind::kDiv:
+      return floorDiv(eval(e.args[0], env), eval(e.args[1], env));
+  }
+  throw Error("family expr: corrupt node");
+}
+
+bool eval(const Cond& c, const Env& env) {
+  for (const Cond::Cmp& cmp : c.terms) {
+    const Count l = eval(cmp.lhs, env);
+    const Count r = eval(cmp.rhs, env);
+    bool ok = false;
+    if (cmp.op == "==") ok = l == r;
+    else if (cmp.op == "!=") ok = l != r;
+    else if (cmp.op == "<=") ok = l <= r;
+    else if (cmp.op == ">=") ok = l >= r;
+    else if (cmp.op == "<") ok = l < r;
+    else if (cmp.op == ">") ok = l > r;
+    else throw Error("family expr: unknown comparison '" + cmp.op + "'");
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string render(const Expr& e) {
+  std::string out;
+  renderInto(e, out);
+  return out;
+}
+
+std::string render(const Cond& c) {
+  std::string out;
+  for (std::size_t i = 0; i < c.terms.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += render(c.terms[i].lhs) + " " + c.terms[i].op + " " +
+           render(c.terms[i].rhs);
+  }
+  return out;
+}
+
+void Scanner::skipSpace() {
+  while (pos_ < text_.size() &&
+         (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+    ++pos_;
+  }
+}
+
+bool Scanner::atEnd() {
+  skipSpace();
+  return pos_ >= text_.size();
+}
+
+char Scanner::peek() {
+  skipSpace();
+  return pos_ < text_.size() ? text_[pos_] : '\0';
+}
+
+bool Scanner::consume(char c) {
+  skipSpace();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool Scanner::consumeWord(std::string_view word) {
+  skipSpace();
+  if (text_.substr(pos_, word.size()) != word) return false;
+  const std::size_t after = pos_ + word.size();
+  if (after < text_.size() &&
+      (std::isalnum(static_cast<unsigned char>(text_[after])) != 0 ||
+       text_[after] == '_')) {
+    return false;  // prefix of a longer identifier
+  }
+  pos_ = after;
+  return true;
+}
+
+std::optional<std::string> Scanner::ident() {
+  skipSpace();
+  if (pos_ >= text_.size()) return std::nullopt;
+  const char first = text_[pos_];
+  if (std::isalpha(static_cast<unsigned char>(first)) == 0 && first != '_') {
+    return std::nullopt;
+  }
+  std::size_t end = pos_ + 1;
+  while (end < text_.size() &&
+         (std::isalnum(static_cast<unsigned char>(text_[end])) != 0 ||
+          text_[end] == '_')) {
+    ++end;
+  }
+  std::string out(text_.substr(pos_, end - pos_));
+  pos_ = end;
+  return out;
+}
+
+std::optional<Count> Scanner::integer() {
+  skipSpace();
+  std::size_t end = pos_;
+  while (end < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[end])) != 0) {
+    ++end;
+  }
+  if (end == pos_) return std::nullopt;
+  if (end - pos_ > 12) fail("integer literal too long");
+  const Count v = std::strtoll(std::string(text_.substr(pos_, end - pos_)).c_str(),
+                               nullptr, 10);
+  pos_ = end;
+  return v;
+}
+
+bool Scanner::consumeRangeDots() {
+  skipSpace();
+  if (text_.substr(pos_, 2) == "..") {
+    pos_ += 2;
+    return true;
+  }
+  return false;
+}
+
+void Scanner::fail(const std::string& what) const {
+  throw Error("family parse: " + what + " at column " +
+              std::to_string(pos_ + 1) + " of '" + std::string(text_) + "'");
+}
+
+Expr Scanner::parseExpr() {
+  Expr lhs = parseTerm();
+  for (;;) {
+    if (consume('+')) {
+      lhs = binary(Expr::Kind::kAdd, std::move(lhs), parseTerm());
+    } else if (consume('-')) {
+      lhs = binary(Expr::Kind::kSub, std::move(lhs), parseTerm());
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Expr Scanner::parseTerm() {
+  Expr lhs = parseUnary();
+  for (;;) {
+    if (consume('*')) {
+      lhs = binary(Expr::Kind::kMul, std::move(lhs), parseUnary());
+    } else if (consume('/')) {
+      lhs = binary(Expr::Kind::kDiv, std::move(lhs), parseUnary());
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Expr Scanner::parseUnary() {
+  if (consume('-')) {
+    Expr e;
+    e.kind = Expr::Kind::kNeg;
+    e.args.push_back(parseUnary());
+    return e;
+  }
+  return parsePrimary();
+}
+
+Expr Scanner::parsePrimary() {
+  if (consume('(')) {
+    Expr inner = parseExpr();
+    if (!consume(')')) fail("expected ')'");
+    return inner;
+  }
+  if (auto v = integer()) return Expr::integer(*v);
+  if (auto name = ident()) return Expr::variable(std::move(*name));
+  fail("expected integer, identifier, or '('");
+}
+
+Cond::Cmp Scanner::parseCmp() {
+  Cond::Cmp cmp;
+  cmp.lhs = parseExpr();
+  skipSpace();
+  for (std::string_view op : {"==", "!=", "<=", ">=", "<", ">"}) {
+    if (remainder().substr(0, op.size()) == op) {
+      cmp.op = std::string(op);
+      for (std::size_t i = 0; i < op.size(); ++i) consume(op[i]);
+      cmp.rhs = parseExpr();
+      return cmp;
+    }
+  }
+  fail("expected comparison operator");
+}
+
+Cond Scanner::parseCond() {
+  Cond cond;
+  cond.terms.push_back(parseCmp());
+  while (consumeWord("and")) cond.terms.push_back(parseCmp());
+  return cond;
+}
+
+Expr parseExpr(std::string_view text) {
+  Scanner s(text);
+  Expr e = s.parseExpr();
+  if (!s.atEnd()) s.fail("trailing input after expression");
+  return e;
+}
+
+Cond parseCond(std::string_view text) {
+  Scanner s(text);
+  Cond c = s.parseCond();
+  if (!s.atEnd()) s.fail("trailing input after condition");
+  return c;
+}
+
+}  // namespace relb::family

@@ -1,0 +1,118 @@
+// The arithmetic sublanguage of the family-definition DSL (docs/families.md).
+//
+// Expressions are integer-valued terms over the family's parameters:
+//   expr  := term (('+' | '-') term)*
+//   term  := unary (('*' | '/') unary)*
+//   unary := '-' unary | INT | IDENT | '(' expr ')'
+// Division is floor division (rounds toward negative infinity) and throws
+// re::Error on a zero divisor, so evaluation is total and deterministic on
+// every non-dividing input.  Conditions are conjunctions of comparisons:
+//   cond := expr OP expr ('and' expr OP expr)*     OP in { == != <= >= < > }
+//
+// Both forms are value types with structural equality and a deterministic
+// renderer whose output re-parses to the identical tree (the DSL text
+// round-trip test leans on this).  The Scanner is shared with the
+// definition parser in text.cpp: it is a plain cursor over one logical line
+// that reports 1-based column positions in its errors.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "re/types.hpp"
+
+namespace relb::family {
+
+/// Parameter environment: name -> value.  Ordered, so every iteration over
+/// an Env (certificate metadata, error messages) is deterministic.
+using Env = std::map<std::string, re::Count, std::less<>>;
+
+struct Expr {
+  enum class Kind { kInt, kVar, kNeg, kAdd, kSub, kMul, kDiv };
+
+  Kind kind = Kind::kInt;
+  re::Count value = 0;     // kInt
+  std::string name;        // kVar
+  std::vector<Expr> args;  // 1 operand for kNeg, 2 for the binary kinds
+
+  [[nodiscard]] static Expr integer(re::Count v);
+  [[nodiscard]] static Expr variable(std::string name);
+
+  friend bool operator==(const Expr&, const Expr&) = default;
+};
+
+/// A conjunction of comparisons; an empty conjunction is `true`.
+struct Cond {
+  struct Cmp {
+    Expr lhs;
+    std::string op;  // "==", "!=", "<=", ">=", "<", ">"
+    Expr rhs;
+    friend bool operator==(const Cmp&, const Cmp&) = default;
+  };
+  std::vector<Cmp> terms;
+
+  [[nodiscard]] bool alwaysTrue() const { return terms.empty(); }
+  friend bool operator==(const Cond&, const Cond&) = default;
+};
+
+/// Evaluates under `env`.  Throws re::Error on an unbound variable or a zero
+/// divisor; never overflows silently (operands are validated against a
+/// +/- 2^40 guard that keeps every product inside Count).
+[[nodiscard]] re::Count eval(const Expr& e, const Env& env);
+[[nodiscard]] bool eval(const Cond& c, const Env& env);
+
+/// Deterministic rendering with minimal parentheses; parse(render(e)) == e.
+[[nodiscard]] std::string render(const Expr& e);
+[[nodiscard]] std::string render(const Cond& c);
+
+/// Cursor over one logical line of DSL text.  All `parse*` entry points skip
+/// leading whitespace; errors carry the 1-based column.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skipSpace();
+  [[nodiscard]] bool atEnd();
+  /// Next character without consuming ('\0' at end), after skipping space.
+  [[nodiscard]] char peek();
+  /// Consumes `c` if it is next; false otherwise.
+  bool consume(char c);
+  /// Consumes the identifier `word` if it is next as a whole word.
+  bool consumeWord(std::string_view word);
+  /// Consumes an identifier [A-Za-z_][A-Za-z0-9_]* if one is next.
+  [[nodiscard]] std::optional<std::string> ident();
+  /// Consumes a nonnegative integer literal if one is next.
+  [[nodiscard]] std::optional<re::Count> integer();
+  /// Consumes the exact token `..` (range separator) if next.
+  bool consumeRangeDots();
+
+  /// Everything not yet consumed (without skipping space).
+  [[nodiscard]] std::string_view remainder() const {
+    return text_.substr(pos_);
+  }
+
+  [[noreturn]] void fail(const std::string& what) const;
+
+  /// Full-precedence expression.
+  [[nodiscard]] Expr parseExpr();
+  /// Just INT | IDENT | '(' expr ')' -- the exponent grammar after '^'.
+  [[nodiscard]] Expr parsePrimary();
+  [[nodiscard]] Cond parseCond();
+
+ private:
+  [[nodiscard]] Expr parseTerm();
+  [[nodiscard]] Expr parseUnary();
+  [[nodiscard]] Cond::Cmp parseCmp();
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses a complete expression / condition (trailing garbage is an error).
+[[nodiscard]] Expr parseExpr(std::string_view text);
+[[nodiscard]] Cond parseCond(std::string_view text);
+
+}  // namespace relb::family

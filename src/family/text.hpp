@@ -1,0 +1,40 @@
+// Text form of family definitions (docs/families.md gives the grammar).
+//
+// Line-oriented, one directive per line; '#' at the start of a line begins
+// a comment; blank lines separate sections but carry no meaning.  The
+// canonical serialization is deterministic and renderFamilyText's output
+// re-parses to a structurally identical FamilyDef, so
+// renderFamilyText(parseFamilyText(t)) is a fixpoint after one round --
+// the property the fuzz target and the round-trip oracles pin.
+//
+// Hardening mirrors io::parseProblemText: a total input cap, a per-line
+// cap, and a printable-text check run before any grammar work, so the
+// parser is safe on arbitrary fuzz input (every rejection is an re::Error
+// naming the line).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "family/def.hpp"
+
+namespace relb::family {
+
+/// Parses a complete definition.  Throws re::Error with a 1-based line
+/// number on malformed input; the result always passes validateDef.
+[[nodiscard]] FamilyDef parseFamilyText(std::string_view text);
+
+/// Canonical serialization (header comment, metadata, parameters,
+/// alphabet, node templates, edge templates).
+[[nodiscard]] std::string renderFamilyText(const FamilyDef& def);
+
+/// Reads and parses a definition file.  Throws re::Error on I/O failure or
+/// parse errors (the message names the path).
+[[nodiscard]] FamilyDef loadFamilyFile(const std::filesystem::path& path);
+
+/// Writes the canonical serialization atomically (temp file + rename, via
+/// io::atomicWriteFile).
+void saveFamilyFile(const std::filesystem::path& path, const FamilyDef& def);
+
+}  // namespace relb::family

@@ -1,0 +1,72 @@
+#include "gen/family_sample.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace relb::gen {
+
+using re::Count;
+using re::Error;
+
+namespace {
+
+// One uniform draw over the parameter box, evaluating each range under the
+// parameters drawn so far (ranges may reference earlier parameters).
+// Returns false when a range comes out empty for this prefix -- the caller
+// rejects and redraws, the same way `require` failures are handled.
+bool drawOnce(std::mt19937& rng, const family::FamilyDef& def,
+              const FamilySampleOptions& options, family::Env& env) {
+  env.clear();
+  for (const family::ParamDecl& param : def.params) {
+    Count lo = family::eval(param.lo, env);
+    Count hi = family::eval(param.hi, env);
+    if (param.name == "delta") {
+      lo = std::max(lo, options.minDelta);
+      hi = std::min(hi, options.maxDelta);
+    }
+    if (lo > hi) return false;
+    std::uniform_int_distribution<Count> dist(lo, hi);
+    env[param.name] = dist(rng);
+  }
+  return true;
+}
+
+}  // namespace
+
+family::Env randomFamilyParams(std::mt19937& rng, const family::FamilyDef& def,
+                               const FamilySampleOptions& options) {
+  family::Env env;
+  for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+    if (!drawOnce(rng, def, options, env)) continue;
+    try {
+      // resolveParams re-validates the (declared, un-intersected) ranges and
+      // every `require` clause; a throw is a rejected sample, not an error.
+      return family::resolveParams(def, env);
+    } catch (const Error&) {
+    }
+  }
+  throw Error("randomFamilyParams: no valid parameter vector for family '" +
+              def.name + "' in " + std::to_string(options.maxAttempts) +
+              " attempts (delta clamped to [" +
+              std::to_string(options.minDelta) + ", " +
+              std::to_string(options.maxDelta) + "])");
+}
+
+re::Problem randomFamilyProblem(std::mt19937& rng,
+                                const family::FamilyDef& def,
+                                const FamilySampleOptions& options) {
+  for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+    const family::Env params = randomFamilyParams(rng, def, options);
+    try {
+      return family::instantiate(def, params);
+    } catch (const Error&) {
+      // An instantiation-time corner (negative exponent, empty expansion)
+      // at this parameter point; redraw.
+    }
+  }
+  throw Error("randomFamilyProblem: no instantiable parameter vector for "
+              "family '" + def.name + "' in " +
+              std::to_string(options.maxAttempts) + " attempts");
+}
+
+}  // namespace relb::gen

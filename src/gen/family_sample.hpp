@@ -1,0 +1,48 @@
+// Seeded sampling of family-definition instantiations.
+//
+// randomProblem (random_problem.hpp) draws structureless problems; this is
+// its structured counterpart: randomFamilyProblem() draws a parameter vector
+// uniformly from a FamilyDef's declared ranges and instantiates it, so the
+// property suites can exercise the engine on the *shape* of real lower-bound
+// families (ruling sets, matchings, colorings, Pi) at parameter points the
+// built-in defaults never visit.
+//
+// Sampling is deterministic in the RNG state, exactly like randomProblem:
+// the same seed reproduces the same parameter vector and problem, keeping
+// property-test failures replayable from a printed seed.
+#pragma once
+
+#include <random>
+
+#include "family/def.hpp"
+
+namespace relb::gen {
+
+struct FamilySampleOptions {
+  /// Intersected with the declared range of a parameter named "delta", so a
+  /// suite can keep degrees inside what its oracles can enumerate.  Other
+  /// parameters always use their full declared range.
+  re::Count minDelta = 1;
+  re::Count maxDelta = 6;
+
+  /// Rejection-sampling budget for definitions whose `require` clauses (or
+  /// instantiation-time errors, e.g. a negative exponent at an unlucky
+  /// corner) rule out part of the parameter box.  Exhausting it throws.
+  int maxAttempts = 64;
+};
+
+/// Draws one parameter vector uniformly from `def`'s declared ranges
+/// (rejection-sampling the `require` clauses).  Deterministic in the RNG
+/// state; advances `rng`.  Throws re::Error when the budget is exhausted or
+/// the delta intersection is empty.
+[[nodiscard]] family::Env randomFamilyParams(
+    std::mt19937& rng, const family::FamilyDef& def,
+    const FamilySampleOptions& options = {});
+
+/// randomFamilyParams + instantiate: one valid problem of the family at a
+/// uniformly drawn parameter point.
+[[nodiscard]] re::Problem randomFamilyProblem(
+    std::mt19937& rng, const family::FamilyDef& def,
+    const FamilySampleOptions& options = {});
+
+}  // namespace relb::gen

@@ -139,7 +139,17 @@ AutoLowerBound autoLowerBound(const Problem& start,
   result.labelsPerStep.push_back(current.alphabet.size());
 
   for (int step = 0; step < options.maxSteps; ++step) {
-    if (zeroRoundWithEdgeInputs(current, options.context)) {
+    // The hardness check itself can hit an engine guard (the edge-input
+    // analyzer enumerates label subsets); an unprovable `current` ends the
+    // chain with whatever was certified so far instead of throwing.
+    bool solvable = false;
+    try {
+      solvable = zeroRoundWithEdgeInputs(current, options.context);
+    } catch (const Error&) {
+      result.reason = StopReason::kEngineLimit;
+      return result;
+    }
+    if (solvable) {
       result.reason = StopReason::kZeroRoundSolvable;
       return result;
     }
@@ -162,7 +172,16 @@ AutoLowerBound autoLowerBound(const Problem& start,
       for (Label a = 0; a < n && !merged; ++a) {
         for (Label b = a + 1; b < n && !merged; ++b) {
           const Problem candidate = mergeTwoLabels(next, a, b);
-          if (!zeroRoundWithEdgeInputs(candidate, options.context)) {
+          // A candidate whose hardness the engine cannot certify (guard
+          // trips) is simply not merged -- the invariant needs a *proof*
+          // that the merged problem stays hard.
+          bool hard = false;
+          try {
+            hard = !zeroRoundWithEdgeInputs(candidate, options.context);
+          } catch (const Error&) {
+            hard = false;
+          }
+          if (hard) {
             next = candidate;
             merged = true;
           }

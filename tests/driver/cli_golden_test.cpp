@@ -25,11 +25,14 @@ TEST(CliGolden, UsageTextIsPinnedByteForByte) {
       "usage: round_eliminator_cli [flags] \"<node configs>\" "
       "\"<edge configs>\" [maxSteps] [threads]\n"
       "       round_eliminator_cli [flags] --chain DELTA [--x0 K]\n"
+      "       round_eliminator_cli [flags] --family NAME | --family-def FILE "
+      "[maxSteps] [threads]\n"
       "       round_eliminator_cli --verify-cert FILE\n"
       "configurations separated by ';', e.g. \"M^3; P O^2\"\n"
       "threads: 0 = hardware concurrency (default), 1 = serial\n"
       "flags: --stats --store DIR --resume --save-cert FILE\n"
       "       --verify-cert FILE --chain DELTA --x0 K\n"
+      "       --family NAME --family-def FILE --param NAME=VALUE\n"
       "       --trace FILE --trace-format {chrome,text} --report FILE\n";
   EXPECT_EQ(usageText("round_eliminator_cli"), expected);
 }
@@ -76,6 +79,37 @@ TEST(CliGolden, ChainModeShiftsPositionals) {
   // With the problem text implied, [maxSteps] [threads] move up front.
   EXPECT_EQ(req.maxSteps, 4);
   EXPECT_EQ(req.numThreads, 1);
+}
+
+TEST(CliGolden, FamilyModeShiftsPositionals) {
+  const ParseOutcome outcome = parse({"cli", "--family", "maximal_matching",
+                                      "--param", "delta=4", "4", "1"});
+  ASSERT_TRUE(outcome.error.empty());
+  const RunRequest& req = outcome.request;
+  EXPECT_EQ(req.mode, RunRequest::Mode::kFamily);
+  EXPECT_EQ(req.familyName, "maximal_matching");
+  ASSERT_EQ(req.familyParams.size(), 1u);
+  EXPECT_EQ(req.familyParams[0].first, "delta");
+  EXPECT_EQ(req.familyParams[0].second, 4);
+  EXPECT_EQ(req.maxSteps, 4);
+  EXPECT_EQ(req.numThreads, 1);
+}
+
+TEST(CliGolden, MalformedParamIsAParseError) {
+  const ParseOutcome outcome =
+      parse({"cli", "--family", "pi", "--param", "delta"});
+  EXPECT_EQ(outcome.error, "--param expects NAME=VALUE, got 'delta'");
+}
+
+TEST(CliGolden, UnknownFamilyExitsOne) {
+  RunRequest req;
+  req.mode = RunRequest::Mode::kFamily;
+  req.familyName = "no_such_family";
+  const RunResult result = run(req);
+  EXPECT_EQ(result.exitCode(), 1);
+  EXPECT_EQ(result.status, RunStatus::kFailure);
+  EXPECT_NE(result.diagnostics.find("unknown built-in family"),
+            std::string::npos);
 }
 
 TEST(CliGolden, UnknownFlagsStayPositional) {

@@ -1,0 +1,195 @@
+// FamilyDef instantiation semantics: parameter resolution, comprehension
+// expansion, and the bit-for-bit equivalence of the DSL-built Pi_Delta(a, x)
+// against the hard-coded core constructor.
+#include "family/def.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/family.hpp"
+#include "family/builtin.hpp"
+#include "family/text.hpp"
+#include "re/canonical.hpp"
+
+namespace relb::family {
+namespace {
+
+TEST(FamilyDef, ResolveParamsAppliesDefaultsAndOverrides) {
+  const FamilyDef def = *findBuiltin("pi");
+  const Env defaults = resolveParams(def, {});
+  EXPECT_EQ(defaults.at("delta"), 4);
+  EXPECT_EQ(defaults.at("a"), 2);
+  EXPECT_EQ(defaults.at("x"), 0);
+
+  const Env overridden = resolveParams(def, {{"delta", 6}, {"a", 5}});
+  EXPECT_EQ(overridden.at("delta"), 6);
+  EXPECT_EQ(overridden.at("a"), 5);
+  EXPECT_EQ(overridden.at("x"), 0);
+}
+
+TEST(FamilyDef, ResolveParamsChecksRangesRequirementsAndNames) {
+  const FamilyDef def = *findBuiltin("pi");
+  // a ranges over 0..delta, so a = 5 at delta = 4 is out of range.
+  EXPECT_THROW((void)resolveParams(def, {{"a", 5}}), re::Error);
+  EXPECT_THROW((void)resolveParams(def, {{"delta", 0}}), re::Error);
+  EXPECT_THROW((void)resolveParams(def, {{"nonsense", 1}}), re::Error);
+  // Later ranges see earlier overrides: a = 5 is fine at delta = 6.
+  EXPECT_EQ(resolveParams(def, {{"delta", 6}, {"a", 5}}).at("a"), 5);
+}
+
+TEST(FamilyDef, RequireDirectiveIsEnforced) {
+  const FamilyDef def = parseFamilyText(
+      "family t\n"
+      "param delta range 2 .. 8 default 3\n"
+      "param a range 0 .. delta default 1\n"
+      "require 2 * a <= delta\n"
+      "alphabet M P\n"
+      "node M^delta\n"
+      "edge M [M P]\n");
+  EXPECT_EQ(resolveParams(def, {}).at("a"), 1);
+  EXPECT_THROW((void)resolveParams(def, {{"a", 2}}), re::Error);
+  EXPECT_EQ(resolveParams(def, {{"delta", 4}, {"a", 2}}).at("a"), 2);
+}
+
+TEST(FamilyDef, PiMatchesCoreConstructorBitForBit) {
+  const FamilyDef def = *findBuiltin("pi");
+  for (re::Count delta = 1; delta <= 6; ++delta) {
+    for (re::Count a = 0; a <= delta; ++a) {
+      for (re::Count x = 0; x <= delta; ++x) {
+        const re::Problem dsl = instantiate(
+            def, resolveParams(def, {{"delta", delta}, {"a", a}, {"x", x}}));
+        const re::Problem hard = core::familyProblem(delta, a, x);
+        EXPECT_EQ(dsl, hard) << "delta=" << delta << " a=" << a << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(FamilyDef, PiMatchesCoreConstructorCanonically) {
+  const FamilyDef def = *findBuiltin("pi");
+  for (re::Count delta = 1; delta <= 4; ++delta) {
+    for (re::Count a = 0; a <= delta; ++a) {
+      for (re::Count x = 0; x <= delta; ++x) {
+        const re::Problem dsl = instantiate(
+            def, resolveParams(def, {{"delta", delta}, {"a", a}, {"x", x}}));
+        const auto lhs = re::canonicalize(dsl);
+        const auto rhs = re::canonicalize(core::familyProblem(delta, a, x));
+        EXPECT_EQ(lhs.hash, rhs.hash);
+        EXPECT_EQ(lhs.problem, rhs.problem);
+      }
+    }
+  }
+}
+
+TEST(FamilyDef, TwoRulingSetInstantiatesToProbedEncoding) {
+  const re::Problem p = instantiateWithDefaults(*findBuiltin("two_ruling_set"));
+  const re::Problem expected = re::Problem::parse(
+      "S^3\nP1 O1^2\nP2 O2^2", "S [P1 O1]\nO1 [O1 P2 O2]\nO2 O2");
+  EXPECT_EQ(p, expected);
+}
+
+TEST(FamilyDef, MaximalMatchingInstantiatesToProbedEncoding) {
+  const re::Problem p =
+      instantiateWithDefaults(*findBuiltin("maximal_matching"));
+  const re::Problem expected =
+      re::Problem::parse("M O^2\nP^3", "M M\nO [O P]");
+  EXPECT_EQ(p, expected);
+}
+
+TEST(FamilyDef, MaximalMatchingIsValidAtDeltaOne) {
+  // The degree-1 instance (single-port matching) must instantiate: node
+  // configurations M and P, edge constraint unchanged.
+  const re::Problem p = instantiateWithDefaults(*findBuiltin("maximal_matching"),
+                                                {{"delta", 1}});
+  EXPECT_EQ(p.delta(), 1);
+  EXPECT_EQ(p.node.size(), 2u);
+  EXPECT_EQ(p.edge.size(), 2u);
+}
+
+TEST(FamilyDef, DeltaColoringExpandsParameterizedAlphabet) {
+  const FamilyDef def = *findBuiltin("delta_coloring");
+  for (re::Count delta = 3; delta <= 5; ++delta) {
+    const re::Problem p =
+        instantiate(def, resolveParams(def, {{"delta", delta}}));
+    ASSERT_EQ(p.alphabet.size(), delta);
+    EXPECT_EQ(p.alphabet.name(0), "C1");
+    EXPECT_EQ(p.alphabet.name(static_cast<re::Label>(delta - 1)),
+              "C" + std::to_string(delta));
+    // One monochromatic node configuration per color; one edge
+    // configuration per color, excluding the color itself.
+    EXPECT_EQ(p.node.size(), static_cast<std::size_t>(delta));
+    EXPECT_EQ(p.edge.size(), static_cast<std::size_t>(delta));
+    for (const auto& config : p.edge.configurations()) {
+      for (const auto& group : config.groups()) {
+        EXPECT_LT(group.set.size(), delta);  // no self-color anywhere
+      }
+    }
+  }
+}
+
+TEST(FamilyDef, InstantiationIsDeterministic) {
+  for (const FamilyDef& def : builtinFamilies()) {
+    const Env params = resolveParams(def, {});
+    const re::Problem a = instantiate(def, params);
+    const re::Problem b = instantiate(def, params);
+    EXPECT_EQ(a, b) << def.name;
+  }
+}
+
+TEST(FamilyDef, ZeroCountGroupsVanish) {
+  const FamilyDef def = parseFamilyText(
+      "family t\n"
+      "param delta range 1 .. 4 default 1\n"
+      "alphabet M X\n"
+      "node M^delta X^(delta - 1)\n"
+      "edge M [M X]\n");
+  // delta = 1: the X group has exponent 0 and disappears, exactly like the
+  // core constructor's Configuration normalization.
+  const re::Problem p = instantiateWithDefaults(def);
+  ASSERT_EQ(p.node.size(), 1u);
+  EXPECT_EQ(p.node.configurations()[0].groups().size(), 1u);
+}
+
+TEST(FamilyDef, IllFormedExpansionsThrow) {
+  // Negative exponent.
+  const FamilyDef negative = parseFamilyText(
+      "family t\nparam d range 1 .. 4 default 1\nalphabet M\n"
+      "node M^(d - 2)\nedge M M\n");
+  EXPECT_THROW((void)instantiateWithDefaults(negative), re::Error);
+
+  // Unknown label reference.
+  const FamilyDef unknown = parseFamilyText(
+      "family t\nalphabet M\nnode Q^2\nedge M M\n");
+  EXPECT_THROW((void)instantiateWithDefaults(unknown), re::Error);
+
+  // Empty set comprehension with a positive exponent.
+  const FamilyDef empty = parseFamilyText(
+      "family t\nparam d range 2 .. 4 default 2\nalphabet C{i=1..d}\n"
+      "node [C{j} | j=1..d if j > d]^d\nedge C{1} C{2}\n");
+  EXPECT_THROW((void)instantiateWithDefaults(empty), re::Error);
+
+  // Edge template of degree != 2.
+  const FamilyDef degree = parseFamilyText(
+      "family t\nalphabet M\nnode M^3\nedge M M M\n");
+  EXPECT_THROW((void)instantiateWithDefaults(degree), re::Error);
+}
+
+TEST(FamilyDef, DuplicateLabelInAlphabetThrows) {
+  const FamilyDef def = parseFamilyText(
+      "family t\nparam d range 1 .. 4 default 2\n"
+      "alphabet C1 C{i=1..d}\nnode C1^2\nedge C1 C1\n");
+  EXPECT_THROW((void)instantiateWithDefaults(def), re::Error);
+}
+
+TEST(FamilyDef, PublishedBoundEvaluates) {
+  const FamilyDef def = *findBuiltin("maximal_matching");
+  const Env params = resolveParams(def, {});
+  ASSERT_TRUE(publishedBound(def, params).has_value());
+  EXPECT_EQ(*publishedBound(def, params), 3);
+
+  const FamilyDef none = parseFamilyText(
+      "family t\nalphabet M\nnode M^2\nedge M M\n");
+  EXPECT_FALSE(publishedBound(none, {}).has_value());
+}
+
+}  // namespace
+}  // namespace relb::family

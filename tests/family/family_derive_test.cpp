@@ -1,0 +1,99 @@
+// The derive path: every built-in re-derives its pinned lower bound at the
+// parameter defaults, and the emitted certificates verify engine-free.
+#include "family/derive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "family/builtin.hpp"
+#include "io/verify.hpp"
+
+namespace relb::family {
+namespace {
+
+// One shared core warms the step/zero-round caches across the suite; the
+// derivations are bit-identical warm or cold (the engine contract), so this
+// is purely a runtime saving.
+re::EngineSession makeSession() {
+  static const auto core = std::make_shared<re::EngineCore>();
+  return re::EngineSession(core);
+}
+
+TEST(FamilyDerive, BuiltinsReachTheirPinnedBounds) {
+  re::EngineSession session = makeSession();
+  for (const FamilyDef& def : builtinFamilies()) {
+    const FamilyDerivation d = deriveFamilyBound(def, {}, session);
+    ASSERT_TRUE(d.published.has_value()) << def.name;
+    EXPECT_TRUE(d.meetsPublishedBound())
+        << def.name << ": derived " << d.bound.rounds << " < pinned "
+        << *d.published;
+  }
+}
+
+TEST(FamilyDerive, DerivedBoundsMatchTheProbedValues) {
+  re::EngineSession session = makeSession();
+  const auto rounds = [&](const char* name) {
+    return deriveFamilyBound(*findBuiltin(name), {}, session).bound.rounds;
+  };
+  EXPECT_GE(rounds("maximal_matching"), 3);
+  EXPECT_GE(rounds("two_ruling_set"), 2);
+  EXPECT_GE(rounds("delta_coloring"), 2);
+  EXPECT_GE(rounds("pi"), 1);
+}
+
+TEST(FamilyDerive, CertificatesVerifyEngineFree) {
+  re::EngineSession session = makeSession();
+  for (const FamilyDef& def : builtinFamilies()) {
+    const FamilyDerivation d = deriveFamilyBound(def, {}, session);
+    ASSERT_FALSE(d.certificate.steps.empty()) << def.name;
+    EXPECT_EQ(d.certificate.kind, "speedup-trace");
+    const io::VerifyReport report = io::verifyCertificate(d.certificate);
+    EXPECT_TRUE(report.ok) << def.name << ": " << report.describe();
+  }
+}
+
+TEST(FamilyDerive, CertificateCarriesFamilyMetadata) {
+  re::EngineSession session = makeSession();
+  const FamilyDef def = *findBuiltin("two_ruling_set");
+  const FamilyDerivation d = deriveFamilyBound(def, {}, session);
+  bool sawFamily = false;
+  bool sawDelta = false;
+  for (const auto& [key, value] : d.certificate.engineInfo) {
+    if (key == "family" && value == "two_ruling_set") sawFamily = true;
+    if (key == "param.delta" && value == "3") sawDelta = true;
+  }
+  EXPECT_TRUE(sawFamily);
+  EXPECT_TRUE(sawDelta);
+}
+
+TEST(FamilyDerive, CertificateBytesRoundTripThroughJson) {
+  re::EngineSession session = makeSession();
+  const FamilyDerivation d =
+      deriveFamilyBound(*findBuiltin("maximal_matching"), {}, session);
+  const std::string bytes = io::certificateToJson(d.certificate).dumpPretty();
+  const io::Certificate reloaded =
+      io::certificateFromJson(io::Json::parse(bytes));
+  EXPECT_EQ(io::certificateToJson(reloaded).dumpPretty(), bytes);
+}
+
+TEST(FamilyDerive, DerivationIsDeterministicAcrossSessions) {
+  const auto once = [] {
+    re::EngineSession session;
+    return io::certificateToJson(
+               deriveFamilyBound(*findBuiltin("two_ruling_set"), {}, session)
+                   .certificate)
+        .dumpPretty();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(FamilyDerive, OverridesFlowThroughDerivation) {
+  re::EngineSession session = makeSession();
+  const FamilyDerivation d = deriveFamilyBound(*findBuiltin("pi"),
+                                               {{"delta", 3}, {"a", 2}},
+                                               session);
+  EXPECT_EQ(d.params.at("delta"), 3);
+  EXPECT_EQ(d.problem.delta(), 3);
+}
+
+}  // namespace
+}  // namespace relb::family

@@ -1,0 +1,87 @@
+// The DSL's arithmetic sublanguage: parse, evaluate, render round-trip.
+#include "family/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relb::family {
+namespace {
+
+Env env(std::initializer_list<std::pair<const std::string, re::Count>> kv) {
+  return Env(kv);
+}
+
+TEST(FamilyExpr, EvaluatesArithmetic) {
+  const Env e = env({{"delta", 7}, {"x", 2}});
+  EXPECT_EQ(eval(parseExpr("delta - x"), e), 5);
+  EXPECT_EQ(eval(parseExpr("2 * delta + 1"), e), 15);
+  EXPECT_EQ(eval(parseExpr("-x"), e), -2);
+  EXPECT_EQ(eval(parseExpr("(delta + 1) * (x - 1)"), e), 8);
+}
+
+TEST(FamilyExpr, DivisionIsFloor) {
+  const Env e = env({{"a", 7}, {"b", -7}});
+  EXPECT_EQ(eval(parseExpr("a / 2"), e), 3);
+  EXPECT_EQ(eval(parseExpr("b / 2"), e), -4);  // floor, not truncation
+  EXPECT_EQ(eval(parseExpr("(a - 2 * 1 - 1) / 2"), e), 2);
+  EXPECT_THROW((void)eval(parseExpr("a / 0"), e), re::Error);
+}
+
+TEST(FamilyExpr, PrecedenceAndAssociativity) {
+  const Env e;
+  EXPECT_EQ(eval(parseExpr("2 + 3 * 4"), e), 14);
+  EXPECT_EQ(eval(parseExpr("10 - 3 - 2"), e), 5);   // left-associative
+  EXPECT_EQ(eval(parseExpr("16 / 4 / 2"), e), 2);   // left-associative
+  EXPECT_EQ(eval(parseExpr("2 * (3 + 4)"), e), 14);
+}
+
+TEST(FamilyExpr, UnboundVariableThrows) {
+  EXPECT_THROW((void)eval(parseExpr("delta"), Env{}), re::Error);
+}
+
+TEST(FamilyExpr, OverflowGuardThrows) {
+  const Env e = env({{"big", (re::Count{1} << 39)}});
+  EXPECT_THROW((void)eval(parseExpr("big * big"), e), re::Error);
+}
+
+TEST(FamilyExpr, MalformedInputThrows) {
+  EXPECT_THROW((void)parseExpr(""), re::Error);
+  EXPECT_THROW((void)parseExpr("1 +"), re::Error);
+  EXPECT_THROW((void)parseExpr("(1"), re::Error);
+  EXPECT_THROW((void)parseExpr("1 2"), re::Error);  // trailing input
+  EXPECT_THROW((void)parseExpr("#"), re::Error);
+}
+
+TEST(FamilyExpr, RenderParsesBackToSameTree) {
+  for (const char* text :
+       {"delta - x", "a + b * c", "(a + b) * c", "a - (b - c)", "a - b - c",
+        "-x", "-(a + b)", "a / 2 / 3", "a / (2 / 3)", "2 * delta + 1",
+        "--x", "0", "a"}) {
+    const Expr e = parseExpr(text);
+    const std::string rendered = render(e);
+    EXPECT_EQ(parseExpr(rendered), e) << text << " -> " << rendered;
+    // Rendering is a fixpoint: render(parse(render(e))) == render(e).
+    EXPECT_EQ(render(parseExpr(rendered)), rendered);
+  }
+}
+
+TEST(FamilyExpr, CondEvaluatesConjunction) {
+  const Env e = env({{"a", 3}, {"delta", 4}});
+  EXPECT_TRUE(eval(parseCond("a <= delta"), e));
+  EXPECT_TRUE(eval(parseCond("a <= delta and a > 0"), e));
+  EXPECT_FALSE(eval(parseCond("a <= delta and a == 0"), e));
+  EXPECT_TRUE(eval(parseCond("a != delta"), e));
+  EXPECT_FALSE(eval(parseCond("a >= delta"), e));
+  EXPECT_TRUE(eval(Cond{}, e));  // empty conjunction is true
+}
+
+TEST(FamilyExpr, CondRenderRoundTrips) {
+  for (const char* text :
+       {"a <= delta", "a <= delta and x >= 0 and a != x", "j != c",
+        "a + 1 < 2 * b"}) {
+    const Cond c = parseCond(text);
+    EXPECT_EQ(parseCond(render(c)), c) << text;
+  }
+}
+
+}  // namespace
+}  // namespace relb::family

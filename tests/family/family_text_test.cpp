@@ -1,0 +1,152 @@
+// The DSL text format: parse/render round-trips, diagnostics, hardening,
+// and the pinned families/ directory (file bytes == canonical serialization
+// of the built-ins).
+#include "family/text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "family/builtin.hpp"
+
+namespace relb::family {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+TEST(FamilyText, BuiltinsRoundTripStructurally) {
+  for (const FamilyDef& def : builtinFamilies()) {
+    const std::string text = renderFamilyText(def);
+    EXPECT_EQ(parseFamilyText(text), def) << def.name;
+    // Canonical serialization is a fixpoint.
+    EXPECT_EQ(renderFamilyText(parseFamilyText(text)), text) << def.name;
+  }
+}
+
+TEST(FamilyText, FamiliesDirectoryPinsCanonicalSerialization) {
+  for (const FamilyDef& def : builtinFamilies()) {
+    const std::string path =
+        std::string(RELB_FAMILY_DIR) + "/" + def.name + ".fam";
+    EXPECT_EQ(readFile(path), renderFamilyText(def))
+        << path << " out of sync with the built-in definition; regenerate "
+        << "with: fuzz_family --generate " << RELB_FAMILY_DIR;
+  }
+}
+
+TEST(FamilyText, ParsesMetadataAndStructure) {
+  const FamilyDef def = parseFamilyText(
+      "# a comment\n"
+      "family demo\n"
+      "title A demo family\n"
+      "model det-PN high-girth\n"
+      "cite arXiv:0000.00000\n"
+      "param delta range 2 .. 5 default 3\n"
+      "require delta >= 2\n"
+      "bound delta - 1\n"
+      "alphabet A B\n"
+      "\n"
+      "node A^delta\n"
+      "node B A^(delta - 1)\n"
+      "edge A [A B]\n");
+  EXPECT_EQ(def.name, "demo");
+  EXPECT_EQ(def.title, "A demo family");
+  EXPECT_EQ(def.model, "det-PN high-girth");
+  EXPECT_EQ(def.cite, "arXiv:0000.00000");
+  ASSERT_EQ(def.params.size(), 1u);
+  EXPECT_EQ(def.params[0].name, "delta");
+  ASSERT_EQ(def.requirements.size(), 1u);
+  ASSERT_TRUE(def.bound.has_value());
+  EXPECT_EQ(def.alphabet.size(), 2u);
+  EXPECT_EQ(def.node.size(), 2u);
+  EXPECT_EQ(def.edge.size(), 1u);
+  EXPECT_EQ(eval(*def.bound, resolveParams(def, {})), 2);
+}
+
+TEST(FamilyText, RejectsMalformedInput) {
+  // No family directive.
+  EXPECT_THROW((void)parseFamilyText(""), re::Error);
+  EXPECT_THROW((void)parseFamilyText("# only a comment\n"), re::Error);
+  // Directives before 'family'.
+  EXPECT_THROW((void)parseFamilyText("alphabet M\nfamily t\n"), re::Error);
+  // Unknown directive.
+  EXPECT_THROW(
+      (void)parseFamilyText("family t\nfrobnicate M\nalphabet M\n"),
+      re::Error);
+  // Duplicates.
+  EXPECT_THROW((void)parseFamilyText("family t\nfamily u\n"), re::Error);
+  EXPECT_THROW((void)parseFamilyText(
+                   "family t\nbound 1\nbound 2\nalphabet M\nnode M\nedge M "
+                   "M\n"),
+               re::Error);
+  // Structurally empty definitions.
+  EXPECT_THROW((void)parseFamilyText("family t\n"), re::Error);
+  EXPECT_THROW((void)parseFamilyText("family t\nalphabet M\n"), re::Error);
+  // Broken grammar inside a directive.
+  EXPECT_THROW((void)parseFamilyText(
+                   "family t\nparam p range 1 default 2\nalphabet M\n"
+                   "node M\nedge M M\n"),
+               re::Error);
+  EXPECT_THROW((void)parseFamilyText(
+                   "family t\nalphabet M\nnode M^\nedge M M\n"),
+               re::Error);
+  EXPECT_THROW((void)parseFamilyText(
+                   "family t\nalphabet M\nnode [M\nedge M M\n"),
+               re::Error);
+}
+
+TEST(FamilyText, RejectsControlCharactersAndOversizedInput) {
+  EXPECT_THROW((void)parseFamilyText("family t\x01\nalphabet M\n"),
+               re::Error);
+  const std::string longLine(5000, 'a');
+  EXPECT_THROW((void)parseFamilyText("family t\n# " + longLine + "\n"),
+               re::Error);
+  const std::string huge(2 << 20, 'x');
+  EXPECT_THROW((void)parseFamilyText(huge), re::Error);
+}
+
+TEST(FamilyText, ErrorsCarryLineNumbers) {
+  try {
+    (void)parseFamilyText("family t\nalphabet M\nnode M^\nedge M M\n");
+    FAIL() << "expected re::Error";
+  } catch (const re::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FamilyText, CommentsAndBlankLinesAreIgnored) {
+  const FamilyDef a = parseFamilyText(
+      "family t\nalphabet M\nnode M^2\nedge M M\n");
+  const FamilyDef b = parseFamilyText(
+      "# header\n\nfamily t\n\n# middle\nalphabet M\n\nnode M^2\n"
+      "# tail\nedge M M\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(FamilyText, WindowsLineEndingsParse) {
+  const FamilyDef def = parseFamilyText(
+      "family t\r\nalphabet M\r\nnode M^2\r\nedge M M\r\n");
+  EXPECT_EQ(def.name, "t");
+}
+
+TEST(FamilyText, SaveLoadRoundTrips) {
+  const FamilyDef def = *findBuiltin("delta_coloring");
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      ("relb_family_text_test_" + std::to_string(::getpid()) + ".fam");
+  saveFamilyFile(path, def);
+  EXPECT_EQ(loadFamilyFile(path), def);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace relb::family

@@ -1,0 +1,124 @@
+// Unit coverage for src/gen at its edges:
+//
+//   * randomProblem with fully degenerate ranges -- min == max == 1 for the
+//     alphabet, the degree, and both config counts -- is valid and
+//     deterministic (regression pin: single-label / degree-1 problems are a
+//     deliberate edge case of the generator, and [1, 1] must stay an
+//     accepted range, matching the requireRange contract lo >= 1, hi >= lo);
+//   * randomFamilyParams draws inside the declared box, honors the delta
+//     clamp, rejection-samples `require` clauses, and errors cleanly when
+//     the clamp empties the range;
+//   * randomFamilyProblem is deterministic in the seed and always
+//     instantiates to a valid problem of the right degree.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "family/builtin.hpp"
+#include "family/text.hpp"
+#include "gen/family_sample.hpp"
+#include "gen/random_problem.hpp"
+
+namespace relb::gen {
+namespace {
+
+TEST(GenEdgeCases, FullyDegenerateRangesAreValid) {
+  RandomProblemOptions options;
+  options.minAlphabet = options.maxAlphabet = 1;
+  options.minDelta = options.maxDelta = 1;
+  options.minNodeConfigs = options.maxNodeConfigs = 1;
+  options.minEdgeConfigs = options.maxEdgeConfigs = 1;
+  std::mt19937 rng(7);
+  const re::Problem p = randomProblem(rng, options);
+  EXPECT_EQ(p.alphabet.size(), 1u);
+  EXPECT_EQ(p.delta(), 1);
+  EXPECT_EQ(p.node.size(), 1u);
+  EXPECT_EQ(p.edge.size(), 1u);
+  EXPECT_NO_THROW(p.validate());
+
+  std::mt19937 replay(7);
+  EXPECT_EQ(randomProblem(replay, options), p)
+      << "degenerate draw is not deterministic";
+}
+
+TEST(GenEdgeCases, DegenerateDeltaOneMatchingShape) {
+  // Delta = 1 is the matching-style corner: every node is one port.  The
+  // generator must keep producing valid degree-1 node constraints.
+  RandomProblemOptions options;
+  options.minDelta = options.maxDelta = 1;
+  std::mt19937 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const re::Problem p = randomProblem(rng, options);
+    EXPECT_EQ(p.delta(), 1);
+    EXPECT_NO_THROW(p.validate());
+  }
+}
+
+TEST(GenEdgeCases, InvertedRangeStillThrows) {
+  RandomProblemOptions options;
+  options.minDelta = 3;
+  options.maxDelta = 2;
+  std::mt19937 rng(1);
+  EXPECT_THROW((void)randomProblem(rng, options), re::Error);
+}
+
+TEST(FamilySample, ParamsLandInsideTheDeclaredBox) {
+  const family::FamilyDef def = *family::findBuiltin("pi");
+  FamilySampleOptions options;
+  options.minDelta = 2;
+  options.maxDelta = 5;
+  std::mt19937 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const family::Env params = randomFamilyParams(rng, def, options);
+    const re::Count delta = params.at("delta");
+    EXPECT_GE(delta, 2);
+    EXPECT_LE(delta, 5);
+    EXPECT_GE(params.at("a"), 0);
+    EXPECT_LE(params.at("a"), delta);
+    EXPECT_GE(params.at("x"), 0);
+    EXPECT_LE(params.at("x"), delta);
+  }
+}
+
+TEST(FamilySample, DeltaClampCanEmptyTheRangeCleanly) {
+  // delta_coloring declares delta in [3, 6]; clamping to [1, 2] leaves no
+  // valid draw and must error rather than loop or return junk.
+  const family::FamilyDef def = *family::findBuiltin("delta_coloring");
+  FamilySampleOptions options;
+  options.minDelta = 1;
+  options.maxDelta = 2;
+  std::mt19937 rng(3);
+  EXPECT_THROW((void)randomFamilyParams(rng, def, options), re::Error);
+}
+
+TEST(FamilySample, RequireClausesAreRejectionSampled) {
+  const family::FamilyDef def = family::parseFamilyText(
+      "family even_only\n"
+      "param n range 1 .. 8\n"
+      "require n / 2 * 2 == n\n"
+      "alphabet A B\n"
+      "node A^n\n"
+      "edge A B\n");
+  std::mt19937 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const family::Env params = randomFamilyParams(rng, def, {});
+    EXPECT_EQ(params.at("n") % 2, 0) << "require clause not enforced";
+  }
+}
+
+TEST(FamilySample, ProblemsAreDeterministicAndValid) {
+  for (const family::FamilyDef& def : family::builtinFamilies()) {
+    FamilySampleOptions options;
+    options.minDelta = 2;
+    options.maxDelta = 4;
+    std::mt19937 rng(41);
+    const re::Problem p = randomFamilyProblem(rng, def, options);
+    EXPECT_NO_THROW(p.validate()) << def.name;
+    std::mt19937 replay(41);
+    EXPECT_EQ(randomFamilyProblem(replay, def, options), p)
+        << def.name << ": family sampling is not deterministic";
+  }
+}
+
+}  // namespace
+}  // namespace relb::gen

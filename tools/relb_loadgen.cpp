@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "family/builtin.hpp"
+#include "gen/family_sample.hpp"
 #include "gen/random_problem.hpp"
 #include "re/problem.hpp"
 #include "re/types.hpp"
@@ -56,6 +58,7 @@ struct Options {
   int maxSteps = 2;
   int chainEvery = 16;
   int duplicateEvery = 4;
+  int familyEvery = 0;
   long deadlineMs = 0;
 
   // Single-shot mode.
@@ -80,6 +83,8 @@ int usage(std::ostream& out, int code) {
          " 0 = never)\n"
          "  --duplicate-every K  every K-th request repeats an earlier one "
          "(default 4, 0 = never)\n"
+         "  --family-every K     every K-th request instantiates a built-in "
+         "family (default 0 = never)\n"
          "  --deadline-ms N      per-request admission deadline (default 0)"
          "\n";
   return code;
@@ -163,6 +168,23 @@ int runLoad(const Options& options) {
       request.kind = Request::Kind::kChain;
       request.chainDelta = 2 + (i / options.chainEvery) % 2;
       request.chainX0 = 1;
+    } else if (options.familyEvery > 0 && (i + 1) % options.familyEvery == 0) {
+      // Round-robin over the built-ins, parameters drawn from the stream
+      // RNG: family-shaped problems with non-default parameter points.
+      const auto& families = relb::family::builtinFamilies();
+      const relb::family::FamilyDef& def =
+          families[static_cast<std::size_t>(i / options.familyEvery) %
+                   families.size()];
+      relb::gen::FamilySampleOptions sampleOptions;
+      sampleOptions.minDelta = 2;
+      sampleOptions.maxDelta = 3;
+      const relb::re::Problem p =
+          relb::gen::randomFamilyProblem(rng, def, sampleOptions);
+      request.kind = Request::Kind::kProblem;
+      request.nodeSpec = toSpec(p.node.render(p.alphabet));
+      request.edgeSpec = toSpec(p.edge.render(p.alphabet));
+      request.maxSteps = options.maxSteps;
+      problemIndices.push_back(stream.size());
     } else if (options.duplicateEvery > 0 && !problemIndices.empty() &&
                (i + 1) % options.duplicateEvery == 0) {
       const std::size_t pick = problemIndices[std::uniform_int_distribution<
@@ -314,6 +336,8 @@ int main(int argc, char** argv) {
         options.chainEvery = std::stoi(value());
       } else if (arg == "--duplicate-every") {
         options.duplicateEvery = std::stoi(value());
+      } else if (arg == "--family-every") {
+        options.familyEvery = std::stoi(value());
       } else if (arg == "--deadline-ms") {
         options.deadlineMs = std::stol(value());
       } else if (arg == "--chain") {
